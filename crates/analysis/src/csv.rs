@@ -1,0 +1,100 @@
+//! Minimal CSV export (RFC-4180 quoting) for external plotting.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A CSV document under construction.
+#[derive(Debug, Default, Clone)]
+pub struct Csv {
+    buf: String,
+    columns: usize,
+}
+
+impl Csv {
+    /// Start with a header row.
+    pub fn with_header(cells: &[&str]) -> Self {
+        let mut csv = Self { buf: String::new(), columns: cells.len() };
+        csv.push_row(cells.iter().map(|s| s.to_string()));
+        csv
+    }
+
+    fn quote(cell: &str) -> String {
+        if cell.contains([',', '"', '\n']) {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    }
+
+    fn push_row(&mut self, cells: impl Iterator<Item = String>) {
+        let cells: Vec<String> = cells.map(|c| Self::quote(&c)).collect();
+        assert_eq!(cells.len(), self.columns, "CSV row width mismatch");
+        writeln!(self.buf, "{}", cells.join(",")).expect("string write");
+    }
+
+    /// Append a row of string cells.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.push_row(cells.iter().cloned());
+        self
+    }
+
+    /// Append a row of (label, numbers).
+    pub fn row_num(&mut self, label: &str, values: &[f64]) -> &mut Self {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| format!("{v}")));
+        self.push_row(cells.into_iter());
+        self
+    }
+
+    /// The document text.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Write to a file.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        if let Some(dir) = path.as_ref().parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(path, &self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_rows() {
+        let mut csv = Csv::with_header(&["t", "iws_mb"]);
+        csv.row_num("1", &[4.5]);
+        csv.row(&["2".into(), "5.5".into()]);
+        assert_eq!(csv.as_str(), "t,iws_mb\n1,4.5\n2,5.5\n");
+    }
+
+    #[test]
+    fn quotes_special_cells() {
+        let mut csv = Csv::with_header(&["name", "v"]);
+        csv.row(&["a,b".into(), "say \"hi\"".into()]);
+        assert_eq!(csv.as_str(), "name,v\n\"a,b\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ragged_rows_rejected() {
+        let mut csv = Csv::with_header(&["a", "b"]);
+        csv.row(&["x".into()]);
+    }
+
+    #[test]
+    fn writes_file() {
+        let path = std::env::temp_dir().join(format!("ickpt_csv_{}.csv", std::process::id()));
+        let mut csv = Csv::with_header(&["a"]);
+        csv.row(&["1".into()]);
+        csv.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\n1\n");
+        std::fs::remove_file(path).unwrap();
+    }
+}

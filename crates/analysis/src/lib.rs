@@ -1,0 +1,21 @@
+//! # ickpt-analysis — statistics, tables and plots for experiments
+//!
+//! The benchmark harness regenerates every table and figure of the
+//! paper; this crate is its presentation layer:
+//!
+//! * [`stats`] — summary statistics over series.
+//! * [`table`] — aligned text tables (the Table 2/3/4 regenerators).
+//! * [`plot`] — ASCII line plots (the Figure 1–5 regenerators print
+//!   their series both as plots and as machine-readable rows).
+//! * [`csv`] — CSV export for external plotting.
+//! * [`compare`] — paper-vs-measured rows for EXPERIMENTS.md.
+
+pub mod compare;
+pub mod csv;
+pub mod plot;
+pub mod stats;
+pub mod table;
+
+pub use compare::Comparison;
+pub use plot::{ascii_multi_plot, ascii_plot};
+pub use table::TextTable;

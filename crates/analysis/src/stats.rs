@@ -1,0 +1,93 @@
+//! Summary statistics over f64 series.
+
+/// Mean of a series (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Maximum of a series (0 for empty input).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+/// Minimum of a series (0 for empty input).
+pub fn min(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The `p`-th percentile (0–100) by nearest-rank on a sorted copy.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in series"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+/// Relative difference `(measured - reference) / reference`, as a
+/// signed fraction; 0 when the reference is 0.
+pub fn relative_error(measured: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        0.0
+    } else {
+        (measured - reference) / reference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert_eq!(max(&xs), 4.0);
+        assert_eq!(min(&xs), 1.0);
+        assert!((stddev(&xs) - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_series_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&xs, 50.0), 51.0);
+        // Unsorted input is handled.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 100.0), 3.0);
+    }
+
+    #[test]
+    fn relative_error_signs() {
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(90.0, 100.0) + 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(5.0, 0.0), 0.0);
+    }
+}

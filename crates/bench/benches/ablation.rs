@@ -1,0 +1,5 @@
+//! Ablations: incremental vs full traffic, interval sweep, chain length and gc.
+fn main() {
+    let rows = ickpt_bench::experiments::ablation::run_and_print();
+    println!("{}", ickpt_analysis::compare::comparison_table("expectations vs measured", &rows));
+}

@@ -1,0 +1,6 @@
+//! Availability study: measured efficiency under a failure process vs
+//! Young's analytic checkpoint-interval model.
+fn main() {
+    let rows = ickpt_bench::experiments::availability::run_and_print();
+    println!("{}", ickpt_analysis::compare::comparison_table("model vs measured", &rows));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 1 (Sage-1000MB IWS / traffic series).
+fn main() {
+    let rows = ickpt_bench::experiments::fig1::run_and_print();
+    println!("{}", ickpt_analysis::compare::comparison_table("paper vs measured", &rows));
+}

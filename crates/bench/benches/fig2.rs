@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 2 (IB vs timeslice, six panels).
+fn main() {
+    let rows = ickpt_bench::experiments::fig2::run_and_print();
+    println!("{}", ickpt_analysis::compare::comparison_table("paper vs measured", &rows));
+}

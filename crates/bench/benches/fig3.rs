@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 3 (avg IB vs timeslice, Sage sizes).
+fn main() {
+    let rows = ickpt_bench::experiments::fig3::run_and_print();
+    println!("{}", ickpt_analysis::compare::comparison_table("paper vs measured", &rows));
+}

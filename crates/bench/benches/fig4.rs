@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 4 (IWS:footprint ratio vs timeslice).
+fn main() {
+    let rows = ickpt_bench::experiments::fig4::run_and_print();
+    println!("{}", ickpt_analysis::compare::comparison_table("paper vs measured", &rows));
+}

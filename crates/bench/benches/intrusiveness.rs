@@ -1,0 +1,5 @@
+//! Regenerates the paper's §6.5 intrusiveness experiment (simulated + native).
+fn main() {
+    let rows = ickpt_bench::experiments::intrusive::run_and_print();
+    println!("{}", ickpt_analysis::compare::comparison_table("paper vs measured", &rows));
+}

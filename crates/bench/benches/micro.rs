@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks of the hot paths: the dirty bitmap, the
+//! write-fault path, pattern slicing, the chunk codec, CRC-32, the
+//! collective rendezvous, and the *real* page-fault cost through
+//! `mprotect`/`SIGSEGV`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use ickpt::core::tracker::{TrackerConfig, WriteTracker};
+use ickpt::mem::{DirtyBitmap, PageRange};
+use ickpt::native::TrackedRegion;
+use ickpt::sim::SimDuration;
+use ickpt::storage::crc::crc32;
+use ickpt::storage::{Chunk, ChunkKind, PageRecord};
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dirty_bitmap");
+    // 1 GB footprint = 262144 pages, the paper's largest per-process
+    // image.
+    let pages = 262_144u64;
+    g.throughput(Throughput::Elements(pages));
+    g.bench_function("set_range_full_image", |b| {
+        let mut bm = DirtyBitmap::new(pages);
+        b.iter(|| {
+            bm.set_range(black_box(PageRange::new(0, pages)));
+            bm.clear_all();
+        });
+    });
+    g.bench_function("count_after_sparse_sets", |b| {
+        let mut bm = DirtyBitmap::new(pages);
+        for p in (0..pages).step_by(97) {
+            bm.set(p);
+        }
+        b.iter(|| black_box(bm.count()));
+    });
+    g.bench_function("dirty_ranges_sparse", |b| {
+        let mut bm = DirtyBitmap::new(pages);
+        for p in (0..pages).step_by(97) {
+            bm.set(p);
+        }
+        b.iter(|| black_box(bm.dirty_ranges().len()));
+    });
+    g.finish();
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_tracker");
+    let pages = 262_144u64;
+    g.throughput(Throughput::Elements(pages));
+    g.bench_function("touch_range_one_window", |b| {
+        let cfg = TrackerConfig {
+            timeslice: SimDuration::from_secs(1),
+            track_checkpoint_set: true,
+            ..Default::default()
+        };
+        let mut t = WriteTracker::new(pages, pages, cfg);
+        let mut now = 0u64;
+        b.iter(|| {
+            t.touch_range(black_box(PageRange::new(0, pages)));
+            now += 1_000_000_000;
+            t.advance_to(ickpt::sim::SimTime(now));
+        });
+    });
+    g.finish();
+}
+
+fn bench_chunk_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunk_codec");
+    // A 16 MB incremental chunk (4096 pages).
+    let chunk = Chunk {
+        kind: ChunkKind::Incremental,
+        rank: 0,
+        generation: 5,
+        parent: Some(4),
+        capture_time_ns: 0,
+        heap_pages: 4096,
+        mmap_blocks: vec![(0, 4096)],
+        zero_ranges: vec![],
+        records: vec![PageRecord { start_page: 0, data: vec![0xA5; 4096 * 4096] }],
+        app_state: vec![0; 64],
+    };
+    let encoded = chunk.encode();
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_16mb", |b| b.iter(|| black_box(chunk.encode().len())));
+    g.bench_function("decode_16mb", |b| {
+        b.iter(|| black_box(Chunk::decode(&encoded).unwrap().payload_pages()))
+    });
+    g.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32");
+    let data = vec![0x5Au8; 1 << 20];
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("1mb", |b| b.iter(|| black_box(crc32(&data))));
+    g.finish();
+}
+
+fn bench_native_fault(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_fault");
+    // Cost of one protection fault + handler + mprotect, amortized over
+    // a page sweep with per-sample re-protection.
+    g.bench_function("fault_per_page", |b| {
+        let region = TrackedRegion::new(256);
+        b.iter(|| {
+            for p in 0..256 {
+                region.write_byte(p, 0, 1);
+            }
+            black_box(region.sample().iws_pages())
+        });
+    });
+    g.bench_function("write_unprotected_page", |b| {
+        let region = TrackedRegion::new(256);
+        region.untrack();
+        b.iter(|| {
+            for p in 0..256 {
+                region.write_byte(p, 0, 1);
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bitmap,
+    bench_tracker,
+    bench_chunk_codec,
+    bench_crc,
+    bench_native_fault
+);
+criterion_main!(benches);

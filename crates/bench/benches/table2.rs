@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 2 (memory footprints).
+fn main() {
+    let rows = ickpt_bench::experiments::table2::run_and_print();
+    println!("{}", ickpt_analysis::compare::comparison_table("paper vs measured", &rows));
+}

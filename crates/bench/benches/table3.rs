@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 3 (iteration period, % overwritten).
+fn main() {
+    let rows = ickpt_bench::experiments::table3::run_and_print();
+    println!("{}", ickpt_analysis::compare::comparison_table("paper vs measured", &rows));
+}

@@ -1,0 +1,174 @@
+//! `inspect` — operational tooling: examine and verify a checkpoint
+//! directory produced by a `FileStore`-backed run.
+//!
+//! ```text
+//! cargo run --release -p ickpt-bench --bin inspect -- <dir> [--rank N]
+//! ```
+//!
+//! Prints the committed generations (from manifests), each rank's
+//! chunk chain with kinds, payload/zero-page sizes and lineage, and
+//! verifies every chunk's CRC by decoding it. Broken parent links and
+//! incomplete manifests are reported. Exit status is nonzero if any
+//! integrity problem is found.
+
+use ickpt::storage::{Chunk, ChunkKey, ChunkKind, FileStore, Manifest, StableStorage};
+use ickpt_analysis::table::fnum;
+use ickpt_analysis::TextTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(dir) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: inspect <checkpoint-dir> [--rank N]");
+        std::process::exit(2);
+    };
+    let only_rank: Option<u32> = args
+        .iter()
+        .position(|a| a == "--rank")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+
+    let store = match FileStore::open(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open {dir}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut problems = 0usize;
+
+    // ---- Manifests ----
+    println!("checkpoint store: {dir}");
+    let manifest_gens = store.list_manifests().unwrap_or_default();
+    if manifest_gens.is_empty() {
+        println!("no committed manifests found");
+    }
+    let mut mtable = TextTable::new("committed generations").header(&[
+        "generation",
+        "commit t",
+        "ranks",
+        "complete",
+        "payload",
+    ]);
+    let mut nranks = 0u32;
+    for &g in &manifest_gens {
+        match store.get_manifest(g).and_then(|d| Manifest::decode(&d)) {
+            Ok(m) => {
+                nranks = nranks.max(m.nranks);
+                if !m.is_complete() {
+                    problems += 1;
+                }
+                mtable.row(vec![
+                    g.to_string(),
+                    format!("{:.1}s", m.commit_time_ns as f64 / 1e9),
+                    m.nranks.to_string(),
+                    if m.is_complete() { "yes".into() } else { "NO".to_string() },
+                    format!("{:.2} MB", m.total_payload_bytes() as f64 / 1e6),
+                ]);
+            }
+            Err(e) => {
+                problems += 1;
+                mtable.row(vec![g.to_string(), "?".into(), "?".into(), format!("CORRUPT: {e}"), "-".into()]);
+            }
+        }
+    }
+    println!("{}", mtable.render());
+
+    // ---- Per-rank chains ----
+    let ranks: Vec<u32> = match only_rank {
+        Some(r) => vec![r],
+        None => (0..nranks.max(1)).collect(),
+    };
+    for rank in ranks {
+        let gens = store.list_generations(rank).unwrap_or_default();
+        if gens.is_empty() {
+            println!("rank {rank}: no chunks");
+            continue;
+        }
+        let mut t = TextTable::new(format!("rank {rank} chunks")).header(&[
+            "gen",
+            "kind",
+            "parent",
+            "captured t",
+            "stored pages",
+            "zero pages",
+            "bytes",
+            "crc",
+        ]);
+        let mut known: std::collections::BTreeSet<u64> = gens.iter().copied().collect();
+        for &g in &gens {
+            match store.get_chunk(ChunkKey::new(rank, g)) {
+                Ok(data) => match Chunk::decode(&data) {
+                    Ok(c) => {
+                        // Lineage check: parents must exist.
+                        if let Some(p) = c.parent {
+                            if !known.contains(&p) {
+                                problems += 1;
+                                known.insert(p); // report once
+                                println!("  !! rank {rank} gen {g}: missing parent {p}");
+                            }
+                        }
+                        t.row(vec![
+                            g.to_string(),
+                            match c.kind {
+                                ChunkKind::Full => "full".into(),
+                                ChunkKind::Incremental => "incr".to_string(),
+                            },
+                            c.parent.map_or("-".into(), |p| p.to_string()),
+                            format!("{:.1}s", c.capture_time_ns as f64 / 1e9),
+                            c.payload_pages().to_string(),
+                            c.zero_pages().to_string(),
+                            data.len().to_string(),
+                            "ok".into(),
+                        ]);
+                    }
+                    Err(e) => {
+                        problems += 1;
+                        t.row(vec![
+                            g.to_string(),
+                            "?".into(),
+                            "?".into(),
+                            "?".into(),
+                            "-".into(),
+                            "-".into(),
+                            data.len().to_string(),
+                            format!("CORRUPT: {e}"),
+                        ]);
+                    }
+                },
+                Err(e) => {
+                    problems += 1;
+                    t.row(vec![
+                        g.to_string(),
+                        "?".into(),
+                        "?".into(),
+                        "?".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        format!("UNREADABLE: {e}"),
+                    ]);
+                }
+            }
+        }
+        println!("{}", t.render());
+    }
+
+    // ---- Summary ----
+    let total_bytes: u64 = (0..nranks.max(1))
+        .flat_map(|r| {
+            let store = &store;
+            store.list_generations(r).unwrap_or_default().into_iter().map(move |g| {
+                store.get_chunk(ChunkKey::new(r, g)).map(|d| d.len() as u64).unwrap_or(0)
+            })
+        })
+        .sum();
+    println!(
+        "total: {} generations committed, {} MB on-disk checkpoint data, {} problem(s)",
+        manifest_gens.len(),
+        fnum(total_bytes as f64 / 1e6, 2),
+        problems
+    );
+    if problems > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,83 @@
+//! `repro` — run every experiment and emit an EXPERIMENTS.md-ready
+//! report.
+//!
+//! ```text
+//! cargo run --release -p ickpt-bench --bin repro [-- --out <path>]
+//! ```
+//!
+//! Respects the `ICKPT_BENCH_*` environment knobs documented in
+//! `ickpt-bench`.
+
+use std::fmt::Write as _;
+
+use ickpt_analysis::compare::{comparison_markdown, comparison_table};
+use ickpt_analysis::Comparison;
+use ickpt_bench::experiments;
+
+/// One experiment: display name + runner.
+type Experiment = (&'static str, fn() -> Vec<Comparison>);
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let experiments: Vec<Experiment> = vec![
+        ("Table 2 (memory footprints)", experiments::table2::run_and_print),
+        ("Table 3 (iteration period, % overwritten)", experiments::table3::run_and_print),
+        ("Table 4 (bandwidth requirements @1s)", experiments::table4::run_and_print),
+        ("Figure 1 (Sage-1000MB time series)", experiments::fig1::run_and_print),
+        ("Figure 2 (IB vs timeslice, 6 apps)", experiments::fig2::run_and_print),
+        ("Figure 3 (avg IB vs timeslice, Sage sizes)", experiments::fig3::run_and_print),
+        ("Figure 4 (IWS ratio vs timeslice)", experiments::fig4::run_and_print),
+        ("Figure 5 (weak scaling 8-64 procs)", experiments::fig5::run_and_print),
+        ("Section 6.5 (intrusiveness)", experiments::intrusive::run_and_print),
+        ("Ablations (checkpoint system)", experiments::ablation::run_and_print),
+        ("Availability under failures", experiments::availability::run_and_print),
+    ];
+
+    let mut md = String::new();
+    writeln!(md, "## Reproduction results\n").unwrap();
+    writeln!(
+        md,
+        "Configuration: {} ranks, scale {}, seed {:#x}.\n",
+        ickpt_bench::bench_ranks(),
+        ickpt_bench::bench_scale(),
+        ickpt_bench::BENCH_SEED
+    )
+    .unwrap();
+
+    let mut all_rows = Vec::new();
+    for (name, f) in experiments {
+        let t0 = std::time::Instant::now();
+        let rows = f();
+        println!("{}", comparison_table(&format!("{name}: paper vs measured"), &rows));
+        println!("    [{name} completed in {:?}]", t0.elapsed());
+        writeln!(md, "### {name}\n").unwrap();
+        writeln!(md, "{}", comparison_markdown(&rows)).unwrap();
+        all_rows.extend(rows);
+    }
+
+    // Summary: how many cells land within 25 % of the paper.
+    let within: usize = all_rows.iter().filter(|c| c.within(0.25)).count();
+    println!(
+        "\nsummary: {}/{} paper-vs-measured cells within 25% relative error",
+        within,
+        all_rows.len()
+    );
+    writeln!(
+        md,
+        "\n**Summary:** {}/{} cells within 25% relative error of the paper.\n",
+        within,
+        all_rows.len()
+    )
+    .unwrap();
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, md).expect("write report");
+        println!("report written to {path}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 1: Sage-1000MB time series at a 1 s timeslice over 500
+//! virtual seconds — (a) IWS size per timeslice, (b) data received per
+//! timeslice.
+//!
+//! Paper shape: an initialization peak (~400 MB) at the very beginning,
+//! then processing bursts every 145 s with IWS up to ~275-350 MB;
+//! communication bursts of a few MB placed around the processing
+//! bursts.
+
+use ickpt::apps::Workload;
+use ickpt::cluster::{characterize, CharacterizationConfig};
+use ickpt::core::metrics::{iws_series, received_series};
+use ickpt::core::policy::{detect_bursts, detect_period};
+use ickpt::sim::SimDuration;
+use ickpt_analysis::{ascii_plot, Comparison};
+
+use crate::{banner, bench_ranks, bench_scale, BENCH_SEED};
+
+/// Regenerate Figure 1 (both panels).
+pub fn run_and_print() -> Vec<Comparison> {
+    banner("Figure 1: Sage-1000MB IWS and data received per 1 s timeslice");
+    let w = Workload::Sage1000;
+    let cfg = CharacterizationConfig {
+        nranks: bench_ranks(),
+        scale: bench_scale(),
+        run_for: SimDuration::from_secs(500),
+        timeslice: SimDuration::from_secs(1),
+        seed: BENCH_SEED,
+        ..Default::default()
+    };
+    let report = characterize(w, &cfg);
+    let r0 = &report.ranks[0];
+    let rescale = 1.0 / bench_scale();
+
+    let iws: Vec<(f64, f64)> =
+        iws_series(&r0.samples).into_iter().map(|(t, v)| (t, v * rescale)).collect();
+    println!("{}", ascii_plot("(a) IWS size per timeslice (MB)", &iws, 100, 16));
+
+    let recv: Vec<(f64, f64)> =
+        received_series(&r0.samples).into_iter().map(|(t, v)| (t, v * rescale)).collect();
+    println!("{}", ascii_plot("(b) data received per timeslice (MB)", &recv, 100, 12));
+
+    // Quantitative shape checks.
+    let series: Vec<u64> = r0.samples.iter().map(|s| s.iws_pages).collect();
+    let period = detect_period(&series, SimDuration::from_secs(1), 10)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    let init_peak = iws.iter().take(10).map(|&(_, v)| v).fold(0.0, f64::max);
+    let bursts = detect_bursts(&r0.samples, 0.5, 10);
+    println!(
+        "shape: init peak {:.0} MB in the first 10 s; {} processing bursts; \
+         burst period {:.0} s (paper: 145 s)",
+        init_peak,
+        bursts.bursts.len(),
+        period
+    );
+    vec![
+        Comparison::new("Fig 1a / Sage-1000MB burst period", 145.0, period, "s"),
+        Comparison::new(
+            "Fig 1a / Sage-1000MB init peak",
+            400.0,
+            init_peak,
+            "MB",
+        ),
+    ]
+}

@@ -1,0 +1,19 @@
+//! Experiment implementations, one module per paper table/figure.
+//!
+//! Each module exposes `run_and_print()` which executes the experiment,
+//! prints the regenerated table/figure, and returns paper-vs-measured
+//! [`ickpt_analysis::Comparison`] rows for `EXPERIMENTS.md`. The bench
+//! targets under `benches/` are thin wrappers; the `repro` binary runs
+//! everything.
+
+pub mod ablation;
+pub mod availability;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod intrusive;
+pub mod table2;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,135 @@
+//! # ickpt-bench — the experiment harness
+//!
+//! One bench target per table/figure of the paper (all `harness =
+//! false`, so `cargo bench` regenerates everything), plus criterion
+//! micro-benchmarks and ablation studies. This library holds the shared
+//! glue: standard run configurations, IB statistics extraction with the
+//! paper's initialization-burst exclusion, and result formatting.
+//!
+//! ## Environment knobs
+//!
+//! The defaults reproduce the paper's configuration (64 ranks, full
+//! footprints). On small machines override with:
+//!
+//! * `ICKPT_BENCH_RANKS` — cluster size (default 64).
+//! * `ICKPT_BENCH_SCALE` — memory scale factor (default 1.0).
+//! * `ICKPT_BENCH_PERIODS` — main-iteration periods to simulate per
+//!   run (default 6).
+
+pub mod experiments;
+
+use ickpt::apps::Workload;
+use ickpt::cluster::{characterize, CharacterizationConfig, RunReport};
+use ickpt::core::metrics::IbStats;
+use ickpt::sim::{SimDuration, SimTime};
+
+/// Seed used by every experiment (runs are pure functions of it).
+pub const BENCH_SEED: u64 = 0x1DC4_2004;
+
+/// Cluster size for experiments (the paper's largest is 64).
+pub fn bench_ranks() -> usize {
+    std::env::var("ICKPT_BENCH_RANKS").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Memory scale factor (1.0 = the paper's footprints).
+pub fn bench_scale() -> f64 {
+    std::env::var("ICKPT_BENCH_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+}
+
+/// Periods per run.
+pub fn bench_periods() -> f64 {
+    std::env::var("ICKPT_BENCH_PERIODS").ok().and_then(|v| v.parse().ok()).unwrap_or(6.0)
+}
+
+/// Virtual run length for a workload at a given timeslice: enough
+/// periods for stable statistics and enough windows for long
+/// timeslices.
+pub fn run_length(w: Workload, timeslice_s: u64) -> SimDuration {
+    let by_period = bench_periods() * w.calib().period_s;
+    let by_windows = 25.0 * timeslice_s as f64;
+    SimDuration::from_secs_f64(by_period.max(by_windows).max(60.0))
+}
+
+/// The instant up to which samples are excluded from IB statistics:
+/// past the data-initialization burst (§6.3 excludes it) plus one full
+/// iteration of warm-up.
+pub fn skip_until(w: Workload) -> SimTime {
+    // Initialization sweeps the footprint at ~400 MB/s (scale cancels).
+    let init_s = w.calib().footprint_avg_mb / 400.0;
+    SimTime::from_secs_f64(init_s + w.calib().period_s + 1.0)
+}
+
+/// Standard characterization config for a workload/timeslice.
+pub fn standard_config(w: Workload, timeslice_s: u64) -> CharacterizationConfig {
+    CharacterizationConfig {
+        nranks: bench_ranks(),
+        scale: bench_scale(),
+        run_for: run_length(w, timeslice_s),
+        timeslice: SimDuration::from_secs(timeslice_s),
+        seed: BENCH_SEED,
+        ..Default::default()
+    }
+}
+
+/// Run a workload at a timeslice and return the full report.
+pub fn run(w: Workload, timeslice_s: u64) -> RunReport {
+    characterize(w, &standard_config(w, timeslice_s))
+}
+
+/// Rank-0 IB statistics with the standard exclusion, rescaled back to
+/// paper-equivalent MB/s when `ICKPT_BENCH_SCALE` shrinks memory.
+pub fn ib_stats(w: Workload, report: &RunReport, timeslice_s: u64) -> IbStats {
+    let raw = IbStats::from_samples(
+        &report.ranks[0].samples,
+        SimDuration::from_secs(timeslice_s),
+        skip_until(w),
+    );
+    let rescale = 1.0 / bench_scale();
+    IbStats {
+        avg_mbps: raw.avg_mbps * rescale,
+        max_mbps: raw.max_mbps * rescale,
+        // Ratios are scale-free.
+        ..raw
+    }
+}
+
+/// Footprint (max, avg) in paper-equivalent MB from rank 0's samples.
+pub fn footprint_mb(report: &RunReport) -> (f64, f64) {
+    let (max, avg) = ickpt::core::metrics::footprint_stats(&report.ranks[0].samples);
+    let rescale = 1.0 / bench_scale();
+    (max * rescale, avg * rescale)
+}
+
+/// Print the standard bench banner.
+pub fn banner(what: &str) {
+    println!();
+    println!("=== {what} ===");
+    println!(
+        "    config: {} ranks, scale {}, seed {:#x}",
+        bench_ranks(),
+        bench_scale(),
+        BENCH_SEED
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_lengths_cover_periods_and_windows() {
+        let sage = run_length(Workload::Sage1000, 1);
+        assert!(sage.as_secs_f64() >= 6.0 * 145.0);
+        let sp20 = run_length(Workload::NasSp, 20);
+        assert!(sp20.as_secs_f64() >= 500.0, "needs 25 windows of 20 s");
+    }
+
+    #[test]
+    fn skip_clears_init_and_warmup() {
+        let s = skip_until(Workload::Sage1000);
+        assert!(s.as_secs_f64() > 145.0);
+        let s = skip_until(Workload::NasLu);
+        assert!(s.as_secs_f64() > 1.0 && s.as_secs_f64() < 10.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for checkpoint/restore operations.
+
+use std::fmt;
+
+use ickpt_mem::MemError;
+use ickpt_storage::StorageError;
+
+/// Errors from the checkpointing core.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Underlying storage failed.
+    Storage(StorageError),
+    /// Underlying memory operation failed.
+    Mem(MemError),
+    /// No committed checkpoint exists to recover from.
+    NoCheckpoint,
+    /// A chunk chain is broken (missing parent generation).
+    BrokenChain { rank: u32, missing_generation: u64 },
+    /// Chunk belongs to a different rank than requested.
+    RankMismatch { expected: u32, found: u32 },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Mem(e) => write!(f, "memory: {e}"),
+            CoreError::NoCheckpoint => write!(f, "no committed checkpoint available"),
+            CoreError::BrokenChain { rank, missing_generation } => {
+                write!(f, "broken chain for rank {rank}: missing generation {missing_generation}")
+            }
+            CoreError::RankMismatch { expected, found } => {
+                write!(f, "chunk rank mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<MemError> for CoreError {
+    fn from(e: MemError) -> Self {
+        CoreError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::NoCheckpoint.to_string().contains("no committed"));
+        let e = CoreError::BrokenChain { rank: 2, missing_generation: 9 };
+        assert!(e.to_string().contains("rank 2") && e.to_string().contains("9"));
+    }
+}

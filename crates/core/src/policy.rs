@@ -1,0 +1,242 @@
+//! Run-time detection of periodic application behaviour.
+//!
+//! §6.2: "These codes typically alternate between processing and
+//! communication bursts that can automatically be identified at run
+//! time [...] This behavior can be exploited to implement efficient
+//! coordinated checkpoints." And §6.2's Table 3 characterizes the main
+//! iteration of each application. This module does that identification
+//! from nothing but the tracker's IWS series:
+//!
+//! * [`detect_period`] — autocorrelation over the IWS series finds the
+//!   main-iteration period (Table 3's "Average Period").
+//! * [`detect_bursts`] — threshold segmentation finds processing
+//!   bursts; the gaps between bursts are where checkpoints are cheap
+//!   ("it may not be convenient to checkpoint during a processing
+//!   burst, because pages are likely to be re-used in a short amount of
+//!   time").
+//! * [`suggest_checkpoint_windows`] — the windows right after each
+//!   burst ends.
+
+use ickpt_sim::SimDuration;
+
+use crate::metrics::IwsSample;
+
+/// A detected processing burst: window index range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    /// First window of the burst.
+    pub start: usize,
+    /// One past the last window of the burst.
+    pub end: usize,
+    /// Peak IWS (pages) inside the burst.
+    pub peak_pages: u64,
+}
+
+/// Output of burst segmentation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstReport {
+    /// Detected bursts in window order.
+    pub bursts: Vec<Burst>,
+    /// Mean gap between consecutive burst starts, in windows.
+    pub mean_start_gap: Option<f64>,
+}
+
+/// Detect the dominant period of `series` (IWS pages per window) by
+/// normalized autocorrelation. Returns the period as a duration
+/// (`lag × timeslice`), or `None` when no significant periodicity
+/// exists at lags ≥ 2 — which for these workloads means the iteration
+/// is shorter than the timeslice (the NAS codes at a 1 s timeslice) or
+/// the series is flat.
+///
+/// `skip` initial windows are ignored (the data-initialization burst).
+pub fn detect_period(series: &[u64], timeslice: SimDuration, skip: usize) -> Option<SimDuration> {
+    let x: Vec<f64> = series.iter().skip(skip).map(|&v| v as f64).collect();
+    let n = x.len();
+    if n < 8 {
+        return None;
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let denom: f64 = x.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if denom <= f64::EPSILON {
+        return None; // flat series
+    }
+    let max_lag = n / 2;
+    let ac = |k: usize| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n - k {
+            s += (x[i] - mean) * (x[i + k] - mean);
+        }
+        s / denom
+    };
+    // The fundamental period is the *global* maximum of the
+    // autocorrelation over lags >= 2. Intra-iteration kernel structure
+    // produces smaller local peaks at short lags; harmonics at
+    // multiples of the fundamental correlate over fewer terms and so
+    // score strictly lower.
+    let values: Vec<f64> = (0..=max_lag).map(ac).collect();
+    // Collect the significant local maxima of the autocorrelation.
+    let mut peaks: Vec<(usize, f64)> = Vec::new();
+    for k in 2..max_lag {
+        let is_peak = values[k] > values[k - 1] && values[k] >= values[k + 1];
+        if is_peak && values[k] > 0.25 {
+            peaks.push((k, values[k]));
+        }
+    }
+    let &(k_star, v_star) = peaks.iter().max_by(|a, b| a.1.total_cmp(&b.1))?;
+    // Sub-multiple correction: when the true period is a non-integer
+    // number of windows, phase drift makes a *multiple* of the
+    // fundamental score highest (it realigns there). If an earlier
+    // peak divides the winner nearly evenly and correlates strongly,
+    // it is the fundamental.
+    let fundamental = peaks
+        .iter()
+        .filter(|&&(k, v)| {
+            if k >= k_star || v < 0.5 * v_star {
+                return false;
+            }
+            let ratio = k_star as f64 / k as f64;
+            ratio >= 1.8 && (ratio - ratio.round()).abs() <= 0.15
+        })
+        .map(|&(k, _)| k)
+        .min()
+        .unwrap_or(k_star);
+    Some(timeslice * fundamental as u64)
+}
+
+/// Segment `samples` into processing bursts: maximal runs of windows
+/// with `iws_pages >= threshold_frac * max(iws)`. Windows before
+/// `skip` are ignored.
+pub fn detect_bursts(samples: &[IwsSample], threshold_frac: f64, skip: usize) -> BurstReport {
+    let analyzed = &samples[skip.min(samples.len())..];
+    let max = analyzed.iter().map(|s| s.iws_pages).max().unwrap_or(0);
+    if max == 0 {
+        return BurstReport { bursts: Vec::new(), mean_start_gap: None };
+    }
+    let threshold = (threshold_frac * max as f64).max(1.0) as u64;
+    let mut bursts = Vec::new();
+    let mut current: Option<Burst> = None;
+    for (i, s) in analyzed.iter().enumerate() {
+        let idx = i + skip;
+        if s.iws_pages >= threshold {
+            match &mut current {
+                Some(b) => {
+                    b.end = idx + 1;
+                    b.peak_pages = b.peak_pages.max(s.iws_pages);
+                }
+                None => current = Some(Burst { start: idx, end: idx + 1, peak_pages: s.iws_pages }),
+            }
+        } else if let Some(b) = current.take() {
+            bursts.push(b);
+        }
+    }
+    if let Some(b) = current.take() {
+        bursts.push(b);
+    }
+    let mean_start_gap = if bursts.len() >= 2 {
+        let gaps: Vec<f64> =
+            bursts.windows(2).map(|w| (w[1].start - w[0].start) as f64).collect();
+        Some(gaps.iter().sum::<f64>() / gaps.len() as f64)
+    } else {
+        None
+    };
+    BurstReport { bursts, mean_start_gap }
+}
+
+/// The window indices immediately after each detected burst — the
+/// "convenient moments" to take a coordinated checkpoint.
+pub fn suggest_checkpoint_windows(report: &BurstReport) -> Vec<usize> {
+    report.bursts.iter().map(|b| b.end).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ickpt_sim::SimTime;
+
+    fn mk_samples(pages: &[u64]) -> Vec<IwsSample> {
+        pages
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| IwsSample {
+                window: i as u64,
+                end_time: SimTime::from_secs(i as u64 + 1),
+                iws_pages: p,
+                footprint_pages: 1000,
+                faults: p,
+                bytes_received: 0,
+            })
+            .collect()
+    }
+
+    /// A synthetic periodic series: bursts of `burst` windows at height
+    /// `amp` every `period` windows.
+    fn periodic(period: usize, burst: usize, amp: u64, cycles: usize) -> Vec<u64> {
+        let mut v = Vec::with_capacity(period * cycles);
+        for _ in 0..cycles {
+            for i in 0..period {
+                v.push(if i < burst { amp } else { 0 });
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn detects_synthetic_period() {
+        let ts = SimDuration::from_secs(1);
+        let series = periodic(20, 5, 1000, 8);
+        let p = detect_period(&series, ts, 0).expect("period found");
+        assert_eq!(p, SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn flat_series_has_no_period() {
+        let ts = SimDuration::from_secs(1);
+        assert_eq!(detect_period(&vec![500; 100], ts, 0), None);
+        assert_eq!(detect_period(&vec![0; 100], ts, 0), None);
+        assert_eq!(detect_period(&[1, 2, 3], ts, 0), None, "too short");
+    }
+
+    #[test]
+    fn skip_ignores_initialization_burst() {
+        let ts = SimDuration::from_secs(1);
+        let mut series = vec![100_000u64, 90_000];
+        series.extend(periodic(15, 4, 1000, 8));
+        let p = detect_period(&series, ts, 2).expect("period found after skip");
+        assert_eq!(p, SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn burst_segmentation() {
+        let samples = mk_samples(&[0, 0, 900, 1000, 950, 0, 0, 0, 980, 990, 0, 0]);
+        let report = detect_bursts(&samples, 0.5, 0);
+        assert_eq!(report.bursts.len(), 2);
+        assert_eq!(report.bursts[0].start, 2);
+        assert_eq!(report.bursts[0].end, 5);
+        assert_eq!(report.bursts[0].peak_pages, 1000);
+        assert_eq!(report.bursts[1].start, 8);
+        assert_eq!(report.mean_start_gap, Some(6.0));
+    }
+
+    #[test]
+    fn trailing_burst_is_closed() {
+        let samples = mk_samples(&[0, 1000, 1000]);
+        let report = detect_bursts(&samples, 0.5, 0);
+        assert_eq!(report.bursts.len(), 1);
+        assert_eq!(report.bursts[0].end, 3);
+    }
+
+    #[test]
+    fn empty_and_zero_series() {
+        let report = detect_bursts(&[], 0.5, 0);
+        assert!(report.bursts.is_empty());
+        let report = detect_bursts(&mk_samples(&[0, 0, 0]), 0.5, 0);
+        assert!(report.bursts.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_suggestions_follow_bursts() {
+        let samples = mk_samples(&[900, 1000, 0, 0, 950, 0]);
+        let report = detect_bursts(&samples, 0.5, 0);
+        assert_eq!(suggest_checkpoint_windows(&report), vec![2, 5]);
+    }
+}

@@ -1,0 +1,461 @@
+//! Word-packed dirty-page bitmaps.
+//!
+//! This is the hot data structure of the write tracker. The paper's
+//! instrumentation library records, for each timeslice, the set of pages
+//! written ("dirty pages", §4.2). We model page protection and dirty
+//! state with one bit per page: bit clear = page is write-protected, bit
+//! set = page has faulted once in the current timeslice and is now
+//! writable. Resetting the bitmap is the paper's alarm-handler action of
+//! re-protecting all data pages.
+//!
+//! The implementation follows the HPC guidance of keeping the hot path
+//! branch-light and allocation-free: all operations work on `u64` words
+//! (64 pages at a time) with `count_ones`/`trailing_zeros`.
+
+use crate::page::PageRange;
+
+const WORD_BITS: u64 = 64;
+
+/// A fixed-capacity bitmap with one bit per page.
+///
+/// ```
+/// use ickpt_mem::{DirtyBitmap, PageRange};
+///
+/// let mut bm = DirtyBitmap::new(256);
+/// assert_eq!(bm.set_range(PageRange::new(10, 20)), 20); // 20 faults
+/// assert_eq!(bm.set_range(PageRange::new(15, 20)), 5);  // 15 reused
+/// assert_eq!(bm.count(), 25);
+/// assert_eq!(bm.dirty_ranges(), vec![PageRange::new(10, 25)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirtyBitmap {
+    words: Vec<u64>,
+    pages: u64,
+    /// Cached population count, maintained incrementally so that the
+    /// per-timeslice IWS sample is O(1).
+    set_count: u64,
+}
+
+impl DirtyBitmap {
+    /// Create a bitmap covering `pages` pages, all clear (protected).
+    pub fn new(pages: u64) -> Self {
+        let nwords = pages.div_ceil(WORD_BITS) as usize;
+        Self { words: vec![0; nwords], pages, set_count: 0 }
+    }
+
+    /// Number of pages the bitmap covers.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.pages
+    }
+
+    /// Number of set (dirty) bits.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.set_count
+    }
+
+    /// Whether no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.set_count == 0
+    }
+
+    /// Test a single page.
+    #[inline]
+    pub fn get(&self, page: u64) -> bool {
+        debug_assert!(page < self.pages, "page {page} out of range {}", self.pages);
+        let w = (page / WORD_BITS) as usize;
+        let b = page % WORD_BITS;
+        (self.words[w] >> b) & 1 == 1
+    }
+
+    /// Set a single page; returns `true` if the bit was previously clear
+    /// (i.e. this write would have taken a page fault).
+    #[inline]
+    pub fn set(&mut self, page: u64) -> bool {
+        debug_assert!(page < self.pages, "page {page} out of range {}", self.pages);
+        let w = (page / WORD_BITS) as usize;
+        let mask = 1u64 << (page % WORD_BITS);
+        let old = self.words[w];
+        self.words[w] = old | mask;
+        let was_clear = old & mask == 0;
+        self.set_count += was_clear as u64;
+        was_clear
+    }
+
+    /// Clear a single page; returns `true` if the bit was previously set.
+    #[inline]
+    pub fn clear(&mut self, page: u64) -> bool {
+        debug_assert!(page < self.pages);
+        let w = (page / WORD_BITS) as usize;
+        let mask = 1u64 << (page % WORD_BITS);
+        let old = self.words[w];
+        self.words[w] = old & !mask;
+        let was_set = old & mask != 0;
+        self.set_count -= was_set as u64;
+        was_set
+    }
+
+    /// Set every page in `range`; returns the number of bits that were
+    /// previously clear (the number of page faults this touch burst
+    /// would have produced).
+    pub fn set_range(&mut self, range: PageRange) -> u64 {
+        if range.is_empty() {
+            return 0;
+        }
+        assert!(range.end() <= self.pages, "range {range:?} out of bitmap capacity {}", self.pages);
+        let mut newly = 0u64;
+        let (first_w, first_b) = ((range.start / WORD_BITS) as usize, range.start % WORD_BITS);
+        let last = range.end() - 1;
+        let (last_w, last_b) = ((last / WORD_BITS) as usize, last % WORD_BITS);
+        if first_w == last_w {
+            let mask = mask_between(first_b, last_b);
+            newly += (mask & !self.words[first_w]).count_ones() as u64;
+            self.words[first_w] |= mask;
+        } else {
+            let head = mask_from(first_b);
+            newly += (head & !self.words[first_w]).count_ones() as u64;
+            self.words[first_w] |= head;
+            for w in &mut self.words[first_w + 1..last_w] {
+                newly += w.count_zeros() as u64;
+                *w = u64::MAX;
+            }
+            let tail = mask_to(last_b);
+            newly += (tail & !self.words[last_w]).count_ones() as u64;
+            self.words[last_w] |= tail;
+        }
+        self.set_count += newly;
+        newly
+    }
+
+    /// Clear every page in `range`; returns the number of bits that were
+    /// previously set.
+    pub fn clear_range(&mut self, range: PageRange) -> u64 {
+        if range.is_empty() {
+            return 0;
+        }
+        assert!(range.end() <= self.pages);
+        let mut dropped = 0u64;
+        let (first_w, first_b) = ((range.start / WORD_BITS) as usize, range.start % WORD_BITS);
+        let last = range.end() - 1;
+        let (last_w, last_b) = ((last / WORD_BITS) as usize, last % WORD_BITS);
+        if first_w == last_w {
+            let mask = mask_between(first_b, last_b);
+            dropped += (mask & self.words[first_w]).count_ones() as u64;
+            self.words[first_w] &= !mask;
+        } else {
+            let head = mask_from(first_b);
+            dropped += (head & self.words[first_w]).count_ones() as u64;
+            self.words[first_w] &= !head;
+            for w in &mut self.words[first_w + 1..last_w] {
+                dropped += w.count_ones() as u64;
+                *w = 0;
+            }
+            let tail = mask_to(last_b);
+            dropped += (tail & self.words[last_w]).count_ones() as u64;
+            self.words[last_w] &= !tail;
+        }
+        self.set_count -= dropped;
+        dropped
+    }
+
+    /// Clear every bit (the alarm handler's "re-protect all pages").
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+        self.set_count = 0;
+    }
+
+    /// Count the set bits inside `range` without modifying anything.
+    pub fn count_range(&self, range: PageRange) -> u64 {
+        if range.is_empty() {
+            return 0;
+        }
+        assert!(range.end() <= self.pages);
+        let (first_w, first_b) = ((range.start / WORD_BITS) as usize, range.start % WORD_BITS);
+        let last = range.end() - 1;
+        let (last_w, last_b) = ((last / WORD_BITS) as usize, last % WORD_BITS);
+        if first_w == last_w {
+            return (self.words[first_w] & mask_between(first_b, last_b)).count_ones() as u64;
+        }
+        let mut n = (self.words[first_w] & mask_from(first_b)).count_ones() as u64;
+        for w in &self.words[first_w + 1..last_w] {
+            n += w.count_ones() as u64;
+        }
+        n + (self.words[last_w] & mask_to(last_b)).count_ones() as u64
+    }
+
+    /// OR another bitmap into this one (accumulating an iteration's
+    /// working set from per-timeslice deltas). Both must have the same
+    /// capacity.
+    pub fn union_with(&mut self, other: &DirtyBitmap) {
+        assert_eq!(self.pages, other.pages, "bitmap capacity mismatch");
+        let mut count = 0u64;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+            count += a.count_ones() as u64;
+        }
+        self.set_count = count;
+    }
+
+    /// Iterate over the indices of set pages in ascending order.
+    pub fn iter_set(&self) -> SetBits<'_> {
+        SetBits { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0), limit: self.pages }
+    }
+
+    /// Collect set pages into maximal contiguous [`PageRange`]s, in
+    /// ascending order. This is what the incremental checkpointer saves.
+    pub fn dirty_ranges(&self) -> Vec<PageRange> {
+        let mut out = Vec::new();
+        let mut run_start: Option<u64> = None;
+        let mut prev = 0u64;
+        for page in self.iter_set() {
+            match run_start {
+                None => run_start = Some(page),
+                Some(s) => {
+                    if page != prev + 1 {
+                        out.push(PageRange::new(s, prev - s + 1));
+                        run_start = Some(page);
+                    }
+                }
+            }
+            prev = page;
+        }
+        if let Some(s) = run_start {
+            out.push(PageRange::new(s, prev - s + 1));
+        }
+        out
+    }
+
+    /// Grow (or shrink) the bitmap to cover `pages` pages. New pages are
+    /// clear; on shrink, truncated set bits are removed from the count.
+    /// Needed because Sage's data segment grows and shrinks at run time.
+    pub fn resize(&mut self, pages: u64) {
+        let nwords = pages.div_ceil(WORD_BITS) as usize;
+        if pages < self.pages {
+            // Drop any set bits past the new end.
+            let dropped = self.count_range(PageRange::new(pages, self.pages - pages));
+            self.set_count -= dropped;
+            self.words.truncate(nwords);
+            if !pages.is_multiple_of(WORD_BITS) {
+                if let Some(wlast) = self.words.last_mut() {
+                    *wlast &= mask_to(pages % WORD_BITS - 1);
+                }
+            }
+        } else {
+            self.words.resize(nwords, 0);
+        }
+        self.pages = pages;
+    }
+
+    /// Total heap bytes used by the bitmap (for overhead accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Iterator over set bit indices.
+pub struct SetBits<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+    limit: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as u64;
+                self.current &= self.current - 1;
+                let page = self.word_idx as u64 * WORD_BITS + bit;
+                if page < self.limit {
+                    return Some(page);
+                }
+                return None;
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+/// Bits `[from, 63]`.
+#[inline]
+const fn mask_from(from: u64) -> u64 {
+    u64::MAX << from
+}
+
+/// Bits `[0, to]`.
+#[inline]
+const fn mask_to(to: u64) -> u64 {
+    if to >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (to + 1)) - 1
+    }
+}
+
+/// Bits `[from, to]` within one word.
+#[inline]
+const fn mask_between(from: u64, to: u64) -> u64 {
+    mask_from(from) & mask_to(to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut bm = DirtyBitmap::new(200);
+        assert!(!bm.get(0));
+        assert!(bm.set(0));
+        assert!(!bm.set(0), "second set of same page reports no fault");
+        assert!(bm.get(0));
+        assert!(bm.set(199));
+        assert_eq!(bm.count(), 2);
+    }
+
+    #[test]
+    fn clear_single() {
+        let mut bm = DirtyBitmap::new(100);
+        bm.set(42);
+        assert!(bm.clear(42));
+        assert!(!bm.clear(42));
+        assert_eq!(bm.count(), 0);
+    }
+
+    #[test]
+    fn set_range_within_one_word() {
+        let mut bm = DirtyBitmap::new(64);
+        assert_eq!(bm.set_range(PageRange::new(3, 5)), 5);
+        assert_eq!(bm.count(), 5);
+        assert!(bm.get(3) && bm.get(7));
+        assert!(!bm.get(2) && !bm.get(8));
+        // Overlapping set reports only the newly dirtied pages.
+        assert_eq!(bm.set_range(PageRange::new(5, 10)), 7);
+        assert_eq!(bm.count(), 12);
+    }
+
+    #[test]
+    fn set_range_spanning_words() {
+        let mut bm = DirtyBitmap::new(1000);
+        assert_eq!(bm.set_range(PageRange::new(60, 200)), 200);
+        assert_eq!(bm.count(), 200);
+        assert!(!bm.get(59));
+        assert!(bm.get(60));
+        assert!(bm.get(259));
+        assert!(!bm.get(260));
+    }
+
+    #[test]
+    fn clear_range_spanning_words() {
+        let mut bm = DirtyBitmap::new(1000);
+        bm.set_range(PageRange::new(0, 1000));
+        assert_eq!(bm.clear_range(PageRange::new(100, 500)), 500);
+        assert_eq!(bm.count(), 500);
+        assert!(bm.get(99));
+        assert!(!bm.get(100));
+        assert!(!bm.get(599));
+        assert!(bm.get(600));
+    }
+
+    #[test]
+    fn count_range_matches_iteration() {
+        let mut bm = DirtyBitmap::new(500);
+        for p in [0u64, 1, 63, 64, 65, 127, 128, 300, 499] {
+            bm.set(p);
+        }
+        for (start, len) in [(0u64, 500u64), (1, 63), (64, 64), (129, 300), (499, 1)] {
+            let r = PageRange::new(start, len);
+            let by_iter = bm.iter_set().filter(|p| r.contains(*p)).count() as u64;
+            assert_eq!(bm.count_range(r), by_iter, "range {r:?}");
+        }
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let mut bm = DirtyBitmap::new(300);
+        bm.set_range(PageRange::new(10, 250));
+        bm.clear_all();
+        assert_eq!(bm.count(), 0);
+        assert!(bm.iter_set().next().is_none());
+    }
+
+    #[test]
+    fn iter_set_ascending() {
+        let mut bm = DirtyBitmap::new(200);
+        let pages = [5u64, 6, 64, 130, 199];
+        for p in pages {
+            bm.set(p);
+        }
+        let got: Vec<u64> = bm.iter_set().collect();
+        assert_eq!(got, pages.to_vec());
+    }
+
+    #[test]
+    fn dirty_ranges_coalesce_runs() {
+        let mut bm = DirtyBitmap::new(300);
+        bm.set_range(PageRange::new(0, 3));
+        bm.set(10);
+        bm.set_range(PageRange::new(63, 66)); // crosses a word boundary
+        let runs = bm.dirty_ranges();
+        assert_eq!(
+            runs,
+            vec![PageRange::new(0, 3), PageRange::new(10, 1), PageRange::new(63, 66)]
+        );
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let mut a = DirtyBitmap::new(128);
+        let mut b = DirtyBitmap::new(128);
+        a.set_range(PageRange::new(0, 10));
+        b.set_range(PageRange::new(5, 10));
+        a.union_with(&b);
+        assert_eq!(a.count(), 15);
+    }
+
+    #[test]
+    fn resize_grow_preserves_and_shrink_drops() {
+        let mut bm = DirtyBitmap::new(70);
+        bm.set(0);
+        bm.set(69);
+        bm.resize(200);
+        assert_eq!(bm.count(), 2);
+        assert!(bm.get(69));
+        bm.set(150);
+        bm.resize(100);
+        assert_eq!(bm.count(), 2, "bit 150 dropped by shrink");
+        bm.resize(40);
+        assert_eq!(bm.count(), 1, "bit 69 dropped");
+        assert!(bm.get(0));
+    }
+
+    #[test]
+    fn resize_to_word_boundary() {
+        let mut bm = DirtyBitmap::new(128);
+        bm.set(127);
+        bm.set(64);
+        bm.resize(64);
+        assert_eq!(bm.count(), 0);
+        bm.resize(128);
+        assert!(!bm.get(64), "regrown pages start clear");
+    }
+
+    #[test]
+    fn full_word_masks() {
+        let mut bm = DirtyBitmap::new(64);
+        assert_eq!(bm.set_range(PageRange::new(0, 64)), 64);
+        assert_eq!(bm.count(), 64);
+        assert_eq!(bm.clear_range(PageRange::new(0, 64)), 64);
+        assert_eq!(bm.count(), 0);
+    }
+}

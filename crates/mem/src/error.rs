@@ -1,0 +1,58 @@
+//! Error type for address-space operations.
+
+use std::fmt;
+
+/// Errors produced by the simulated memory subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// A `brk`-style request would move the break outside the heap
+    /// capacity reserved by the layout.
+    HeapExhausted { requested_pages: u64, capacity_pages: u64 },
+    /// The mmap arena has no free block large enough.
+    MmapExhausted { requested_pages: u64, free_pages: u64 },
+    /// `munmap` of a range that is not exactly a previously mapped block
+    /// (the model, like the paper's interception layer, tracks whole
+    /// mappings).
+    BadUnmap { range_start: u64 },
+    /// An access referenced a page outside every mapped region.
+    Unmapped { page: u64 },
+    /// An access referenced a page beyond the layout capacity.
+    OutOfBounds { page: u64, capacity: u64 },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::HeapExhausted { requested_pages, capacity_pages } => write!(
+                f,
+                "heap exhausted: requested {requested_pages} pages, capacity {capacity_pages}"
+            ),
+            MemError::MmapExhausted { requested_pages, free_pages } => write!(
+                f,
+                "mmap arena exhausted: requested {requested_pages} pages, {free_pages} free"
+            ),
+            MemError::BadUnmap { range_start } => {
+                write!(f, "munmap of unknown mapping at page {range_start}")
+            }
+            MemError::Unmapped { page } => write!(f, "access to unmapped page {page}"),
+            MemError::OutOfBounds { page, capacity } => {
+                write!(f, "page {page} beyond address-space capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MemError::Unmapped { page: 7 };
+        assert!(e.to_string().contains("unmapped page 7"));
+        let e = MemError::HeapExhausted { requested_pages: 10, capacity_pages: 4 };
+        assert!(e.to_string().contains("heap exhausted"));
+    }
+}

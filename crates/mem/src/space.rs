@@ -1,0 +1,453 @@
+//! Address spaces: mapping state plus (optionally) page contents.
+//!
+//! Two implementations share one mapping model:
+//!
+//! * [`SparseSpace`] records *which* pages are mapped but stores no
+//!   contents. The paper's characterization experiments only need the
+//!   mapping metadata and dirty bits, so a 64-rank Sage-1000MB run costs
+//!   kilobytes per rank instead of gigabytes.
+//! * [`BackedSpace`] additionally stores real page contents in a flat
+//!   arena, which is what the checkpoint/restore machinery operates on
+//!   in correctness tests and the fault-tolerance examples.
+
+use crate::error::MemError;
+use crate::heap::Heap;
+use crate::layout::DataLayout;
+use crate::mmap_area::MmapArea;
+use crate::page::{PageRange, PAGE_SIZE};
+
+/// Which area of the data segment a page belongs to (§4.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// Initialized data + BSS (always mapped).
+    StaticData,
+    /// `brk`/`sbrk` heap.
+    Heap,
+    /// `mmap`'ed blocks.
+    Mmap,
+}
+
+/// Mapping state common to both space implementations.
+#[derive(Debug, Clone)]
+struct MappingState {
+    layout: DataLayout,
+    heap: Heap,
+    mmap: MmapArea,
+}
+
+impl MappingState {
+    fn new(layout: DataLayout) -> Self {
+        Self { layout, heap: Heap::new(layout.heap), mmap: MmapArea::new(layout.mmap) }
+    }
+
+    fn is_mapped(&self, page: u64) -> bool {
+        match self.layout.region_of(page) {
+            Some(RegionKind::StaticData) => true,
+            Some(RegionKind::Heap) => self.heap.is_mapped(page),
+            Some(RegionKind::Mmap) => self.mmap.is_mapped(page),
+            None => false,
+        }
+    }
+
+    fn mapped_pages(&self) -> u64 {
+        self.layout.static_data.len + self.heap.size_pages() + self.mmap.mapped_pages()
+    }
+
+    fn mapped_ranges(&self) -> Vec<PageRange> {
+        let mut out = Vec::with_capacity(2 + self.mmap.live_count());
+        if !self.layout.static_data.is_empty() {
+            out.push(self.layout.static_data);
+        }
+        let heap = self.heap.mapped();
+        if !heap.is_empty() {
+            out.push(heap);
+        }
+        out.extend(self.mmap.live_mappings());
+        out
+    }
+}
+
+/// Common behaviour of simulated address spaces.
+///
+/// All page arguments are dense segment-relative indices (see
+/// [`crate::layout`]).
+pub trait AddressSpace {
+    /// The fixed layout of the tracked segment.
+    fn layout(&self) -> &DataLayout;
+
+    /// Whether `page` is currently mapped.
+    fn is_mapped(&self, page: u64) -> bool;
+
+    /// Current footprint in pages (static + heap + live mmap).
+    fn mapped_pages(&self) -> u64;
+
+    /// Current footprint in bytes.
+    fn footprint_bytes(&self) -> u64 {
+        self.mapped_pages() * PAGE_SIZE
+    }
+
+    /// Live mapped ranges in address order.
+    fn mapped_ranges(&self) -> Vec<PageRange>;
+
+    /// Grow the heap (`sbrk(+n)`); returns the newly mapped range.
+    fn heap_grow(&mut self, pages: u64) -> Result<PageRange, MemError>;
+
+    /// Shrink the heap (`sbrk(-n)`); returns the unmapped range.
+    fn heap_shrink(&mut self, pages: u64) -> Result<PageRange, MemError>;
+
+    /// Current heap size in pages.
+    fn heap_pages(&self) -> u64;
+
+    /// Map an mmap block; returns the mapping.
+    fn mmap(&mut self, pages: u64) -> Result<PageRange, MemError>;
+
+    /// Unmap an mmap block previously returned by [`AddressSpace::mmap`].
+    fn munmap(&mut self, range: PageRange) -> Result<(), MemError>;
+}
+
+/// Metadata-only address space for large-footprint characterization.
+#[derive(Debug, Clone)]
+pub struct SparseSpace {
+    state: MappingState,
+}
+
+impl SparseSpace {
+    /// Create a sparse space over `layout` with an empty heap and mmap
+    /// area.
+    pub fn new(layout: DataLayout) -> Self {
+        Self { state: MappingState::new(layout) }
+    }
+
+    /// Peak footprint observed so far, in pages.
+    pub fn peak_pages(&self) -> u64 {
+        self.state.layout.static_data.len
+            + self.state.heap.peak_pages()
+            + self.state.mmap.peak_pages()
+    }
+}
+
+impl AddressSpace for SparseSpace {
+    fn layout(&self) -> &DataLayout {
+        &self.state.layout
+    }
+
+    fn is_mapped(&self, page: u64) -> bool {
+        self.state.is_mapped(page)
+    }
+
+    fn mapped_pages(&self) -> u64 {
+        self.state.mapped_pages()
+    }
+
+    fn mapped_ranges(&self) -> Vec<PageRange> {
+        self.state.mapped_ranges()
+    }
+
+    fn heap_grow(&mut self, pages: u64) -> Result<PageRange, MemError> {
+        self.state.heap.grow(pages)
+    }
+
+    fn heap_shrink(&mut self, pages: u64) -> Result<PageRange, MemError> {
+        self.state.heap.shrink(pages)
+    }
+
+    fn heap_pages(&self) -> u64 {
+        self.state.heap.size_pages()
+    }
+
+    fn mmap(&mut self, pages: u64) -> Result<PageRange, MemError> {
+        self.state.mmap.map(pages)
+    }
+
+    fn munmap(&mut self, range: PageRange) -> Result<(), MemError> {
+        self.state.mmap.unmap(range)
+    }
+}
+
+/// Read access to page contents (implemented by [`BackedSpace`]; the
+/// checkpoint writer is generic over this).
+pub trait PageSource {
+    /// The page's 4 KiB of content, or `None` if unmapped.
+    fn read_page(&self, page: u64) -> Option<&[u8]>;
+}
+
+/// Write access to page contents (used by restore).
+pub trait PageSink {
+    /// Overwrite the content of a mapped page.
+    fn write_page_data(&mut self, page: u64, data: &[u8]) -> Result<(), MemError>;
+}
+
+/// Address space with real page contents, for checkpoint/restore.
+#[derive(Debug, Clone)]
+pub struct BackedSpace {
+    state: MappingState,
+    /// Flat arena: `capacity_pages * PAGE_SIZE` bytes. Unmapped pages
+    /// retain stale bytes but are never read (guarded by mapping state).
+    arena: Vec<u8>,
+}
+
+impl BackedSpace {
+    /// Create a backed space; allocates the whole arena up front, so use
+    /// layouts sized to the experiment (correctness tests run at tens of
+    /// megabytes, not the paper's full gigabyte).
+    pub fn new(layout: DataLayout) -> Self {
+        let bytes = layout.capacity_bytes() as usize;
+        Self { state: MappingState::new(layout), arena: vec![0u8; bytes] }
+    }
+
+    /// Write `data` at `offset` bytes within a mapped page.
+    pub fn write_bytes(&mut self, page: u64, offset: usize, data: &[u8]) -> Result<(), MemError> {
+        if !self.state.is_mapped(page) {
+            return Err(MemError::Unmapped { page });
+        }
+        assert!(offset + data.len() <= PAGE_SIZE as usize, "write crosses page boundary");
+        let base = (page * PAGE_SIZE) as usize + offset;
+        self.arena[base..base + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Fill an entire mapped page with deterministic content derived
+    /// from `seed` (used by workload models to make runs replayable).
+    pub fn fill_page(&mut self, page: u64, seed: u64) -> Result<(), MemError> {
+        if !self.state.is_mapped(page) {
+            return Err(MemError::Unmapped { page });
+        }
+        let base = (page * PAGE_SIZE) as usize;
+        let mut x = seed ^ page.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for chunk in self.arena[base..base + PAGE_SIZE as usize].chunks_exact_mut(8) {
+            // SplitMix64 step: cheap, deterministic, good dispersion.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    /// A content digest of all mapped pages, for end-to-end equality
+    /// checks in recovery tests (FNV-1a over mapped page bytes and
+    /// mapping structure).
+    pub fn content_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for range in self.state.mapped_ranges() {
+            mix(&range.start.to_le_bytes());
+            mix(&range.len.to_le_bytes());
+            let base = (range.start * PAGE_SIZE) as usize;
+            let end = (range.end() * PAGE_SIZE) as usize;
+            mix(&self.arena[base..end]);
+        }
+        h
+    }
+
+    /// Rebuild mapping state from a checkpoint manifest: heap size plus
+    /// the exact set of live mmap blocks. Page contents are restored
+    /// separately through [`PageSink`].
+    pub fn restore_mapping_state(
+        &mut self,
+        heap_pages: u64,
+        mmap_live: &[PageRange],
+    ) -> Result<(), MemError> {
+        let layout = self.state.layout;
+        self.state = MappingState::new(layout);
+        let heap = self.state.heap.grow(heap_pages)?;
+        self.zero_range(heap);
+        // Re-map every live block at its exact recorded position
+        // (MAP_FIXED), reproducing the checkpointed layout holes and
+        // all — Sage's churn leaves a fragmented arena.
+        for want in mmap_live {
+            self.state.mmap.map_fixed(*want)?;
+            self.zero_range(*want);
+        }
+        Ok(())
+    }
+
+    /// Direct read-only view of the whole arena (benchmarks only).
+    pub fn arena(&self) -> &[u8] {
+        &self.arena
+    }
+}
+
+impl BackedSpace {
+    /// Zero the arena bytes of `range` — freshly mapped pages read as
+    /// zeros, exactly like anonymous `mmap`/`brk` memory on Linux.
+    /// This matters for recovery determinism: a page that is mapped
+    /// but never written must have the same (zero) content in the
+    /// original run and after a restore.
+    fn zero_range(&mut self, range: PageRange) {
+        let base = (range.start * PAGE_SIZE) as usize;
+        let end = (range.end() * PAGE_SIZE) as usize;
+        self.arena[base..end].fill(0);
+    }
+}
+
+impl AddressSpace for BackedSpace {
+    fn layout(&self) -> &DataLayout {
+        &self.state.layout
+    }
+
+    fn is_mapped(&self, page: u64) -> bool {
+        self.state.is_mapped(page)
+    }
+
+    fn mapped_pages(&self) -> u64 {
+        self.state.mapped_pages()
+    }
+
+    fn mapped_ranges(&self) -> Vec<PageRange> {
+        self.state.mapped_ranges()
+    }
+
+    fn heap_grow(&mut self, pages: u64) -> Result<PageRange, MemError> {
+        let r = self.state.heap.grow(pages)?;
+        self.zero_range(r);
+        Ok(r)
+    }
+
+    fn heap_shrink(&mut self, pages: u64) -> Result<PageRange, MemError> {
+        self.state.heap.shrink(pages)
+    }
+
+    fn heap_pages(&self) -> u64 {
+        self.state.heap.size_pages()
+    }
+
+    fn mmap(&mut self, pages: u64) -> Result<PageRange, MemError> {
+        let r = self.state.mmap.map(pages)?;
+        self.zero_range(r);
+        Ok(r)
+    }
+
+    fn munmap(&mut self, range: PageRange) -> Result<(), MemError> {
+        self.state.mmap.unmap(range)
+    }
+}
+
+impl PageSource for BackedSpace {
+    fn read_page(&self, page: u64) -> Option<&[u8]> {
+        if !self.state.is_mapped(page) {
+            return None;
+        }
+        let base = (page * PAGE_SIZE) as usize;
+        Some(&self.arena[base..base + PAGE_SIZE as usize])
+    }
+}
+
+impl PageSink for BackedSpace {
+    fn write_page_data(&mut self, page: u64, data: &[u8]) -> Result<(), MemError> {
+        assert_eq!(data.len(), PAGE_SIZE as usize, "write_page_data takes whole pages");
+        self.write_bytes(page, 0, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::LayoutBuilder;
+
+    fn small_layout() -> DataLayout {
+        LayoutBuilder::new()
+            .static_bytes(4 * PAGE_SIZE)
+            .heap_capacity_bytes(16 * PAGE_SIZE)
+            .mmap_capacity_bytes(16 * PAGE_SIZE)
+            .build()
+    }
+
+    #[test]
+    fn sparse_footprint_tracks_mappings() {
+        let mut s = SparseSpace::new(small_layout());
+        assert_eq!(s.mapped_pages(), 4, "static data always mapped");
+        s.heap_grow(8).unwrap();
+        let m = s.mmap(5).unwrap();
+        assert_eq!(s.mapped_pages(), 17);
+        s.munmap(m).unwrap();
+        s.heap_shrink(3).unwrap();
+        assert_eq!(s.mapped_pages(), 9);
+        assert_eq!(s.peak_pages(), 17);
+    }
+
+    #[test]
+    fn mapped_ranges_are_disjoint_and_cover_footprint() {
+        let mut s = SparseSpace::new(small_layout());
+        s.heap_grow(2).unwrap();
+        s.mmap(3).unwrap();
+        s.mmap(1).unwrap();
+        let ranges = s.mapped_ranges();
+        let total: u64 = ranges.iter().map(|r| r.len).sum();
+        assert_eq!(total, s.mapped_pages());
+        for w in ranges.windows(2) {
+            assert!(!w[0].overlaps(&w[1]));
+        }
+    }
+
+    #[test]
+    fn backed_write_requires_mapping() {
+        let mut b = BackedSpace::new(small_layout());
+        // Page 4 is the first heap page: unmapped until the heap grows.
+        assert!(b.write_bytes(4, 0, &[1, 2, 3]).is_err());
+        b.heap_grow(1).unwrap();
+        b.write_bytes(4, 0, &[1, 2, 3]).unwrap();
+        assert_eq!(&b.read_page(4).unwrap()[..3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn read_unmapped_is_none() {
+        let b = BackedSpace::new(small_layout());
+        assert!(b.read_page(4).is_none());
+        assert!(b.read_page(0).is_some());
+    }
+
+    #[test]
+    fn fill_page_is_deterministic() {
+        let mut a = BackedSpace::new(small_layout());
+        let mut b = BackedSpace::new(small_layout());
+        a.fill_page(0, 42).unwrap();
+        b.fill_page(0, 42).unwrap();
+        assert_eq!(a.read_page(0), b.read_page(0));
+        b.fill_page(0, 43).unwrap();
+        assert_ne!(a.read_page(0), b.read_page(0));
+    }
+
+    #[test]
+    fn digest_reflects_content_and_mapping() {
+        let mut a = BackedSpace::new(small_layout());
+        let d0 = a.content_digest();
+        a.fill_page(1, 7).unwrap();
+        let d1 = a.content_digest();
+        assert_ne!(d0, d1);
+        a.heap_grow(1).unwrap();
+        assert_ne!(d1, a.content_digest(), "mapping change alters digest");
+    }
+
+    #[test]
+    fn restore_mapping_state_roundtrip() {
+        let mut b = BackedSpace::new(small_layout());
+        b.heap_grow(5).unwrap();
+        let m1 = b.mmap(4).unwrap();
+        let _m2 = b.mmap(2).unwrap();
+        let ranges = b.mapped_ranges();
+        let heap = b.heap_pages();
+        let live: Vec<PageRange> =
+            ranges.iter().copied().filter(|r| b.layout().mmap.contains(r.start)).collect();
+
+        let mut fresh = BackedSpace::new(small_layout());
+        fresh.restore_mapping_state(heap, &live).unwrap();
+        assert_eq!(fresh.mapped_ranges(), b.mapped_ranges());
+        assert!(fresh.is_mapped(m1.start));
+    }
+
+    #[test]
+    fn write_page_data_roundtrip() {
+        let mut b = BackedSpace::new(small_layout());
+        let page = vec![0xAB; PAGE_SIZE as usize];
+        b.write_page_data(0, &page).unwrap();
+        assert_eq!(b.read_page(0).unwrap(), page.as_slice());
+    }
+}

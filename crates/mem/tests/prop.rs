@@ -1,0 +1,227 @@
+//! Property-based tests for the memory substrate.
+
+use ickpt_mem::{AddressSpace, DirtyBitmap, LayoutBuilder, MmapArea, PageRange, SparseSpace, PAGE_SIZE};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A naive reference implementation of a page-set, for checking the
+/// word-packed bitmap against.
+#[derive(Default)]
+struct RefSet(BTreeSet<u64>);
+
+#[derive(Debug, Clone)]
+enum BitmapOp {
+    Set(u64),
+    Clear(u64),
+    SetRange(u64, u64),
+    ClearRange(u64, u64),
+    ClearAll,
+}
+
+fn bitmap_ops(pages: u64) -> impl Strategy<Value = Vec<BitmapOp>> {
+    let op = prop_oneof![
+        (0..pages).prop_map(BitmapOp::Set),
+        (0..pages).prop_map(BitmapOp::Clear),
+        (0..pages, 1..pages).prop_map(move |(s, l)| BitmapOp::SetRange(s, l.min(pages - s).max(1))),
+        (0..pages, 1..pages)
+            .prop_map(move |(s, l)| BitmapOp::ClearRange(s, l.min(pages - s).max(1))),
+        Just(BitmapOp::ClearAll),
+    ];
+    prop::collection::vec(op, 1..120)
+}
+
+proptest! {
+    /// The packed bitmap agrees with a BTreeSet under arbitrary op
+    /// sequences: same count, same membership, same iteration order.
+    #[test]
+    fn bitmap_matches_reference(ops in bitmap_ops(700)) {
+        let pages = 700u64;
+        let mut bm = DirtyBitmap::new(pages);
+        let mut rf = RefSet::default();
+        for op in ops {
+            match op {
+                BitmapOp::Set(p) => {
+                    let newly = bm.set(p);
+                    prop_assert_eq!(newly, rf.0.insert(p));
+                }
+                BitmapOp::Clear(p) => {
+                    let was = bm.clear(p);
+                    prop_assert_eq!(was, rf.0.remove(&p));
+                }
+                BitmapOp::SetRange(s, l) => {
+                    let n = bm.set_range(PageRange::new(s, l));
+                    let mut newly = 0;
+                    for p in s..s + l {
+                        newly += rf.0.insert(p) as u64;
+                    }
+                    prop_assert_eq!(n, newly);
+                }
+                BitmapOp::ClearRange(s, l) => {
+                    let n = bm.clear_range(PageRange::new(s, l));
+                    let mut dropped = 0;
+                    for p in s..s + l {
+                        dropped += rf.0.remove(&p) as u64;
+                    }
+                    prop_assert_eq!(n, dropped);
+                }
+                BitmapOp::ClearAll => {
+                    bm.clear_all();
+                    rf.0.clear();
+                }
+            }
+            prop_assert_eq!(bm.count(), rf.0.len() as u64);
+        }
+        let got: Vec<u64> = bm.iter_set().collect();
+        let want: Vec<u64> = rf.0.iter().copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// dirty_ranges() is a lossless run-length encoding of the set bits.
+    #[test]
+    fn dirty_ranges_reconstruct_set(ops in bitmap_ops(500)) {
+        let mut bm = DirtyBitmap::new(500);
+        for op in ops {
+            match op {
+                BitmapOp::Set(p) => { bm.set(p); }
+                BitmapOp::Clear(p) => { bm.clear(p); }
+                BitmapOp::SetRange(s, l) => { bm.set_range(PageRange::new(s, l)); }
+                BitmapOp::ClearRange(s, l) => { bm.clear_range(PageRange::new(s, l)); }
+                BitmapOp::ClearAll => bm.clear_all(),
+            }
+        }
+        let mut rebuilt = DirtyBitmap::new(500);
+        let ranges = bm.dirty_ranges();
+        // Ranges are sorted, non-empty, non-adjacent (maximal runs).
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].end() < w[1].start, "runs must be maximal and ordered");
+        }
+        for r in &ranges {
+            prop_assert!(r.len > 0);
+            rebuilt.set_range(*r);
+        }
+        prop_assert_eq!(rebuilt, bm);
+    }
+
+    /// count_range never disagrees with filtering the iterator.
+    #[test]
+    fn count_range_consistent(ops in bitmap_ops(300), start in 0u64..300, len in 0u64..300) {
+        let mut bm = DirtyBitmap::new(300);
+        for op in ops {
+            match op {
+                BitmapOp::Set(p) => { bm.set(p); }
+                BitmapOp::SetRange(s, l) => { bm.set_range(PageRange::new(s, l)); }
+                BitmapOp::Clear(p) => { bm.clear(p); }
+                BitmapOp::ClearRange(s, l) => { bm.clear_range(PageRange::new(s, l)); }
+                BitmapOp::ClearAll => bm.clear_all(),
+            }
+        }
+        let len = len.min(300 - start);
+        let r = PageRange::new(start, len);
+        let by_iter = bm.iter_set().filter(|p| r.contains(*p)).count() as u64;
+        prop_assert_eq!(bm.count_range(r), by_iter);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ArenaOp {
+    Map(u64),
+    /// Unmap the i-th live mapping (mod live count).
+    Unmap(usize),
+}
+
+fn arena_ops() -> impl Strategy<Value = Vec<ArenaOp>> {
+    let op = prop_oneof![
+        (1u64..40).prop_map(ArenaOp::Map),
+        (0usize..64).prop_map(ArenaOp::Unmap),
+    ];
+    prop::collection::vec(op, 1..200)
+}
+
+proptest! {
+    /// The mmap arena never hands out overlapping mappings, never leaks
+    /// pages, and coalescing keeps the free list consistent with the
+    /// mapped total.
+    #[test]
+    fn mmap_arena_invariants(ops in arena_ops()) {
+        let region = PageRange::new(10, 256);
+        let mut arena = MmapArea::new(region);
+        let mut live: Vec<PageRange> = Vec::new();
+        for op in ops {
+            match op {
+                ArenaOp::Map(pages) => {
+                    if let Ok(m) = arena.map(pages) {
+                        prop_assert_eq!(m.len, pages);
+                        prop_assert!(m.start >= region.start && m.end() <= region.end());
+                        for l in &live {
+                            prop_assert!(!m.overlaps(l), "new mapping overlaps live one");
+                        }
+                        live.push(m);
+                    } else {
+                        // Exhaustion is only legal if no hole fits, which
+                        // in particular requires free < requested OR
+                        // fragmentation; we at least check free-page
+                        // accounting below.
+                    }
+                }
+                ArenaOp::Unmap(i) => {
+                    if !live.is_empty() {
+                        let m = live.remove(i % live.len());
+                        prop_assert!(arena.unmap(m).is_ok());
+                    }
+                }
+            }
+            let live_total: u64 = live.iter().map(|r| r.len).sum();
+            prop_assert_eq!(arena.mapped_pages(), live_total);
+            prop_assert_eq!(arena.free_pages(), region.len - live_total);
+            prop_assert_eq!(arena.live_count(), live.len());
+        }
+        // Draining everything must coalesce back to one free block.
+        for m in live.drain(..) {
+            arena.unmap(m).unwrap();
+        }
+        prop_assert_eq!(arena.mapped_pages(), 0);
+        prop_assert!(arena.free_block_count() <= 1);
+        prop_assert!(arena.map(region.len).is_ok(), "fully drained arena serves a max request");
+    }
+
+    /// Footprint accounting on a sparse space equals the sum of mapped
+    /// ranges under arbitrary heap/mmap churn.
+    #[test]
+    fn sparse_space_footprint_consistent(ops in arena_ops()) {
+        let layout = LayoutBuilder::new()
+            .static_bytes(8 * PAGE_SIZE)
+            .heap_capacity_bytes(64 * PAGE_SIZE)
+            .mmap_capacity_bytes(256 * PAGE_SIZE)
+            .build();
+        let mut s = SparseSpace::new(layout);
+        let mut live: Vec<PageRange> = Vec::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                ArenaOp::Map(pages) => {
+                    if i % 3 == 0 {
+                        let _ = s.heap_grow(pages.min(8));
+                    } else if let Ok(m) = s.mmap(pages) {
+                        live.push(m);
+                    }
+                }
+                ArenaOp::Unmap(i) => {
+                    if !live.is_empty() {
+                        let m = live.remove(i % live.len());
+                        prop_assert!(s.munmap(m).is_ok());
+                    } else {
+                        let _ = s.heap_shrink(1);
+                    }
+                }
+            }
+            let ranges = s.mapped_ranges();
+            let total: u64 = ranges.iter().map(|r| r.len).sum();
+            prop_assert_eq!(total, s.mapped_pages());
+            for w in ranges.windows(2) {
+                prop_assert!(!w[0].overlaps(&w[1]));
+            }
+            for r in &ranges {
+                prop_assert!(s.is_mapped(r.start) && s.is_mapped(r.end() - 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Bandwidth/latency device models.
+//!
+//! §3 of the paper identifies two potential bottlenecks for saving
+//! checkpoint data: the interconnection network and the storage device.
+//! Its reference numbers are the Quadrics QsNet II NIC at **900 MB/s**
+//! peak and a SCSI (Seagate Cheetah) disk at **320 MB/s** peak, and the
+//! feasibility argument compares required incremental bandwidth against
+//! them. This module models such devices as a (latency, bandwidth) pair
+//! with FIFO queuing: a transfer issued at `t` starts when the device is
+//! free, occupies it for `bytes / bandwidth`, and completes after an
+//! additional fixed latency.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::clock::{SimDuration, SimTime};
+
+/// Named device presets with the paper's reference numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DevicePreset {
+    /// Quadrics QsNet II: 900 MB/s peak, ~2 µs MPI-level latency (§3).
+    QsNet2,
+    /// Quadrics QsNet (Elan3), the cluster's installed network:
+    /// ~340 MB/s per rail, ~5 µs latency.
+    QsNet,
+    /// SCSI disk (Seagate Cheetah-class): 320 MB/s peak, ~4 ms access.
+    ScsiDisk,
+    /// 2004-era local memory copy path (~2 GB/s), used for the bounce
+    /// buffer copy cost.
+    MemoryCopy,
+}
+
+impl DevicePreset {
+    /// Bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> u64 {
+        match self {
+            DevicePreset::QsNet2 => 900_000_000,
+            DevicePreset::QsNet => 340_000_000,
+            DevicePreset::ScsiDisk => 320_000_000,
+            DevicePreset::MemoryCopy => 2_000_000_000,
+        }
+    }
+
+    /// Fixed per-operation latency.
+    pub fn latency(&self) -> SimDuration {
+        match self {
+            DevicePreset::QsNet2 => SimDuration::from_micros(2),
+            DevicePreset::QsNet => SimDuration::from_micros(5),
+            DevicePreset::ScsiDisk => SimDuration::from_millis(4),
+            DevicePreset::MemoryCopy => SimDuration::ZERO,
+        }
+    }
+
+    /// Build the corresponding device.
+    pub fn build(&self) -> BandwidthDevice {
+        BandwidthDevice::new(self.bandwidth(), self.latency())
+    }
+}
+
+/// A FIFO bandwidth device.
+#[derive(Debug, Clone)]
+pub struct BandwidthDevice {
+    bytes_per_sec: u64,
+    latency: SimDuration,
+    busy_until: SimTime,
+    /// Total bytes pushed through the device (utilization accounting).
+    bytes_total: u64,
+    /// Total time the device spent busy.
+    busy_total: SimDuration,
+}
+
+impl BandwidthDevice {
+    /// A device with the given peak bandwidth (bytes/s) and fixed
+    /// per-operation latency.
+    pub fn new(bytes_per_sec: u64, latency: SimDuration) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        Self {
+            bytes_per_sec,
+            latency,
+            busy_until: SimTime::ZERO,
+            bytes_total: 0,
+            busy_total: SimDuration::ZERO,
+        }
+    }
+
+    /// Peak bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// Fixed per-operation latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Issue a transfer of `bytes` at time `now`; returns the completion
+    /// instant. The device serializes transfers FIFO: if it is still
+    /// busy, the transfer queues.
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let start = self.busy_until.max(now);
+        let xfer = SimDuration::for_transfer(bytes, self.bytes_per_sec);
+        let done_on_wire = start + xfer;
+        self.busy_until = done_on_wire;
+        self.bytes_total += bytes;
+        self.busy_total += xfer;
+        done_on_wire + self.latency
+    }
+
+    /// When the device next becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_total
+    }
+
+    /// Mean utilization over `[0, now]`, in `[0, 1]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy_total.as_secs_f64() / now.as_secs_f64()).min(1.0)
+    }
+}
+
+/// A device shared between rank threads (e.g. the per-node NIC serving
+/// two Itanium-II processors on the paper's HP rx2600 nodes).
+#[derive(Debug, Clone)]
+pub struct SharedDevice(Arc<Mutex<BandwidthDevice>>);
+
+impl SharedDevice {
+    /// Wrap a device for shared use.
+    pub fn new(device: BandwidthDevice) -> Self {
+        Self(Arc::new(Mutex::new(device)))
+    }
+
+    /// Issue a transfer; see [`BandwidthDevice::transfer`].
+    pub fn transfer(&self, now: SimTime, bytes: u64) -> SimTime {
+        self.0.lock().transfer(now, bytes)
+    }
+
+    /// Snapshot of total bytes transferred.
+    pub fn bytes_total(&self) -> u64 {
+        self.0.lock().bytes_total()
+    }
+
+    /// Peak bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> u64 {
+        self.0.lock().bandwidth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_numbers() {
+        assert_eq!(DevicePreset::QsNet2.bandwidth(), 900_000_000);
+        assert_eq!(DevicePreset::ScsiDisk.bandwidth(), 320_000_000);
+    }
+
+    #[test]
+    fn idle_transfer_costs_bandwidth_plus_latency() {
+        let mut d = BandwidthDevice::new(1_000_000, SimDuration::from_micros(10));
+        // 1 MB at 1 MB/s = 1 s, plus 10 us latency.
+        let done = d.transfer(SimTime::ZERO, 1_000_000);
+        assert_eq!(done, SimTime::from_secs(1) + SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn back_to_back_transfers_queue() {
+        let mut d = BandwidthDevice::new(1_000_000, SimDuration::ZERO);
+        let a = d.transfer(SimTime::ZERO, 500_000); // done at 0.5s
+        let b = d.transfer(SimTime::ZERO, 500_000); // queued: done at 1.0s
+        assert_eq!(a, SimTime::from_secs_f64(0.5));
+        assert_eq!(b, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn late_issue_does_not_wait() {
+        let mut d = BandwidthDevice::new(1_000_000, SimDuration::ZERO);
+        d.transfer(SimTime::ZERO, 100_000); // busy until 0.1s
+        let done = d.transfer(SimTime::from_secs(5), 100_000);
+        assert_eq!(done, SimTime::from_secs_f64(5.1));
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut d = BandwidthDevice::new(1_000_000, SimDuration::ZERO);
+        d.transfer(SimTime::ZERO, 500_000);
+        assert!((d.utilization(SimTime::from_secs(1)) - 0.5).abs() < 1e-9);
+        assert_eq!(d.bytes_total(), 500_000);
+    }
+
+    #[test]
+    fn shared_device_serializes() {
+        let d = SharedDevice::new(BandwidthDevice::new(1_000_000, SimDuration::ZERO));
+        let a = d.transfer(SimTime::ZERO, 500_000);
+        let b = d.transfer(SimTime::ZERO, 500_000);
+        assert!(b > a);
+        assert_eq!(d.bytes_total(), 1_000_000);
+    }
+}

@@ -1,0 +1,33 @@
+//! # ickpt-sim — deterministic virtual-time cluster substrate
+//!
+//! The paper measured real wall-clock seconds on a 64-processor
+//! Itanium-II cluster. We replace the cluster with *virtual time*: every
+//! rank carries a local logical clock, costs (compute phases, message
+//! transfers, collective operations) advance it analytically, and
+//! synchronization points exchange clock values so the global ordering
+//! is exactly what a real bulk-synchronous run would produce — but a
+//! simulated 500 s Sage run finishes in seconds and is bit-for-bit
+//! reproducible.
+//!
+//! Pieces:
+//!
+//! * [`clock`] — `SimTime` / `SimDuration`, nanosecond-resolution fixed
+//!   point.
+//! * [`device`] — bandwidth/latency device models (the QsNet NIC at
+//!   900 MB/s and the SCSI disk at 320 MB/s from §3 of the paper are
+//!   provided as presets) with busy-until queuing.
+//! * [`rng`] — SplitMix64: tiny, seedable, no external dependency, used
+//!   wherever the workload models need reproducible pseudo-randomness.
+//! * [`rendezvous`] — a reusable N-party rendezvous that computes the
+//!   max of the participants' local clocks; the building block for
+//!   barriers, reductions and coordinated checkpoints.
+
+pub mod clock;
+pub mod device;
+pub mod rendezvous;
+pub mod rng;
+
+pub use clock::{SimDuration, SimTime};
+pub use device::{BandwidthDevice, DevicePreset, SharedDevice};
+pub use rendezvous::Rendezvous;
+pub use rng::SplitMix64;

@@ -1,0 +1,219 @@
+//! Reusable N-party virtual-time rendezvous.
+//!
+//! Ranks execute on real threads but carry virtual clocks. A collective
+//! operation (barrier, allreduce, coordinated checkpoint) is a
+//! rendezvous: every participant contributes its local virtual time and
+//! an optional `u64` value; when the last one arrives, all of them
+//! observe the **maximum** entry time (the instant the collective can
+//! logically complete) and the combined value. The result is
+//! independent of OS scheduling, which is what makes the threaded
+//! simulation deterministic.
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::clock::SimTime;
+
+/// How the optional per-participant values are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combine {
+    /// Maximum of the contributed values.
+    Max,
+    /// Minimum of the contributed values.
+    Min,
+    /// Wrapping sum of the contributed values.
+    Sum,
+    /// Bitwise OR (useful for vote flags).
+    Or,
+    /// Bitwise AND (useful for unanimous votes).
+    And,
+}
+
+impl Combine {
+    fn identity(&self) -> u64 {
+        match self {
+            Combine::Max => 0,
+            Combine::Min => u64::MAX,
+            Combine::Sum => 0,
+            Combine::Or => 0,
+            Combine::And => u64::MAX,
+        }
+    }
+
+    fn apply(&self, a: u64, b: u64) -> u64 {
+        match self {
+            Combine::Max => a.max(b),
+            Combine::Min => a.min(b),
+            Combine::Sum => a.wrapping_add(b),
+            Combine::Or => a | b,
+            Combine::And => a & b,
+        }
+    }
+}
+
+struct State {
+    generation: u64,
+    arrived: usize,
+    max_time: SimTime,
+    value: u64,
+    /// Result latched for the generation that just completed.
+    done_time: SimTime,
+    done_value: u64,
+}
+
+/// A reusable rendezvous for a fixed participant count.
+pub struct Rendezvous {
+    parties: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// Outcome of a rendezvous round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RendezvousResult {
+    /// Maximum of the participants' entry times.
+    pub time: SimTime,
+    /// Combined value.
+    pub value: u64,
+}
+
+impl Rendezvous {
+    /// A rendezvous for `parties` participants.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "rendezvous needs at least one party");
+        Self {
+            parties,
+            state: Mutex::new(State {
+                generation: 0,
+                arrived: 0,
+                max_time: SimTime::ZERO,
+                value: 0,
+                done_time: SimTime::ZERO,
+                done_value: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Enter the rendezvous at local virtual time `time`, contributing
+    /// `value` under `combine`. Blocks (on the real thread) until all
+    /// parties of this round have entered; returns the round result.
+    pub fn enter(&self, time: SimTime, value: u64, combine: Combine) -> RendezvousResult {
+        let mut st = self.state.lock();
+        let my_gen = st.generation;
+        if st.arrived == 0 {
+            st.max_time = time;
+            st.value = combine.identity();
+        } else {
+            st.max_time = st.max_time.max(time);
+        }
+        st.value = combine.apply(st.value, value);
+        st.arrived += 1;
+        if st.arrived == self.parties {
+            // Last arrival closes the round and wakes everyone.
+            st.done_time = st.max_time;
+            st.done_value = st.value;
+            st.generation += 1;
+            st.arrived = 0;
+            self.cv.notify_all();
+            return RendezvousResult { time: st.done_time, value: st.done_value };
+        }
+        while st.generation == my_gen {
+            self.cv.wait(&mut st);
+        }
+        RendezvousResult { time: st.done_time, value: st.done_value }
+    }
+
+    /// Convenience: a pure barrier (no value exchange).
+    pub fn barrier(&self, time: SimTime) -> SimTime {
+        self.enter(time, 0, Combine::Max).time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn run_parties(parties: usize, times: Vec<u64>, values: Vec<u64>, combine: Combine) -> Vec<RendezvousResult> {
+        let rdv = Arc::new(Rendezvous::new(parties));
+        let mut handles = Vec::new();
+        for i in 0..parties {
+            let rdv = rdv.clone();
+            let t = times[i];
+            let v = values[i];
+            handles.push(std::thread::spawn(move || {
+                rdv.enter(SimTime::from_secs(t), v, combine)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn all_observe_max_time() {
+        let res = run_parties(4, vec![1, 5, 3, 2], vec![0; 4], Combine::Max);
+        for r in res {
+            assert_eq!(r.time, SimTime::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn sum_combine() {
+        let res = run_parties(3, vec![0, 0, 0], vec![1, 2, 3], Combine::Sum);
+        for r in res {
+            assert_eq!(r.value, 6);
+        }
+    }
+
+    #[test]
+    fn min_and_bitops() {
+        let res = run_parties(3, vec![0, 0, 0], vec![5, 9, 7], Combine::Min);
+        assert!(res.iter().all(|r| r.value == 5));
+        let res = run_parties(2, vec![0, 0], vec![0b01, 0b10], Combine::Or);
+        assert!(res.iter().all(|r| r.value == 0b11));
+        let res = run_parties(2, vec![0, 0], vec![0b11, 0b10], Combine::And);
+        assert!(res.iter().all(|r| r.value == 0b10));
+    }
+
+    #[test]
+    fn reusable_across_rounds() {
+        let rdv = Arc::new(Rendezvous::new(2));
+        let r2 = rdv.clone();
+        let h = std::thread::spawn(move || {
+            let a = r2.enter(SimTime::from_secs(1), 10, Combine::Sum);
+            let b = r2.enter(SimTime::from_secs(4), 1, Combine::Sum);
+            (a, b)
+        });
+        let a = rdv.enter(SimTime::from_secs(2), 20, Combine::Sum);
+        let b = rdv.enter(SimTime::from_secs(3), 2, Combine::Sum);
+        let (a2, b2) = h.join().unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+        assert_eq!(a.time, SimTime::from_secs(2));
+        assert_eq!(a.value, 30);
+        assert_eq!(b.time, SimTime::from_secs(4));
+        assert_eq!(b.value, 3);
+    }
+
+    #[test]
+    fn single_party_rendezvous_is_identity() {
+        let rdv = Rendezvous::new(1);
+        let r = rdv.enter(SimTime::from_secs(9), 42, Combine::Max);
+        assert_eq!(r.time, SimTime::from_secs(9));
+        assert_eq!(r.value, 42);
+    }
+
+    #[test]
+    fn barrier_convenience() {
+        let rdv = Arc::new(Rendezvous::new(2));
+        let r2 = rdv.clone();
+        let h = std::thread::spawn(move || r2.barrier(SimTime::from_secs(7)));
+        let t = rdv.barrier(SimTime::from_secs(3));
+        assert_eq!(t, SimTime::from_secs(7));
+        assert_eq!(h.join().unwrap(), SimTime::from_secs(7));
+    }
+}

@@ -1,0 +1,360 @@
+//! The checkpoint chunk format.
+//!
+//! One chunk holds one rank's contribution to one checkpoint generation:
+//! either a **full** snapshot (every mapped page) or an **incremental**
+//! delta (pages dirtied since the previous generation — the paper's IWS
+//! accumulated between checkpoints). The format is an explicit
+//! little-endian layout rather than a serde format: a checkpoint file
+//! must be readable by a restorer that shares nothing with the writer
+//! but this specification.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "ICKP"
+//! 4       2     version (1)
+//! 6       1     kind (0 = full, 1 = incremental)
+//! 7       1     reserved (0)
+//! 8       4     rank
+//! 12      4     reserved (0)
+//! 16      8     generation
+//! 24      8     parent generation (u64::MAX for full chunks)
+//! 32      8     virtual capture time (ns)
+//! 40      8     heap size (pages)
+//! 48      4     number of live mmap blocks, M
+//! 52      4     number of page records, R
+//! 56      4     application state length, A
+//! 60      4     number of zero ranges, Z
+//! 64      16*M  mmap blocks: (start_page u64, len u64)
+//! ...     16*Z  zero ranges: (start_page u64, len u64)
+//! ...     A     opaque application state (model counters/RNG)
+//! ...     R×(16 + len*4096) page records: (start_page u64, len u64, data)
+//! last 4        CRC-32 of everything before it
+//!
+//! *Zero ranges* are pages whose content is entirely zero at capture
+//! time (fresh allocations that were never written): they are listed
+//! instead of stored, the classic zero-page elision of checkpointing
+//! systems. Restore materializes them as zero-filled pages.
+//! ```
+
+use bytes::{Buf, BufMut};
+
+use crate::crc::{crc32, Crc32};
+use crate::store::StorageError;
+
+const MAGIC: &[u8; 4] = b"ICKP";
+const VERSION: u16 = 1;
+/// Page size must agree with `ickpt_mem::PAGE_SIZE`; the format pins it.
+pub const CHUNK_PAGE_SIZE: usize = 4096;
+
+/// Whether a chunk is a base snapshot or a delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkKind {
+    /// Every mapped page at capture time.
+    Full,
+    /// Pages dirtied since the parent generation.
+    Incremental,
+}
+
+/// A contiguous run of saved pages with their contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageRecord {
+    /// First page index of the run.
+    pub start_page: u64,
+    /// Page contents, concatenated; length is a multiple of 4096.
+    pub data: Vec<u8>,
+}
+
+impl PageRecord {
+    /// Number of pages in the record.
+    pub fn page_count(&self) -> u64 {
+        (self.data.len() / CHUNK_PAGE_SIZE) as u64
+    }
+}
+
+/// A decoded checkpoint chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Base or delta.
+    pub kind: ChunkKind,
+    /// Owning rank.
+    pub rank: u32,
+    /// Checkpoint generation this chunk belongs to.
+    pub generation: u64,
+    /// Generation this delta applies on top of (`None` for full chunks).
+    pub parent: Option<u64>,
+    /// Virtual time of capture (nanoseconds).
+    pub capture_time_ns: u64,
+    /// Heap size at capture, in pages (for mapping-state restore).
+    pub heap_pages: u64,
+    /// Live mmap blocks at capture (start page, page count).
+    pub mmap_blocks: Vec<(u64, u64)>,
+    /// Pages that were entirely zero at capture: recorded by position
+    /// only (zero-page elision), restored as zero fill.
+    pub zero_ranges: Vec<(u64, u64)>,
+    /// Saved page runs in ascending page order.
+    pub records: Vec<PageRecord>,
+    /// Opaque application/model state that rides along with the memory
+    /// image (iteration counters, allocation tables, RNG state) so a
+    /// restore resumes the exact execution trajectory.
+    pub app_state: Vec<u8>,
+}
+
+impl Chunk {
+    /// Total saved payload in bytes (the quantity the paper's IB
+    /// metric bounds).
+    pub fn payload_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.data.len() as u64).sum()
+    }
+
+    /// Total saved pages (stored content, excluding elided zeros).
+    pub fn payload_pages(&self) -> u64 {
+        self.records.iter().map(|r| r.page_count()).sum()
+    }
+
+    /// Pages elided because they were all-zero.
+    pub fn zero_pages(&self) -> u64 {
+        self.zero_ranges.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Serialized size in bytes (header + records + CRC).
+    pub fn encoded_len(&self) -> usize {
+        64 + 16 * self.mmap_blocks.len()
+            + 16 * self.zero_ranges.len()
+            + self.app_state.len()
+            + self.records.iter().map(|r| 16 + r.data.len()).sum::<usize>()
+            + 4
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.put_slice(MAGIC);
+        out.put_u16_le(VERSION);
+        out.put_u8(match self.kind {
+            ChunkKind::Full => 0,
+            ChunkKind::Incremental => 1,
+        });
+        out.put_u8(0);
+        out.put_u32_le(self.rank);
+        out.put_u32_le(0);
+        out.put_u64_le(self.generation);
+        out.put_u64_le(self.parent.unwrap_or(u64::MAX));
+        out.put_u64_le(self.capture_time_ns);
+        out.put_u64_le(self.heap_pages);
+        out.put_u32_le(self.mmap_blocks.len() as u32);
+        out.put_u32_le(self.records.len() as u32);
+        out.put_u32_le(self.app_state.len() as u32);
+        out.put_u32_le(self.zero_ranges.len() as u32);
+        for &(start, len) in &self.mmap_blocks {
+            out.put_u64_le(start);
+            out.put_u64_le(len);
+        }
+        for &(start, len) in &self.zero_ranges {
+            out.put_u64_le(start);
+            out.put_u64_le(len);
+        }
+        out.put_slice(&self.app_state);
+        for rec in &self.records {
+            assert!(
+                rec.data.len() % CHUNK_PAGE_SIZE == 0 && !rec.data.is_empty(),
+                "page record data must be whole pages"
+            );
+            out.put_u64_le(rec.start_page);
+            out.put_u64_le(rec.page_count());
+            out.put_slice(&rec.data);
+        }
+        let crc = crc32(&out);
+        out.put_u32_le(crc);
+        out
+    }
+
+    /// Decode and verify a chunk.
+    pub fn decode(buf: &[u8]) -> Result<Chunk, StorageError> {
+        if buf.len() < 60 {
+            return Err(StorageError::Corrupt("chunk shorter than minimal header".into()));
+        }
+        let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        let mut c = Crc32::new();
+        c.update(body);
+        if c.finalize() != stored_crc {
+            return Err(StorageError::Corrupt("CRC mismatch".into()));
+        }
+        let mut b = body;
+        let mut magic = [0u8; 4];
+        b.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(StorageError::Corrupt("bad magic".into()));
+        }
+        let version = b.get_u16_le();
+        if version != VERSION {
+            return Err(StorageError::Corrupt(format!("unsupported version {version}")));
+        }
+        let kind = match b.get_u8() {
+            0 => ChunkKind::Full,
+            1 => ChunkKind::Incremental,
+            k => return Err(StorageError::Corrupt(format!("unknown chunk kind {k}"))),
+        };
+        let _reserved = b.get_u8();
+        let rank = b.get_u32_le();
+        let _reserved2 = b.get_u32_le();
+        let generation = b.get_u64_le();
+        let parent_raw = b.get_u64_le();
+        let capture_time_ns = b.get_u64_le();
+        let heap_pages = b.get_u64_le();
+        let n_mmap = b.get_u32_le() as usize;
+        let n_records = b.get_u32_le() as usize;
+        let app_state_len = b.get_u32_le() as usize;
+        let n_zero = b.get_u32_le() as usize;
+        if b.remaining() < (n_mmap + n_zero) * 16 + app_state_len {
+            return Err(StorageError::Corrupt("truncated mmap/zero table".into()));
+        }
+        let mut mmap_blocks = Vec::with_capacity(n_mmap);
+        for _ in 0..n_mmap {
+            let start = b.get_u64_le();
+            let len = b.get_u64_le();
+            mmap_blocks.push((start, len));
+        }
+        let mut zero_ranges = Vec::with_capacity(n_zero);
+        for _ in 0..n_zero {
+            let start = b.get_u64_le();
+            let len = b.get_u64_le();
+            zero_ranges.push((start, len));
+        }
+        let mut app_state = vec![0u8; app_state_len];
+        b.copy_to_slice(&mut app_state);
+        let mut records = Vec::with_capacity(n_records);
+        for _ in 0..n_records {
+            if b.remaining() < 16 {
+                return Err(StorageError::Corrupt("truncated record header".into()));
+            }
+            let start_page = b.get_u64_le();
+            let pages = b.get_u64_le() as usize;
+            let nbytes = pages * CHUNK_PAGE_SIZE;
+            if b.remaining() < nbytes {
+                return Err(StorageError::Corrupt("truncated record payload".into()));
+            }
+            let mut data = vec![0u8; nbytes];
+            b.copy_to_slice(&mut data);
+            records.push(PageRecord { start_page, data });
+        }
+        if b.has_remaining() {
+            return Err(StorageError::Corrupt("trailing bytes after records".into()));
+        }
+        let parent = if parent_raw == u64::MAX { None } else { Some(parent_raw) };
+        match (kind, parent) {
+            (ChunkKind::Full, Some(_)) => {
+                return Err(StorageError::Corrupt("full chunk with a parent".into()))
+            }
+            (ChunkKind::Incremental, None) => {
+                return Err(StorageError::Corrupt("incremental chunk without parent".into()))
+            }
+            _ => {}
+        }
+        Ok(Chunk {
+            kind,
+            rank,
+            generation,
+            parent,
+            capture_time_ns,
+            heap_pages,
+            mmap_blocks,
+            zero_ranges,
+            records,
+            app_state,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chunk(kind: ChunkKind) -> Chunk {
+        Chunk {
+            kind,
+            rank: 3,
+            generation: 7,
+            parent: match kind {
+                ChunkKind::Full => None,
+                ChunkKind::Incremental => Some(6),
+            },
+            capture_time_ns: 123_456_789,
+            heap_pages: 10,
+            mmap_blocks: vec![(100, 4), (200, 2)],
+            zero_ranges: vec![(50, 3)],
+            records: vec![
+                PageRecord { start_page: 0, data: vec![0xAA; CHUNK_PAGE_SIZE * 2] },
+                PageRecord { start_page: 100, data: vec![0xBB; CHUNK_PAGE_SIZE] },
+            ],
+            app_state: vec![7, 8, 9],
+        }
+    }
+
+    #[test]
+    fn roundtrip_full_and_incremental() {
+        for kind in [ChunkKind::Full, ChunkKind::Incremental] {
+            let c = sample_chunk(kind);
+            let enc = c.encode();
+            assert_eq!(enc.len(), c.encoded_len());
+            let d = Chunk::decode(&enc).unwrap();
+            assert_eq!(c, d);
+        }
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let c = sample_chunk(ChunkKind::Full);
+        assert_eq!(c.payload_pages(), 3);
+        assert_eq!(c.payload_bytes(), 3 * CHUNK_PAGE_SIZE as u64);
+        assert_eq!(c.zero_pages(), 3, "elided zero pages are counted separately");
+    }
+
+    #[test]
+    fn corruption_detected_anywhere() {
+        let c = sample_chunk(ChunkKind::Incremental);
+        let enc = c.encode();
+        for pos in [0usize, 5, 20, 60, enc.len() / 2, enc.len() - 5] {
+            let mut bad = enc.clone();
+            bad[pos] ^= 0x40;
+            assert!(Chunk::decode(&bad).is_err(), "flip at {pos} undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let enc = sample_chunk(ChunkKind::Full).encode();
+        for keep in [0usize, 10, 59, enc.len() - 1] {
+            assert!(Chunk::decode(&enc[..keep]).is_err(), "truncation to {keep} undetected");
+        }
+    }
+
+    #[test]
+    fn lineage_invariants_enforced() {
+        let mut c = sample_chunk(ChunkKind::Full);
+        c.parent = Some(1);
+        assert!(Chunk::decode(&c.encode()).is_err(), "full chunk must have no parent");
+        let mut c = sample_chunk(ChunkKind::Incremental);
+        c.parent = None;
+        assert!(Chunk::decode(&c.encode()).is_err(), "incremental chunk needs a parent");
+    }
+
+    #[test]
+    fn empty_records_roundtrip() {
+        let c = Chunk {
+            kind: ChunkKind::Full,
+            rank: 0,
+            generation: 0,
+            parent: None,
+            capture_time_ns: 0,
+            heap_pages: 0,
+            mmap_blocks: vec![],
+            zero_ranges: vec![],
+            records: vec![],
+            app_state: vec![],
+        };
+        let d = Chunk::decode(&c.encode()).unwrap();
+        assert_eq!(c, d);
+        assert_eq!(d.payload_bytes(), 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Checkpoint-chain merging and compaction.
+//!
+//! Incremental checkpointing trades write bandwidth (the paper's IB,
+//! which it shows is small) for restore complexity: recovery must apply
+//! a base snapshot plus every increment since. Left unchecked the chain
+//! grows without bound, so production systems periodically *compact*:
+//! merge the chain into a fresh base and drop the history. The paper
+//! leaves this engineering to future systems; we implement it because a
+//! usable library needs it, and the `chain_length` ablation bench
+//! quantifies the restore-cost trade-off.
+
+use std::collections::BTreeMap;
+
+use crate::chunk::{Chunk, ChunkKind, PageRecord, CHUNK_PAGE_SIZE};
+use crate::store::{ChunkKey, StableStorage, StorageError};
+
+/// Merge an ordered checkpoint chain (base full chunk first, then each
+/// increment in generation order) into a single full chunk carrying the
+/// newest mapping state and the latest version of every page.
+///
+/// `keep` filters pages into the merged result; pass the mapped-state
+/// predicate of the final generation to apply the paper's memory
+/// exclusion (§4.2) during compaction, or `None` to keep everything.
+pub fn merge_chain(chunks: &[Chunk], keep: Option<&dyn Fn(u64) -> bool>) -> Chunk {
+    assert!(!chunks.is_empty(), "cannot merge an empty chain");
+    assert_eq!(chunks[0].kind, ChunkKind::Full, "chain must start with a full chunk");
+    for w in chunks.windows(2) {
+        assert_eq!(w[1].kind, ChunkKind::Incremental, "only the first chunk may be full");
+        assert_eq!(
+            w[1].parent,
+            Some(w[0].generation),
+            "chain generations must be contiguous parent links"
+        );
+        assert_eq!(w[0].rank, w[1].rank, "chain must belong to one rank");
+    }
+
+    // Later records overwrite earlier ones page by page; elided zero
+    // pages count as explicit zero content at their chunk's position
+    // in the chain.
+    let mut pages: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for chunk in chunks {
+        for &(start, len) in &chunk.zero_ranges {
+            for page in start..start + len {
+                pages.insert(page, vec![0u8; CHUNK_PAGE_SIZE]);
+            }
+        }
+        for rec in &chunk.records {
+            for (i, page_bytes) in rec.data.chunks_exact(CHUNK_PAGE_SIZE).enumerate() {
+                let page = rec.start_page + i as u64;
+                pages.insert(page, page_bytes.to_vec());
+            }
+        }
+    }
+    if let Some(keep) = keep {
+        pages.retain(|&p, _| keep(p));
+    }
+
+    // Re-coalesce into maximal contiguous records.
+    let mut records: Vec<PageRecord> = Vec::new();
+    for (page, data) in pages {
+        match records.last_mut() {
+            Some(last) if last.start_page + last.page_count() == page => {
+                last.data.extend_from_slice(&data);
+            }
+            _ => records.push(PageRecord { start_page: page, data }),
+        }
+    }
+
+    let newest = chunks.last().unwrap();
+    Chunk {
+        kind: ChunkKind::Full,
+        rank: newest.rank,
+        generation: newest.generation,
+        parent: None,
+        capture_time_ns: newest.capture_time_ns,
+        heap_pages: newest.heap_pages,
+        mmap_blocks: newest.mmap_blocks.clone(),
+        zero_ranges: Vec::new(), // zeros re-materialized as content
+        records,
+        app_state: newest.app_state.clone(),
+    }
+}
+
+/// Compact one rank's chain ending at `upto_gen` in `store`: replaces
+/// the chunk at `upto_gen` with the merged full chunk and deletes the
+/// superseded older generations. Returns the list of deleted
+/// generations.
+pub fn compact_rank_chain(
+    store: &dyn StableStorage,
+    rank: u32,
+    chain_gens: &[u64],
+    keep: Option<&dyn Fn(u64) -> bool>,
+) -> Result<Vec<u64>, StorageError> {
+    assert!(!chain_gens.is_empty());
+    let mut chunks = Vec::with_capacity(chain_gens.len());
+    for &g in chain_gens {
+        let data = store.get_chunk(ChunkKey::new(rank, g))?;
+        chunks.push(Chunk::decode(&data)?);
+    }
+    let merged = merge_chain(&chunks, keep);
+    let upto = *chain_gens.last().unwrap();
+    store.put_chunk(ChunkKey::new(rank, upto), &merged.encode())?;
+    let mut deleted = Vec::new();
+    for &g in &chain_gens[..chain_gens.len() - 1] {
+        store.delete_chunk(ChunkKey::new(rank, g))?;
+        deleted.push(g);
+    }
+    Ok(deleted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn page(byte: u8) -> Vec<u8> {
+        vec![byte; CHUNK_PAGE_SIZE]
+    }
+
+    fn full(rank: u32, generation: u64, recs: Vec<(u64, Vec<u8>)>) -> Chunk {
+        Chunk {
+            kind: ChunkKind::Full,
+            rank,
+            generation,
+            parent: None,
+            capture_time_ns: generation * 10,
+            heap_pages: 8,
+            mmap_blocks: vec![],
+            zero_ranges: vec![],
+            records: recs
+                .into_iter()
+                .map(|(start_page, data)| PageRecord { start_page, data })
+                .collect(),
+            app_state: vec![generation as u8],
+        }
+    }
+
+    fn incr(rank: u32, generation: u64, parent: u64, recs: Vec<(u64, Vec<u8>)>) -> Chunk {
+        Chunk {
+            kind: ChunkKind::Incremental,
+            parent: Some(parent),
+            ..full(rank, generation, recs)
+        }
+    }
+
+    #[test]
+    fn later_pages_win() {
+        let base = full(0, 1, vec![(0, [page(1), page(2)].concat())]);
+        let inc = incr(0, 2, 1, vec![(1, page(9))]);
+        let merged = merge_chain(&[base, inc], None);
+        assert_eq!(merged.kind, ChunkKind::Full);
+        assert_eq!(merged.generation, 2);
+        assert_eq!(merged.payload_pages(), 2);
+        // One coalesced record with page 0 = old, page 1 = new.
+        assert_eq!(merged.records.len(), 1);
+        assert_eq!(merged.records[0].data[..CHUNK_PAGE_SIZE], page(1)[..]);
+        assert_eq!(merged.records[0].data[CHUNK_PAGE_SIZE..], page(9)[..]);
+    }
+
+    #[test]
+    fn increments_add_new_pages_and_records_coalesce() {
+        let base = full(0, 1, vec![(0, page(1))]);
+        let inc1 = incr(0, 2, 1, vec![(2, page(2))]);
+        let inc2 = incr(0, 3, 2, vec![(1, page(3))]);
+        let merged = merge_chain(&[base, inc1, inc2], None);
+        assert_eq!(merged.payload_pages(), 3);
+        assert_eq!(merged.records.len(), 1, "pages 0,1,2 coalesce");
+    }
+
+    #[test]
+    fn keep_filter_applies_memory_exclusion() {
+        let base = full(0, 1, vec![(0, [page(1), page(2), page(3)].concat())]);
+        let keep = |p: u64| p != 1;
+        let merged = merge_chain(&[base], Some(&keep));
+        assert_eq!(merged.payload_pages(), 2);
+        assert_eq!(merged.records.len(), 2, "hole splits the record");
+        assert_eq!(merged.records[0].start_page, 0);
+        assert_eq!(merged.records[1].start_page, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain must start with a full chunk")]
+    fn chain_must_start_full() {
+        let inc = incr(0, 2, 1, vec![]);
+        merge_chain(&[inc], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous parent links")]
+    fn chain_links_must_be_contiguous() {
+        let base = full(0, 1, vec![]);
+        let inc = incr(0, 5, 3, vec![]);
+        merge_chain(&[base, inc], None);
+    }
+
+    #[test]
+    fn compaction_in_store_roundtrip() {
+        let store = MemStore::new();
+        let base = full(7, 1, vec![(0, page(1))]);
+        let inc = incr(7, 2, 1, vec![(0, page(5)), (4, page(6))]);
+        store.put_chunk(ChunkKey::new(7, 1), &base.encode()).unwrap();
+        store.put_chunk(ChunkKey::new(7, 2), &inc.encode()).unwrap();
+
+        let deleted = compact_rank_chain(&store, 7, &[1, 2], None).unwrap();
+        assert_eq!(deleted, vec![1]);
+        assert!(store.get_chunk(ChunkKey::new(7, 1)).is_err());
+        let merged = Chunk::decode(&store.get_chunk(ChunkKey::new(7, 2)).unwrap()).unwrap();
+        assert_eq!(merged.kind, ChunkKind::Full);
+        assert_eq!(merged.payload_pages(), 2);
+        assert_eq!(merged.records[0].data[..CHUNK_PAGE_SIZE], page(5)[..]);
+    }
+
+    #[test]
+    fn mapping_state_comes_from_newest() {
+        let mut base = full(0, 1, vec![]);
+        base.heap_pages = 4;
+        let mut inc = incr(0, 2, 1, vec![]);
+        inc.heap_pages = 12;
+        inc.mmap_blocks = vec![(50, 2)];
+        let merged = merge_chain(&[base, inc], None);
+        assert_eq!(merged.heap_pages, 12);
+        assert_eq!(merged.mmap_blocks, vec![(50, 2)]);
+    }
+}

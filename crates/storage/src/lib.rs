@@ -1,0 +1,33 @@
+//! # ickpt-storage — stable storage for checkpoints
+//!
+//! Checkpointing and rollback recovery is "based on periodically saving
+//! the process state to stable storage" (§1 of the paper). This crate
+//! provides that stable storage:
+//!
+//! * [`crc`] — CRC-32 (IEEE) implemented locally so checkpoint chunks
+//!   are integrity-checked without an external dependency.
+//! * [`chunk`] — the on-disk checkpoint chunk format: a header
+//!   describing rank/generation/lineage and the mapping state, followed
+//!   by page records, closed with a CRC.
+//! * [`store`] — the [`store::StableStorage`] trait with an in-memory
+//!   backend ([`store::MemStore`]) and a real filesystem backend
+//!   ([`store::FileStore`]).
+//! * [`manifest`] — the commit records that make a set of per-rank
+//!   chunks a globally consistent checkpoint generation.
+//! * [`throttle`] — virtual-time bandwidth accounting used to charge
+//!   checkpoint writes against the paper's device models (900 MB/s
+//!   network, 320 MB/s disk, §3).
+//! * [`gc`] — checkpoint-chain compaction: bounded-length incremental
+//!   chains by merging old increments into a new base.
+
+pub mod chunk;
+pub mod crc;
+pub mod gc;
+pub mod manifest;
+pub mod store;
+pub mod throttle;
+
+pub use chunk::{Chunk, ChunkKind, PageRecord, CHUNK_PAGE_SIZE};
+pub use manifest::{Manifest, RankEntry};
+pub use store::{ChunkKey, FileStore, MemStore, StableStorage, StorageError};
+pub use throttle::{shared_device, SharedBandwidthDevice, ThrottledStore};

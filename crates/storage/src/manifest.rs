@@ -1,0 +1,205 @@
+//! Checkpoint manifests: global commit records.
+//!
+//! A *coordinated* checkpoint (the strategy the paper's bulk-synchronous
+//! observation enables, §6.2) is only usable for recovery if **every**
+//! rank's chunk of that generation reached stable storage. The manifest
+//! is the commit record written after all chunks land; recovery restores
+//! from the newest generation with a manifest, ignoring any newer
+//! partially-written chunks.
+//!
+//! Format (little-endian, CRC-closed like chunks):
+//!
+//! ```text
+//! magic "ICKM" | version u16 | reserved u16 | generation u64 |
+//! commit virtual time u64 | nranks u32 | entries u32 |
+//! entries × (rank u32, kind u8, pad u8 u8 u8, parent u64, payload_bytes u64) |
+//! crc32
+//! ```
+
+use bytes::{Buf, BufMut};
+
+use crate::chunk::ChunkKind;
+use crate::crc::{crc32, Crc32};
+use crate::store::StorageError;
+
+const MAGIC: &[u8; 4] = b"ICKM";
+const VERSION: u16 = 1;
+
+/// Per-rank entry of a manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankEntry {
+    /// The rank.
+    pub rank: u32,
+    /// Kind of the rank's chunk in this generation.
+    pub kind: ChunkKind,
+    /// Parent generation for incremental chunks.
+    pub parent: Option<u64>,
+    /// Saved payload bytes (for bandwidth accounting/reporting).
+    pub payload_bytes: u64,
+}
+
+/// A committed checkpoint generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Generation number (monotonic across the run).
+    pub generation: u64,
+    /// Virtual time of the commit.
+    pub commit_time_ns: u64,
+    /// Number of ranks in the job.
+    pub nranks: u32,
+    /// One entry per rank, ascending by rank.
+    pub entries: Vec<RankEntry>,
+}
+
+impl Manifest {
+    /// Whether the manifest covers every rank exactly once.
+    pub fn is_complete(&self) -> bool {
+        if self.entries.len() != self.nranks as usize {
+            return false;
+        }
+        self.entries.iter().enumerate().all(|(i, e)| e.rank == i as u32)
+    }
+
+    /// Total payload across ranks.
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.payload_bytes).sum()
+    }
+
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.entries.len() * 24 + 4);
+        out.put_slice(MAGIC);
+        out.put_u16_le(VERSION);
+        out.put_u16_le(0);
+        out.put_u64_le(self.generation);
+        out.put_u64_le(self.commit_time_ns);
+        out.put_u32_le(self.nranks);
+        out.put_u32_le(self.entries.len() as u32);
+        for e in &self.entries {
+            out.put_u32_le(e.rank);
+            out.put_u8(match e.kind {
+                ChunkKind::Full => 0,
+                ChunkKind::Incremental => 1,
+            });
+            out.put_u8(0);
+            out.put_u8(0);
+            out.put_u8(0);
+            out.put_u64_le(e.parent.unwrap_or(u64::MAX));
+            out.put_u64_le(e.payload_bytes);
+        }
+        let crc = crc32(&out);
+        out.put_u32_le(crc);
+        out
+    }
+
+    /// Decode and verify.
+    pub fn decode(buf: &[u8]) -> Result<Manifest, StorageError> {
+        if buf.len() < 36 {
+            return Err(StorageError::Corrupt("manifest too short".into()));
+        }
+        let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        let mut c = Crc32::new();
+        c.update(body);
+        if c.finalize() != stored {
+            return Err(StorageError::Corrupt("manifest CRC mismatch".into()));
+        }
+        let mut b = body;
+        let mut magic = [0u8; 4];
+        b.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(StorageError::Corrupt("bad manifest magic".into()));
+        }
+        if b.get_u16_le() != VERSION {
+            return Err(StorageError::Corrupt("unsupported manifest version".into()));
+        }
+        let _pad = b.get_u16_le();
+        let generation = b.get_u64_le();
+        let commit_time_ns = b.get_u64_le();
+        let nranks = b.get_u32_le();
+        let n = b.get_u32_le() as usize;
+        if b.remaining() != n * 24 {
+            return Err(StorageError::Corrupt("manifest entry table size mismatch".into()));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let rank = b.get_u32_le();
+            let kind = match b.get_u8() {
+                0 => ChunkKind::Full,
+                1 => ChunkKind::Incremental,
+                k => return Err(StorageError::Corrupt(format!("bad entry kind {k}"))),
+            };
+            b.advance(3);
+            let parent_raw = b.get_u64_le();
+            let payload_bytes = b.get_u64_le();
+            entries.push(RankEntry {
+                rank,
+                kind,
+                parent: if parent_raw == u64::MAX { None } else { Some(parent_raw) },
+                payload_bytes,
+            });
+        }
+        Ok(Manifest { generation, commit_time_ns, nranks, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            generation: 4,
+            commit_time_ns: 99,
+            nranks: 3,
+            entries: vec![
+                RankEntry { rank: 0, kind: ChunkKind::Full, parent: None, payload_bytes: 4096 },
+                RankEntry {
+                    rank: 1,
+                    kind: ChunkKind::Incremental,
+                    parent: Some(3),
+                    payload_bytes: 8192,
+                },
+                RankEntry {
+                    rank: 2,
+                    kind: ChunkKind::Incremental,
+                    parent: Some(3),
+                    payload_bytes: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn completeness_check() {
+        let mut m = sample();
+        assert!(m.is_complete());
+        m.entries.pop();
+        assert!(!m.is_complete());
+        let mut m2 = sample();
+        m2.entries[1].rank = 5;
+        assert!(!m2.is_complete());
+    }
+
+    #[test]
+    fn totals() {
+        assert_eq!(sample().total_payload_bytes(), 12288);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let enc = sample().encode();
+        for pos in [2usize, 12, 30, enc.len() - 6] {
+            let mut bad = enc.clone();
+            bad[pos] ^= 0x10;
+            assert!(Manifest::decode(&bad).is_err(), "flip at {pos}");
+        }
+        assert!(Manifest::decode(&enc[..10]).is_err());
+    }
+}

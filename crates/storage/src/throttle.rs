@@ -1,0 +1,151 @@
+//! Virtual-time bandwidth accounting for checkpoint traffic.
+//!
+//! §3 of the paper frames feasibility as "required bandwidth vs
+//! available bandwidth" on two devices: the interconnect (QsNet II,
+//! 900 MB/s) and the storage array (SCSI, 320 MB/s). A
+//! [`ThrottledStore`] wraps any [`StableStorage`] with a
+//! [`BandwidthDevice`], so writing a checkpoint chunk *takes virtual
+//! time*, and a checkpointing run directly exhibits the stall the
+//! paper's analysis predicts.
+
+use std::sync::Arc;
+
+use ickpt_sim::{BandwidthDevice, SimTime};
+use parking_lot::Mutex;
+
+use crate::store::{ChunkKey, StableStorage, StorageError};
+
+/// A device handle that several `ThrottledStore`s can serialize on —
+/// the model of a *shared* storage path (one parallel-filesystem array
+/// serving every rank) as opposed to per-rank local disks.
+pub type SharedBandwidthDevice = Arc<Mutex<BandwidthDevice>>;
+
+/// Wrap a device for sharing across ranks.
+pub fn shared_device(device: BandwidthDevice) -> SharedBandwidthDevice {
+    Arc::new(Mutex::new(device))
+}
+
+/// A bandwidth-limited path to stable storage.
+///
+/// Each rank owns its own `ThrottledStore`. With [`ThrottledStore::new`]
+/// the device is private (a per-rank disk path, deterministic
+/// completion times); with [`ThrottledStore::with_shared_device`]
+/// several ranks contend on one device (a shared storage array, FIFO
+/// completion — per-rank service order depends on arrival order).
+pub struct ThrottledStore {
+    inner: Arc<dyn StableStorage>,
+    device: SharedBandwidthDevice,
+}
+
+impl ThrottledStore {
+    /// Wrap `inner` behind a private `device`.
+    pub fn new(inner: Arc<dyn StableStorage>, device: BandwidthDevice) -> Self {
+        Self { inner, device: Arc::new(Mutex::new(device)) }
+    }
+
+    /// Wrap `inner` behind a device shared with other ranks.
+    pub fn with_shared_device(inner: Arc<dyn StableStorage>, device: SharedBandwidthDevice) -> Self {
+        Self { inner, device }
+    }
+
+    /// Write a chunk at virtual time `now`; returns the instant the
+    /// write completes on the device.
+    pub fn put_chunk_timed(
+        &self,
+        now: SimTime,
+        key: ChunkKey,
+        data: &[u8],
+    ) -> Result<SimTime, StorageError> {
+        self.inner.put_chunk(key, data)?;
+        Ok(self.device.lock().transfer(now, data.len() as u64))
+    }
+
+    /// Write a manifest at virtual time `now`; returns completion time.
+    pub fn put_manifest_timed(
+        &self,
+        now: SimTime,
+        generation: u64,
+        data: &[u8],
+    ) -> Result<SimTime, StorageError> {
+        self.inner.put_manifest(generation, data)?;
+        Ok(self.device.lock().transfer(now, data.len() as u64))
+    }
+
+    /// Read a chunk at virtual time `now`; returns the data and the
+    /// instant the read completes (restores cost time too).
+    pub fn get_chunk_timed(
+        &self,
+        now: SimTime,
+        key: ChunkKey,
+    ) -> Result<(Vec<u8>, SimTime), StorageError> {
+        let data = self.inner.get_chunk(key)?;
+        let done = self.device.lock().transfer(now, data.len() as u64);
+        Ok((data, done))
+    }
+
+    /// Total bytes pushed through this path.
+    pub fn bytes_total(&self) -> u64 {
+        self.device.lock().bytes_total()
+    }
+
+    /// The wrapped untimed store.
+    pub fn inner(&self) -> &Arc<dyn StableStorage> {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use ickpt_sim::SimDuration;
+
+    fn throttled(bw: u64) -> ThrottledStore {
+        ThrottledStore::new(
+            Arc::new(MemStore::new()),
+            BandwidthDevice::new(bw, SimDuration::ZERO),
+        )
+    }
+
+    #[test]
+    fn writes_cost_virtual_time() {
+        let s = throttled(1_000_000); // 1 MB/s
+        let done = s.put_chunk_timed(SimTime::ZERO, ChunkKey::new(0, 0), &[0u8; 500_000]).unwrap();
+        assert_eq!(done, SimTime::from_secs_f64(0.5));
+        // A second write queues behind the first.
+        let done2 =
+            s.put_chunk_timed(SimTime::ZERO, ChunkKey::new(0, 1), &[0u8; 500_000]).unwrap();
+        assert_eq!(done2, SimTime::from_secs(1));
+        assert_eq!(s.bytes_total(), 1_000_000);
+    }
+
+    #[test]
+    fn data_lands_in_inner_store() {
+        let s = throttled(1_000_000);
+        s.put_chunk_timed(SimTime::ZERO, ChunkKey::new(1, 2), b"abc").unwrap();
+        assert_eq!(s.inner().get_chunk(ChunkKey::new(1, 2)).unwrap(), b"abc");
+        let (data, done) = s.get_chunk_timed(SimTime::from_secs(1), ChunkKey::new(1, 2)).unwrap();
+        assert_eq!(data, b"abc");
+        assert!(done > SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn shared_device_serializes_across_stores() {
+        let inner: Arc<dyn StableStorage> = Arc::new(MemStore::new());
+        let dev = shared_device(BandwidthDevice::new(1_000_000, SimDuration::ZERO));
+        let a = ThrottledStore::with_shared_device(inner.clone(), dev.clone());
+        let b = ThrottledStore::with_shared_device(inner, dev);
+        let t1 = a.put_chunk_timed(SimTime::ZERO, ChunkKey::new(0, 0), &[0u8; 500_000]).unwrap();
+        let t2 = b.put_chunk_timed(SimTime::ZERO, ChunkKey::new(1, 0), &[0u8; 500_000]).unwrap();
+        assert_eq!(t1, SimTime::from_secs_f64(0.5));
+        assert_eq!(t2, SimTime::from_secs(1), "second store queues on the shared array");
+    }
+
+    #[test]
+    fn manifest_writes_timed_too() {
+        let s = throttled(100);
+        let done = s.put_manifest_timed(SimTime::ZERO, 3, &[0u8; 100]).unwrap();
+        assert_eq!(done, SimTime::from_secs(1));
+        assert!(s.inner().get_manifest(3).is_ok());
+    }
+}

@@ -1,0 +1,136 @@
+//! Durable checkpoints on a real filesystem: run a job writing
+//! checkpoints to a directory, simulate a full stop (drop every
+//! in-memory structure), then restart *from the files alone* and
+//! finish the job — the operational workflow of a production
+//! checkpointing deployment.
+//!
+//! ```text
+//! cargo run --release --example durable_restart [dir]
+//! ```
+
+use std::sync::Arc;
+
+use ickpt::apps::synthetic::{SyntheticApp, SyntheticConfig};
+use ickpt::apps::AppModel;
+use ickpt::cluster::{
+    run_fault_tolerant, CheckpointMode, FailureSpec, FaultTolerantConfig, StoragePath, RunOutcome,
+};
+use ickpt::core::coordinator::CheckpointPolicy;
+use ickpt::core::restore::latest_committed_generation;
+use ickpt::mem::{LayoutBuilder, PAGE_SIZE};
+use ickpt::net::NetConfig;
+use ickpt::sim::{DevicePreset, SimDuration, SimTime};
+use ickpt::storage::{Chunk, ChunkKey, FileStore, StableStorage};
+
+const NRANKS: usize = 4;
+const TOTAL_ITERATIONS: u64 = 20;
+
+fn build(rank: usize) -> Box<dyn AppModel> {
+    Box::new(SyntheticApp::new(SyntheticConfig {
+        footprint_pages: 1024,
+        writes_per_iter: 256,
+        exchange_bytes: 8192,
+        rank,
+        nranks: NRANKS,
+        ..Default::default()
+    }))
+}
+
+fn config(store: Arc<dyn StableStorage>, failures: Vec<FailureSpec>) -> FaultTolerantConfig {
+    FaultTolerantConfig {
+        nranks: NRANKS,
+        max_iterations: TOTAL_ITERATIONS,
+        timeslice: SimDuration::from_secs(1),
+        policy: CheckpointPolicy::incremental(SimDuration::from_secs(4), 3),
+        store,
+        device: DevicePreset::ScsiDisk,
+        mode: CheckpointMode::StopAndCopy,
+        storage_path: StoragePath::PerRank,
+        failures,
+        net: NetConfig::qsnet(),
+        max_attempts: 3,
+    }
+}
+
+fn layout() -> ickpt::mem::DataLayout {
+    LayoutBuilder::new()
+        .static_bytes(PAGE_SIZE)
+        .heap_capacity_bytes(2048 * PAGE_SIZE)
+        .mmap_capacity_bytes(PAGE_SIZE)
+        .build()
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| std::env::temp_dir().join("ickpt_durable_demo").display().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- Phase 1: the job runs and is killed mid-way. ----
+    println!("phase 1: running with checkpoints into {dir} ...");
+    {
+        let store = Arc::new(FileStore::open(&dir).unwrap());
+        // An unrecoverable-within-the-process event at t=11s: with
+        // max_attempts=1-style behavior we emulate a whole-job kill by
+        // inspecting the outcome of a single attempt.
+        let mut cfg = config(store, vec![FailureSpec { rank: 0, at: SimTime::from_secs(11) }]);
+        cfg.max_attempts = 1; // the "machine room loses power" case
+        let report = run_fault_tolerant(&cfg, layout(), build).unwrap();
+        assert!(matches!(report.outcome, RunOutcome::Failed { .. }));
+        println!(
+            "  job killed at ~11 virtual seconds after {} iterations of {}",
+            report.ranks[0].iterations, TOTAL_ITERATIONS
+        );
+    } // everything in memory is gone
+
+    // ---- Phase 2: inspect what survived on disk. ----
+    let store = Arc::new(FileStore::open(&dir).unwrap());
+    let gen = latest_committed_generation(store.as_ref(), NRANKS as u32)
+        .unwrap()
+        .expect("committed generations exist on disk");
+    let chunk =
+        Chunk::decode(&store.get_chunk(ChunkKey::new(0, gen)).unwrap()).unwrap();
+    println!(
+        "phase 2: found committed generation {gen} on disk (captured at t={:.0}s, {} files)",
+        chunk.capture_time_ns as f64 / 1e9,
+        std::fs::read_dir(&dir).unwrap().count(),
+    );
+
+    // ---- Phase 3: a fresh "process" restarts purely from the files. ----
+    println!("phase 3: restarting from the files alone ...");
+    let cfg = config(store, vec![]);
+    // run_fault_tolerant notices there is no failure this time, but we
+    // want it to *start* from disk: seed resume by reporting a failed
+    // zero-length attempt is unnecessary — simply run with the same
+    // store; the job restarts from scratch unless told otherwise, so
+    // here we use the recovery path directly via a synthetic failure
+    // at t=0 which forces an immediate rollback to generation `gen`.
+    let cfg = FaultTolerantConfig {
+        failures: vec![FailureSpec { rank: 0, at: SimTime::ZERO }],
+        max_attempts: 2,
+        ..cfg
+    };
+    let report = run_fault_tolerant(&cfg, layout(), build).unwrap();
+    assert_eq!(report.outcome, RunOutcome::Completed);
+    println!(
+        "  completed all {} iterations at t={} (attempt count {})",
+        report.ranks[0].iterations, report.ranks[0].final_time, report.attempts
+    );
+
+    // Cross-check against an uninterrupted in-memory run.
+    let clean = run_fault_tolerant(
+        &config(Arc::new(ickpt::storage::MemStore::new()), vec![]),
+        layout(),
+        build,
+    )
+    .unwrap();
+    for (a, b) in clean.ranks.iter().zip(&report.ranks) {
+        assert_eq!(a.content_digest, b.content_digest, "rank {}", a.rank);
+    }
+    println!("final memory images match an uninterrupted run, byte for byte.");
+    if std::env::var("ICKPT_KEEP").is_ok() {
+        println!("keeping {dir} for inspection (ICKPT_KEEP set)");
+    } else {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: measure the incremental-checkpointing bandwidth
+//! requirement of a workload and check feasibility, in ~20 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ickpt::apps::Workload;
+use ickpt::cluster::{characterize, CharacterizationConfig};
+use ickpt::core::feasibility::FeasibilityReport;
+use ickpt::core::metrics::IbStats;
+use ickpt::sim::{SimDuration, SimTime};
+
+fn main() {
+    // Sage with a 1000 MB per-process footprint on 16 simulated ranks,
+    // sampled at the paper's 1 s checkpoint timeslice.
+    let workload = Workload::Sage1000;
+    let cfg = CharacterizationConfig {
+        nranks: 16,
+        run_for: SimDuration::from_secs(600),
+        timeslice: SimDuration::from_secs(1),
+        ..Default::default()
+    };
+    println!("running {} on {} simulated ranks...", workload.name(), cfg.nranks);
+    let report = characterize(workload, &cfg);
+
+    // IB statistics, excluding the data-initialization burst like §6.3.
+    let stats = IbStats::from_samples(
+        &report.ranks[0].samples,
+        cfg.timeslice,
+        SimTime::from_secs(150),
+    );
+    println!(
+        "incremental bandwidth: avg {:.1} MB/s, max {:.1} MB/s over {} windows",
+        stats.avg_mbps, stats.max_mbps, stats.windows
+    );
+
+    // The paper's question: does it fit under commodity devices?
+    let feas = FeasibilityReport::against_paper_devices(stats);
+    for v in &feas.verdicts {
+        println!(
+            "  vs {} ({:.0} MB/s): avg uses {:.0}%, max uses {:.0}% -> {}",
+            v.device,
+            v.device_mbps,
+            v.avg_fraction * 100.0,
+            v.max_fraction * 100.0,
+            if v.feasible { "feasible" } else { "NOT feasible" }
+        );
+    }
+    assert!(feas.feasible_everywhere(), "the paper's conclusion should hold");
+    println!("conclusion: frequent, user-transparent incremental checkpointing is feasible.");
+}

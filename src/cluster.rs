@@ -1,0 +1,1067 @@
+//! The cluster runner: application models on rank threads over virtual
+//! time, with write tracking, coordinated checkpointing, failure
+//! injection and rollback recovery.
+//!
+//! Two entry points:
+//!
+//! * [`characterize`] — the paper's methodology (§4): run a workload on
+//!   a metadata-only [`SparseSpace`] per rank with the write tracker
+//!   sampling every timeslice. This is what regenerates every table and
+//!   figure, and it scales to the full 64-rank, 1 GB/process
+//!   configurations because no page contents exist.
+//! * [`run_fault_tolerant`] — the system the paper argues is feasible:
+//!   content-backed spaces, coordinated incremental checkpoints at
+//!   iteration boundaries (§6.2), failure injection, and global
+//!   rollback recovery with byte-exact restoration.
+//!
+//! ## Execution model
+//!
+//! Each rank is a real thread with a virtual clock. Compute steps are
+//! sliced at timeslice boundaries so the tracker's alarm sees exactly
+//! the pages a real run would dirty per window; sends compute arrival
+//! times analytically; receives jump the clock to
+//! `max(local, arrival)` plus the bounce-buffer copy (which dirties the
+//! destination pages, §4.2); collectives rendezvous on the
+//! participants' clocks. The result is bit-for-bit deterministic.
+//!
+//! At every iteration boundary the ranks already synchronize, so the
+//! runner piggybacks a vote word on that allreduce: STOP (run limit
+//! reached), FAIL (injected failure), CHECKPOINT (interval elapsed).
+//! The OR of the votes is the global decision — the coordinated
+//! checkpoint costs no extra communication rounds, exactly the
+//! opportunity §6.2 identifies.
+
+use std::sync::Arc;
+
+use ickpt_apps::codec::{ByteReader, ByteWriter};
+use ickpt_apps::step::{AppModel, Step};
+use ickpt_apps::Workload;
+use ickpt_core::checkpoint::{capture_full, capture_incremental};
+use ickpt_core::coordinator::{CheckpointPlanner, CheckpointPolicy, VoteFlags};
+use ickpt_core::metrics::IwsSample;
+use ickpt_core::restore::{latest_committed_generation, restore_rank};
+use ickpt_core::tracked_space::{ContentWrite, TrackedSpace};
+use ickpt_core::tracker::{EpochSample, IterationSample, TrackerConfig, WriteTracker};
+use ickpt_mem::{pages_for_bytes, AddressSpace, BackedSpace, DataLayout, PageRange, SparseSpace};
+use ickpt_net::comm::Endpoint;
+use ickpt_net::{CommWorld, NetConfig};
+use ickpt_sim::rendezvous::Combine;
+use ickpt_sim::{DevicePreset, SimDuration, SimTime};
+use ickpt_storage::{
+    shared_device, Chunk, ChunkKey, ChunkKind, Manifest, RankEntry, StableStorage,
+    ThrottledStore,
+};
+
+/// Error from a cluster run.
+#[derive(Debug)]
+pub enum RunError {
+    /// Networking failure (usually a mismatched send/recv script).
+    Net(ickpt_net::NetError),
+    /// Memory model failure (layout too small, bad unmap).
+    Mem(ickpt_mem::MemError),
+    /// Checkpoint/restore failure.
+    Core(ickpt_core::CoreError),
+    /// Stable-storage failure.
+    Storage(ickpt_storage::StorageError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Net(e) => write!(f, "net: {e}"),
+            RunError::Mem(e) => write!(f, "mem: {e}"),
+            RunError::Core(e) => write!(f, "core: {e}"),
+            RunError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ickpt_net::NetError> for RunError {
+    fn from(e: ickpt_net::NetError) -> Self {
+        RunError::Net(e)
+    }
+}
+impl From<ickpt_mem::MemError> for RunError {
+    fn from(e: ickpt_mem::MemError) -> Self {
+        RunError::Mem(e)
+    }
+}
+impl From<ickpt_core::CoreError> for RunError {
+    fn from(e: ickpt_core::CoreError) -> Self {
+        RunError::Core(e)
+    }
+}
+impl From<ickpt_storage::StorageError> for RunError {
+    fn from(e: ickpt_storage::StorageError) -> Self {
+        RunError::Storage(e)
+    }
+}
+
+/// Per-rank results of a run.
+#[derive(Debug, Clone)]
+pub struct RankReport {
+    /// The rank.
+    pub rank: usize,
+    /// Per-timeslice IWS samples.
+    pub samples: Vec<IwsSample>,
+    /// Per-epoch unique-page samples (when an epoch was configured).
+    pub epoch_samples: Vec<EpochSample>,
+    /// Per-iteration ground-truth samples (when enabled).
+    pub iteration_samples: Vec<IterationSample>,
+    /// Total page faults taken.
+    pub total_faults: u64,
+    /// Accumulated fault-handling overhead (§6.5 intrusiveness).
+    pub overhead: SimDuration,
+    /// Virtual time this attempt started at (0 for a fresh run, the
+    /// restored checkpoint's capture time plus restore cost after a
+    /// rollback).
+    pub started_at: SimTime,
+    /// Final virtual time.
+    pub final_time: SimTime,
+    /// Iterations completed.
+    pub iterations: u64,
+    /// Total bytes received (messages + collectives).
+    pub bytes_received: u64,
+    /// Final footprint in pages.
+    pub footprint_pages: u64,
+    /// Content digest of the final memory image (backed runs only).
+    pub content_digest: Option<u64>,
+    /// Checkpoint bytes written to stable storage.
+    pub checkpoint_bytes: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Total virtual time the application stalled for checkpoints.
+    pub checkpoint_stall: SimDuration,
+    /// Total lag between checkpoint capture and global commit
+    /// (nonzero in forked mode).
+    pub commit_lag: SimDuration,
+    /// Dirty pages dropped by memory exclusion (§4.2) instead of being
+    /// checkpointed.
+    pub excluded_pages: u64,
+    /// Last globally committed generation (backed runs).
+    pub last_committed: Option<u64>,
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Reached the configured limit.
+    Completed,
+    /// An injected failure aborted the attempt.
+    Failed {
+        /// The generation recovery should restore, if any committed.
+        recover_from: Option<u64>,
+    },
+}
+
+/// A whole-cluster run result.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Per-rank reports, indexed by rank.
+    pub ranks: Vec<RankReport>,
+    /// Number of attempts executed (1 + recoveries), for
+    /// fault-tolerant runs.
+    pub attempts: u32,
+    /// Virtual time burned by failed attempts (work past the last
+    /// committed checkpoint that had to be re-executed, plus restore
+    /// costs) — the "wasted time" of the availability analysis.
+    pub wasted: SimDuration,
+}
+
+// ---------------------------------------------------------------------
+// Characterization runs (the paper's methodology)
+// ---------------------------------------------------------------------
+
+/// Configuration of a characterization run.
+#[derive(Debug, Clone)]
+pub struct CharacterizationConfig {
+    /// Number of ranks (the paper's largest configuration is 64).
+    pub nranks: usize,
+    /// Memory scale factor (1.0 = the paper's footprints).
+    pub scale: f64,
+    /// Virtual run length; the run stops at the first iteration
+    /// boundary at or past this time.
+    pub run_for: SimDuration,
+    /// Checkpoint timeslice (§6.1); 1 s in most of the paper.
+    pub timeslice: SimDuration,
+    /// Virtual cost charged per page fault (0 = non-intrusive
+    /// measurement).
+    pub fault_cost: SimDuration,
+    /// Stretch rank clocks by the fault overhead (models the paper's
+    /// §6.5 intrusiveness rather than just accounting it).
+    pub stretch_overhead: bool,
+    /// Epoch length for unique-page accumulation (Table 3), if any.
+    pub epoch: Option<SimDuration>,
+    /// Record per-iteration ground truth.
+    pub track_iterations: bool,
+    /// Interconnect model.
+    pub net: NetConfig,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for CharacterizationConfig {
+    fn default() -> Self {
+        Self {
+            nranks: 4,
+            scale: 1.0,
+            run_for: SimDuration::from_secs(300),
+            timeslice: SimDuration::from_secs(1),
+            fault_cost: SimDuration::ZERO,
+            stretch_overhead: false,
+            epoch: None,
+            track_iterations: false,
+            net: NetConfig::qsnet(),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl CharacterizationConfig {
+    fn tracker_config(&self) -> TrackerConfig {
+        TrackerConfig {
+            timeslice: self.timeslice,
+            fault_cost: self.fault_cost,
+            track_checkpoint_set: false,
+            epoch: self.epoch,
+            track_iterations: self.track_iterations,
+        }
+    }
+}
+
+/// Run a catalog workload under the paper's instrumentation: sparse
+/// (metadata-only) spaces, per-timeslice IWS sampling, no actual
+/// checkpoint data movement.
+pub fn characterize(workload: Workload, cfg: &CharacterizationConfig) -> RunReport {
+    let layout = workload.layout(cfg.scale);
+    characterize_model(cfg, layout, |rank| {
+        Box::new(workload.build(rank, cfg.nranks, cfg.scale, cfg.seed))
+    })
+}
+
+/// [`characterize`] over an arbitrary model builder.
+pub fn characterize_model<F>(
+    cfg: &CharacterizationConfig,
+    layout: DataLayout,
+    build: F,
+) -> RunReport
+where
+    F: Fn(usize) -> Box<dyn AppModel> + Sync,
+{
+    let world = CommWorld::new(cfg.nranks, cfg.net.clone());
+    let endpoints = world.endpoints();
+    let params = RunParams {
+        run_for: cfg.run_for,
+        max_iterations: None,
+        stretch_overhead: cfg.stretch_overhead,
+    };
+    let reports: Vec<RankReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(rank, ep)| {
+                let build = &build;
+                let params = &params;
+                let tcfg = cfg.tracker_config();
+                scope.spawn(move || -> Result<RankReport, RunError> {
+                    let mut space = SparseSpace::new(layout);
+                    let tracker =
+                        WriteTracker::new(layout.capacity_pages(), space.mapped_pages(), tcfg);
+                    let model = build(rank);
+                    let mut runner = RankRunner::new(
+                        rank,
+                        &mut space,
+                        tracker,
+                        ep,
+                        model,
+                        SimTime::ZERO,
+                        None,
+                        None,
+                        params,
+                    );
+                    runner.run_init()?;
+                    let (failed, _) = runner.run_loop()?;
+                    debug_assert!(!failed);
+                    Ok(runner.into_report(None))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_or_else(|e| panic!("characterization run failed: {e}"))
+    });
+    RunReport {
+        outcome: RunOutcome::Completed,
+        ranks: reports,
+        attempts: 1,
+        wasted: SimDuration::ZERO,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-tolerant runs (the system the paper argues is feasible)
+// ---------------------------------------------------------------------
+
+/// Topology of the storage path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoragePath {
+    /// Every rank writes over its own device (node-local disks or a
+    /// dedicated network lane): checkpoint writes proceed in parallel.
+    PerRank,
+    /// All ranks contend on one array (a shared parallel filesystem):
+    /// writes serialize, so the stall grows with the rank count.
+    Shared,
+}
+
+/// How a checkpoint stalls the application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckpointMode {
+    /// Classic stop-and-copy: the rank blocks until its chunk is fully
+    /// on stable storage. The stall per checkpoint is what the paper's
+    /// IB analysis bounds.
+    StopAndCopy,
+    /// Forked (copy-on-write style, as in libckpt): the rank pays only
+    /// a snapshot cost proportional to its footprint, the write
+    /// streams out in the background, and the generation *commits* at
+    /// the first iteration boundary after every rank's write landed.
+    /// A failure before commit rolls back to the previous generation.
+    /// Pages the application writes while the write-out is in flight
+    /// pay a copy-on-write charge (`cow_copy_ns` per faulted page,
+    /// accounted at commit time).
+    Forked {
+        /// Snapshot cost per mapped page (page-table copy + protect),
+        /// nanoseconds.
+        fork_cost_per_page_ns: u64,
+        /// Copy cost per page first-written during the write-out
+        /// window (the COW duplication), nanoseconds.
+        cow_copy_ns: u64,
+    },
+}
+
+/// An injected failure: the given rank votes FAIL at the first
+/// iteration boundary at or past `at`.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureSpec {
+    /// Failing rank.
+    pub rank: usize,
+    /// Virtual time of the failure.
+    pub at: SimTime,
+}
+
+/// Configuration of a fault-tolerant run.
+pub struct FaultTolerantConfig {
+    /// Number of ranks.
+    pub nranks: usize,
+    /// Stop after this many iterations.
+    pub max_iterations: u64,
+    /// Checkpoint timeslice for the tracker.
+    pub timeslice: SimDuration,
+    /// Checkpoint policy (interval + full/incremental lineage).
+    pub policy: CheckpointPolicy,
+    /// Stable storage shared by all ranks.
+    pub store: Arc<dyn StableStorage>,
+    /// Per-rank storage path device (disk or network, §3).
+    pub device: DevicePreset,
+    /// Stall behaviour of checkpoints.
+    pub mode: CheckpointMode,
+    /// Whether the storage device is per-rank or shared.
+    pub storage_path: StoragePath,
+    /// Injected failures: attempt `i` (0-based) triggers
+    /// `failures[i]`; attempts beyond the list run failure-free.
+    pub failures: Vec<FailureSpec>,
+    /// Interconnect model.
+    pub net: NetConfig,
+    /// Safety valve on recovery attempts.
+    pub max_attempts: u32,
+}
+
+/// Run a model fleet with coordinated checkpointing and recovery on
+/// content-backed spaces. `build(rank)` constructs the model; `layout`
+/// must fit it.
+pub fn run_fault_tolerant<F>(
+    cfg: &FaultTolerantConfig,
+    layout: DataLayout,
+    build: F,
+) -> Result<RunReport, RunError>
+where
+    F: Fn(usize) -> Box<dyn AppModel> + Sync,
+{
+    assert!(cfg.max_attempts >= 1);
+    let mut attempt = 0u32;
+    let mut resume_from: Option<u64> = None;
+    let mut wasted = SimDuration::ZERO;
+    loop {
+        let report = ft_attempt(cfg, layout, &build, resume_from, attempt)?;
+        attempt += 1;
+        match report.outcome {
+            RunOutcome::Completed => {
+                return Ok(RunReport { attempts: attempt, wasted, ..report });
+            }
+            RunOutcome::Failed { recover_from } => {
+                // The rollback throws away everything computed after
+                // the last committed checkpoint's capture instant (the
+                // next attempt also pays the restore read on top, which
+                // lands inside this same window once it resumes).
+                let r0 = &report.ranks[0];
+                let preserved_until = match recover_from {
+                    Some(gen) => {
+                        let chunk_data =
+                            cfg.store.get_chunk(ChunkKey::new(0, gen))?;
+                        SimTime(Chunk::decode(&chunk_data)?.capture_time_ns)
+                    }
+                    None => SimTime::ZERO,
+                };
+                wasted += r0.final_time.saturating_sub(preserved_until);
+                if attempt >= cfg.max_attempts {
+                    return Ok(RunReport { attempts: attempt, wasted, ..report });
+                }
+                // No committed generation yet → restart from scratch
+                // (the classic cold restart); otherwise roll back.
+                resume_from = recover_from;
+            }
+        }
+    }
+}
+
+fn ft_attempt<F>(
+    cfg: &FaultTolerantConfig,
+    layout: DataLayout,
+    build: &F,
+    resume_from: Option<u64>,
+    attempt: u32,
+) -> Result<RunReport, RunError>
+where
+    F: Fn(usize) -> Box<dyn AppModel> + Sync,
+{
+    let world = CommWorld::new(cfg.nranks, cfg.net.clone());
+    let endpoints = world.endpoints();
+    let params = RunParams {
+        run_for: SimDuration(u64::MAX / 4),
+        max_iterations: Some(cfg.max_iterations),
+        stretch_overhead: false,
+    };
+    let failure = cfg.failures.get(attempt as usize).copied();
+    // One shared array for every rank, or None for per-rank paths.
+    let array = matches!(cfg.storage_path, StoragePath::Shared)
+        .then(|| shared_device(cfg.device.build()));
+    let results: Vec<Result<(RankReport, bool), RunError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(rank, ep)| {
+                let params = &params;
+                let store = cfg.store.clone();
+                let policy = cfg.policy;
+                let device = cfg.device;
+                let timeslice = cfg.timeslice;
+                let mode = cfg.mode;
+                let array = array.clone();
+                scope.spawn(move || -> Result<(RankReport, bool), RunError> {
+                    let tcfg = TrackerConfig {
+                        timeslice,
+                        fault_cost: SimDuration::ZERO,
+                        track_checkpoint_set: true,
+                        epoch: None,
+                        track_iterations: false,
+                    };
+                    let mut space = BackedSpace::new(layout);
+                    let mut model = build(rank);
+                    let mut clock = SimTime::ZERO;
+                    let mut planner = CheckpointPlanner::new(policy, SimTime::ZERO);
+                    let mut skip_init = false;
+                    if let Some(gen) = resume_from {
+                        // Rollback recovery: restore memory, model
+                        // state and clock from the committed
+                        // generation.
+                        let restore_report =
+                            restore_rank(store.as_ref(), rank as u32, gen, &mut space)?;
+                        let chunk_data = store.get_chunk(ChunkKey::new(rank as u32, gen))?;
+                        let chunk = Chunk::decode(&chunk_data)?;
+                        let mut blob = ByteReader::new(&chunk.app_state);
+                        let model_state = blob
+                            .get_bytes()
+                            .map_err(|_| ickpt_storage::StorageError::Corrupt(
+                                "bad app state".into(),
+                            ))?
+                            .to_vec();
+                        let digest = blob.get_u64().map_err(|_| {
+                            ickpt_storage::StorageError::Corrupt("missing digest".into())
+                        })?;
+                        // Restore self-check: the rebuilt image must
+                        // hash to what was captured.
+                        if space.content_digest() != digest {
+                            return Err(ickpt_storage::StorageError::Corrupt(format!(
+                                "rank {rank}: restored image digest mismatch at generation {gen}"
+                            ))
+                            .into());
+                        }
+                        model
+                            .restore_state(&model_state)
+                            .map_err(|_| ickpt_storage::StorageError::Corrupt(
+                                "bad app state".into(),
+                            ))?;
+                        // Restart cost: reading the chain back over
+                        // the storage path takes real time.
+                        clock = SimTime(chunk.capture_time_ns)
+                            + SimDuration::for_transfer(
+                                restore_report.bytes_read,
+                                device.bandwidth(),
+                            );
+                        planner.resume_after(gen, clock);
+                        skip_init = true;
+                    }
+                    let mut tracker =
+                        WriteTracker::new(layout.capacity_pages(), space.mapped_pages(), tcfg);
+                    // Alarms continue on the absolute virtual clock.
+                    tracker.advance_to(clock);
+                    let tstore = match array {
+                        Some(dev) => ThrottledStore::with_shared_device(store.clone(), dev),
+                        None => ThrottledStore::new(store.clone(), device.build()),
+                    };
+                    let ckpt = RankCheckpointer {
+                        rank,
+                        nranks: cfg.nranks,
+                        planner,
+                        tstore,
+                        mode,
+                        pending: None,
+                        bytes_written: 0,
+                        count: 0,
+                        stall: SimDuration::ZERO,
+                        commit_lag: SimDuration::ZERO,
+                    };
+                    let mut runner = RankRunner::new(
+                        rank,
+                        &mut space,
+                        tracker,
+                        ep,
+                        model,
+                        clock,
+                        failure.and_then(|f| (f.rank == rank).then_some(f.at)),
+                        Some(ckpt),
+                        params,
+                    );
+                    if !skip_init {
+                        runner.run_init()?;
+                    }
+                    let (failed, last_committed) = runner.run_loop()?;
+                    let digest = runner.space.content_digest();
+                    let mut report = runner.into_report(Some(digest));
+                    report.last_committed = last_committed;
+                    Ok((report, failed))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+    });
+    let mut ranks = Vec::with_capacity(cfg.nranks);
+    let mut failed = false;
+    for r in results {
+        let (report, rank_failed) = r?;
+        failed |= rank_failed;
+        ranks.push(report);
+    }
+    // All ranks agree on the outcome via the vote; use rank 0.
+    let outcome = if failed {
+        RunOutcome::Failed { recover_from: ranks[0].last_committed }
+    } else {
+        RunOutcome::Completed
+    };
+    Ok(RunReport { outcome, ranks, attempts: 1, wasted: SimDuration::ZERO })
+}
+
+// ---------------------------------------------------------------------
+// The per-rank execution engine
+// ---------------------------------------------------------------------
+
+struct RunParams {
+    run_for: SimDuration,
+    max_iterations: Option<u64>,
+    stretch_overhead: bool,
+}
+
+/// A checkpoint written but not yet globally committed (forked mode).
+struct PendingCommit {
+    generation: u64,
+    kind: ChunkKind,
+    parent: Option<u64>,
+    write_done: SimTime,
+    payload: u64,
+    /// Tracker fault count at capture: faults taken since then are
+    /// (an upper bound on) the pages needing COW duplication.
+    faults_at_capture: u64,
+}
+
+/// Per-rank checkpoint machinery (backed runs only).
+struct RankCheckpointer {
+    rank: usize,
+    nranks: usize,
+    planner: CheckpointPlanner,
+    tstore: ThrottledStore,
+    mode: CheckpointMode,
+    pending: Option<PendingCommit>,
+    bytes_written: u64,
+    count: u64,
+    /// Total virtual time the application was stalled by checkpoints.
+    stall: SimDuration,
+    /// Total lag between capture and global commit.
+    commit_lag: SimDuration,
+}
+
+impl RankCheckpointer {
+    fn take(
+        &mut self,
+        space: &BackedSpace,
+        tracker: &mut WriteTracker,
+        ep: &mut Endpoint,
+        model: &dyn AppModel,
+        now: SimTime,
+    ) -> Result<SimTime, RunError> {
+        debug_assert!(self.pending.is_none(), "pending commit must settle before a new capture");
+        let planned = self.planner.plan(now);
+        let mut chunk = match planned.kind {
+            ChunkKind::Full => {
+                // A fresh base supersedes the pending dirty set.
+                let _ = tracker.take_checkpoint_set();
+                capture_full(space, self.rank as u32, planned.generation, now)
+            }
+            ChunkKind::Incremental => {
+                let dirty = tracker.take_checkpoint_set();
+                capture_incremental(
+                    space,
+                    self.rank as u32,
+                    planned.generation,
+                    planned.parent.expect("incremental has parent"),
+                    now,
+                    &dirty,
+                )
+            }
+        };
+        // The app-state blob carries the model state plus a digest of
+        // the captured image, so restores are self-verifying.
+        let mut blob = ByteWriter::new();
+        blob.put_bytes(&model.save_state());
+        blob.put_u64(space.content_digest());
+        chunk.app_state = blob.into_vec();
+        let payload = chunk.payload_bytes();
+        let encoded = chunk.encode();
+        // Every rank streams its chunk to stable storage over its own
+        // (bandwidth-limited) path.
+        let write_done = self.tstore.put_chunk_timed(
+            now,
+            ChunkKey::new(self.rank as u32, planned.generation),
+            &encoded,
+        )?;
+        self.bytes_written += encoded.len() as u64;
+        self.count += 1;
+        match self.mode {
+            CheckpointMode::StopAndCopy => {
+                // The rank blocks for the write, then the generation
+                // commits immediately (two-phase: gather + manifest +
+                // release barrier).
+                let released = self.commit(
+                    ep,
+                    PendingCommit {
+                        generation: planned.generation,
+                        kind: planned.kind,
+                        parent: planned.parent,
+                        write_done,
+                        payload,
+                        faults_at_capture: tracker.total_faults(),
+                    },
+                    write_done,
+                )?;
+                self.stall += released.saturating_sub(now);
+                Ok(released)
+            }
+            CheckpointMode::Forked { fork_cost_per_page_ns, .. } => {
+                // The rank pays only the snapshot cost; the write
+                // streams out in the background and commits later.
+                let fork_cost =
+                    SimDuration(space.mapped_pages() * fork_cost_per_page_ns);
+                self.pending = Some(PendingCommit {
+                    generation: planned.generation,
+                    kind: planned.kind,
+                    parent: planned.parent,
+                    write_done,
+                    payload,
+                    faults_at_capture: tracker.total_faults(),
+                });
+                self.stall += fork_cost;
+                Ok(now + fork_cost)
+            }
+        }
+    }
+
+    /// Two-phase commit of `pending` entered at local time `now`:
+    /// gather payload sizes, rank 0 writes the manifest, a barrier
+    /// releases everyone at the commit instant.
+    fn commit(
+        &mut self,
+        ep: &mut Endpoint,
+        pending: PendingCommit,
+        now: SimTime,
+    ) -> Result<SimTime, RunError> {
+        let (payloads, gathered_at) = ep.gather_u64(now, pending.payload);
+        let commit_t = if self.rank == 0 {
+            let manifest = Manifest {
+                generation: pending.generation,
+                commit_time_ns: gathered_at.0,
+                nranks: self.nranks as u32,
+                entries: payloads
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &p)| RankEntry {
+                        rank: r as u32,
+                        kind: pending.kind,
+                        parent: pending.parent,
+                        payload_bytes: p,
+                    })
+                    .collect(),
+            };
+            self.tstore.put_manifest_timed(gathered_at, pending.generation, &manifest.encode())?
+        } else {
+            gathered_at
+        };
+        let released = ep.barrier(commit_t);
+        self.planner.committed(pending.generation);
+        self.commit_lag += released.saturating_sub(SimTime(pending.write_done.0.min(released.0)));
+        Ok(released)
+    }
+
+    /// Try to commit a pending forked checkpoint at an iteration
+    /// boundary. `force` blocks until the slowest write lands;
+    /// otherwise the commit only happens if every rank's write is
+    /// already done. Returns the caller's new local time.
+    fn settle_pending(
+        &mut self,
+        ep: &mut Endpoint,
+        tracker: &WriteTracker,
+        now: SimTime,
+        force: bool,
+    ) -> Result<SimTime, RunError> {
+        let Some(pending) = self.pending.take() else {
+            return Ok(now);
+        };
+        // Agree on the slowest write completion.
+        let info = ep.allreduce(now, 8, pending.write_done.0, Combine::Max);
+        let all_done = SimTime(info.value);
+        let mut t = info.new_time;
+        if all_done <= t || force {
+            if all_done > t {
+                // Forced: wait out the background write.
+                self.stall += all_done - t;
+                t = all_done;
+            }
+            // COW charge: every page first-written during the write-out
+            // window had to be duplicated before the application's
+            // store could proceed.
+            if let CheckpointMode::Forked { cow_copy_ns, .. } = self.mode {
+                let cow_pages =
+                    tracker.total_faults().saturating_sub(pending.faults_at_capture);
+                let cow = SimDuration(cow_pages * cow_copy_ns);
+                self.stall += cow;
+                t += cow;
+            }
+            t = self.commit(ep, pending, t)?;
+        } else {
+            self.pending = Some(pending);
+        }
+        Ok(t)
+    }
+}
+
+struct RankRunner<'a, S: AddressSpace + ContentWrite> {
+    rank: usize,
+    space: &'a mut S,
+    tracker: WriteTracker,
+    ep: Endpoint,
+    model: Box<dyn AppModel>,
+    started_at: SimTime,
+    clock: SimTime,
+    fail_at: Option<SimTime>,
+    ckpt: Option<RankCheckpointer>,
+    params: &'a RunParams,
+    // Set when the global FAIL vote passed.
+    failed: bool,
+}
+
+impl<'a, S: AddressSpace + ContentWrite + CheckpointCapable> RankRunner<'a, S> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        rank: usize,
+        space: &'a mut S,
+        tracker: WriteTracker,
+        ep: Endpoint,
+        model: Box<dyn AppModel>,
+        clock: SimTime,
+        fail_at: Option<SimTime>,
+        ckpt: Option<RankCheckpointer>,
+        params: &'a RunParams,
+    ) -> Self {
+        Self {
+            rank,
+            space,
+            tracker,
+            ep,
+            model,
+            started_at: clock,
+            clock,
+            fail_at,
+            ckpt,
+            params,
+            failed: false,
+        }
+    }
+
+    fn run_init(&mut self) -> Result<(), RunError> {
+        let phase = {
+            let mut ts = TrackedSpace::new(self.space, &mut self.tracker);
+            self.model.init(&mut ts)?
+        };
+        self.execute_steps(&phase.steps)?;
+        Ok(())
+    }
+
+    /// Main loop; returns (failed, last committed generation).
+    fn run_loop(&mut self) -> Result<(bool, Option<u64>), RunError> {
+        loop {
+            let phase = {
+                let mut ts = TrackedSpace::new(self.space, &mut self.tracker);
+                self.model.next_phase(&mut ts)?
+            };
+            self.execute_steps(&phase.steps)?;
+            if phase.ends_iteration && self.iteration_boundary()? {
+                break;
+            }
+        }
+        self.tracker.finish(self.clock);
+        let last = self.ckpt.as_ref().and_then(|c| c.planner.last_committed());
+        Ok((self.failed, last))
+    }
+
+    /// Iteration-boundary coordination; returns true when the run ends.
+    fn iteration_boundary(&mut self) -> Result<bool, RunError> {
+        self.tracker.mark_iteration(self.clock);
+        let iterations = self.model.iterations_done();
+        let mut votes = VoteFlags::none();
+        let past_time = self.clock.saturating_sub(SimTime::ZERO) >= self.params.run_for;
+        let past_iters = self.params.max_iterations.is_some_and(|m| iterations >= m);
+        if past_time || past_iters {
+            votes = votes.with(VoteFlags::STOP);
+        }
+        if self.fail_at.is_some_and(|t| self.clock >= t) {
+            votes = votes.with(VoteFlags::FAIL);
+        }
+        if self.ckpt.as_ref().is_some_and(|c| c.planner.due(self.clock)) {
+            votes = votes.with(VoteFlags::CHECKPOINT);
+        }
+        let info = self.ep.allreduce(self.clock, 16, votes.0, Combine::Or);
+        self.clock = info.new_time;
+        self.tracker.advance_to(self.clock);
+        self.tracker.note_received(info.bytes_received);
+        let global = VoteFlags(info.value);
+        if global.has(VoteFlags::FAIL) {
+            self.failed = true;
+            return Ok(true);
+        }
+        let stop = global.has(VoteFlags::STOP);
+        let take_ckpt = global.has(VoteFlags::CHECKPOINT);
+        if let Some(mut ckpt) = self.ckpt.take() {
+            if ckpt.pending.is_some() {
+                // Forked mode: a background write may be ready to
+                // commit. Force the commit when a new capture or the
+                // end of the run is imminent.
+                self.clock = ckpt.settle_pending(
+                    &mut self.ep,
+                    &self.tracker,
+                    self.clock,
+                    take_ckpt || stop,
+                )?;
+                self.tracker.advance_to(self.clock);
+            }
+            if take_ckpt {
+                // The capture needs &BackedSpace; reachable only
+                // through the concrete type, so this is specialized
+                // below.
+                self.clock = self.do_checkpoint(&mut ckpt)?;
+                if stop {
+                    // Nothing after this boundary will drive the
+                    // deferred commit: flush it now.
+                    self.clock =
+                        ckpt.settle_pending(&mut self.ep, &self.tracker, self.clock, true)?;
+                }
+                self.tracker.advance_to(self.clock);
+            }
+            self.ckpt = Some(ckpt);
+        }
+        Ok(stop)
+    }
+
+    fn execute_steps(&mut self, steps: &[Step]) -> Result<(), RunError> {
+        let version = self.model.iterations_done() + 1;
+        for step in steps {
+            match step {
+                Step::Compute { duration, pattern } => {
+                    let start = self.clock;
+                    let end = start + *duration;
+                    let dur_s = duration.as_secs_f64();
+                    let mut cursor = start;
+                    let mut faults = 0u64;
+                    if duration.is_zero() {
+                        self.tracker.advance_to(start);
+                        let mut ts = TrackedSpace::new(self.space, &mut self.tracker);
+                        for r in pattern.slice(0.0, 1.0) {
+                            faults += ts.touch(r, version);
+                        }
+                    } else {
+                        while cursor < end {
+                            self.tracker.advance_to(cursor);
+                            let seg_end = end.min(self.tracker.next_alarm_time());
+                            let f0 = (cursor - start).as_secs_f64() / dur_s;
+                            let f1 = (seg_end - start).as_secs_f64() / dur_s;
+                            let mut ts = TrackedSpace::new(self.space, &mut self.tracker);
+                            for r in pattern.slice(f0.min(1.0), f1.min(1.0)) {
+                                faults += ts.touch(r, version);
+                            }
+                            cursor = seg_end;
+                        }
+                    }
+                    self.clock = end;
+                    if self.params.stretch_overhead {
+                        // §6.5: fault handling slows the application
+                        // down; stretch the clock by the handler cost.
+                        self.clock += self.tracker.fault_cost(faults);
+                    }
+                }
+                Step::Send { to, tag, bytes } => {
+                    self.clock = self.ep.send(self.clock, *to, *tag, *bytes)?;
+                }
+                Step::Recv { from, tag, into } => {
+                    let info = self.ep.recv(self.clock, *from, *tag)?;
+                    self.clock = info.new_time;
+                    self.tracker.advance_to(self.clock);
+                    self.tracker.note_received(info.bytes);
+                    if let Some(dst) = into {
+                        // The bounce-buffer copy dirties the
+                        // destination pages (§4.2).
+                        let pages = pages_for_bytes(info.bytes).min(dst.len).max(1);
+                        let r = PageRange::new(dst.start, pages);
+                        let mut ts = TrackedSpace::new(self.space, &mut self.tracker);
+                        ts.touch(r, version);
+                    }
+                }
+                Step::Barrier => {
+                    self.clock = self.ep.barrier(self.clock);
+                    self.tracker.advance_to(self.clock);
+                }
+                Step::Allreduce { bytes } => {
+                    let info = self.ep.allreduce(self.clock, *bytes, 0, Combine::Max);
+                    self.clock = info.new_time;
+                    self.tracker.advance_to(self.clock);
+                    self.tracker.note_received(info.bytes_received);
+                }
+                Step::AllToAll { bytes_per_pair, into } => {
+                    let info = self.ep.alltoall(self.clock, *bytes_per_pair);
+                    self.clock = info.new_time;
+                    self.tracker.advance_to(self.clock);
+                    self.tracker.note_received(info.bytes_received);
+                    if let Some(dst) = into {
+                        let pages = pages_for_bytes(info.bytes_received).min(dst.len).max(1);
+                        let r = PageRange::new(dst.start, pages);
+                        let mut ts = TrackedSpace::new(self.space, &mut self.tracker);
+                        ts.touch(r, version);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn into_report(self, content_digest: Option<u64>) -> RankReport {
+        RankReport {
+            rank: self.rank,
+            samples: self.tracker.samples().to_vec(),
+            epoch_samples: self.tracker.epoch_samples().to_vec(),
+            iteration_samples: self.tracker.iteration_samples().to_vec(),
+            total_faults: self.tracker.total_faults(),
+            overhead: self.tracker.overhead(),
+            started_at: self.started_at,
+            final_time: self.clock,
+            iterations: self.model.iterations_done(),
+            bytes_received: self.ep.bytes_received(),
+            footprint_pages: self.tracker.footprint_pages(),
+            content_digest,
+            checkpoint_bytes: self.ckpt.as_ref().map_or(0, |c| c.bytes_written),
+            checkpoints: self.ckpt.as_ref().map_or(0, |c| c.count),
+            checkpoint_stall: self.ckpt.as_ref().map_or(SimDuration::ZERO, |c| c.stall),
+            commit_lag: self.ckpt.as_ref().map_or(SimDuration::ZERO, |c| c.commit_lag),
+            excluded_pages: self.tracker.excluded_pages(),
+            last_committed: self.ckpt.as_ref().and_then(|c| c.planner.last_committed()),
+        }
+    }
+}
+
+// Checkpoint specialization: only content-backed spaces can capture.
+trait CheckpointCapable {
+    fn do_checkpoint_inner(
+        &self,
+        ckpt: &mut RankCheckpointer,
+        tracker: &mut WriteTracker,
+        ep: &mut Endpoint,
+        model: &dyn AppModel,
+        now: SimTime,
+    ) -> Result<SimTime, RunError>;
+}
+
+impl CheckpointCapable for SparseSpace {
+    fn do_checkpoint_inner(
+        &self,
+        _ckpt: &mut RankCheckpointer,
+        _tracker: &mut WriteTracker,
+        _ep: &mut Endpoint,
+        _model: &dyn AppModel,
+        now: SimTime,
+    ) -> Result<SimTime, RunError> {
+        // Sparse spaces carry no contents; checkpointing them is a
+        // configuration error guarded at the entry points.
+        unreachable!("checkpointing requires a BackedSpace, got SparseSpace at {now}")
+    }
+}
+
+impl CheckpointCapable for BackedSpace {
+    fn do_checkpoint_inner(
+        &self,
+        ckpt: &mut RankCheckpointer,
+        tracker: &mut WriteTracker,
+        ep: &mut Endpoint,
+        model: &dyn AppModel,
+        now: SimTime,
+    ) -> Result<SimTime, RunError> {
+        ckpt.take(self, tracker, ep, model, now)
+    }
+}
+
+impl<S: AddressSpace + ContentWrite + CheckpointCapable> RankRunner<'_, S> {
+    fn do_checkpoint(&mut self, ckpt: &mut RankCheckpointer) -> Result<SimTime, RunError> {
+        self.space.do_checkpoint_inner(
+            ckpt,
+            &mut self.tracker,
+            &mut self.ep,
+            self.model.as_ref(),
+            self.clock,
+        )
+    }
+}
+
+/// Find the newest committed generation in a store (delegates to
+/// `ickpt-core`, re-exported here for runner users).
+pub fn last_committed(store: &dyn StableStorage, nranks: u32) -> Option<u64> {
+    latest_committed_generation(store, nranks).ok().flatten()
+}

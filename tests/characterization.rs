@@ -1,0 +1,218 @@
+//! End-to-end characterization runs: the paper's methodology on the
+//! simulated cluster, at test scale.
+
+use ickpt::apps::synthetic::{SyntheticApp, SyntheticConfig};
+use ickpt::apps::Workload;
+use ickpt::cluster::{characterize, characterize_model, CharacterizationConfig};
+use ickpt::core::metrics::IbStats;
+use ickpt::mem::{LayoutBuilder, PAGE_SIZE};
+use ickpt::sim::{SimDuration, SimTime};
+
+fn small(nranks: usize, run_secs: u64) -> CharacterizationConfig {
+    CharacterizationConfig {
+        nranks,
+        scale: 0.02,
+        run_for: SimDuration::from_secs(run_secs),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn synthetic_app_iws_matches_hand_computation() {
+    // 256 pages written per 1 s iteration over a 0.5 s burst, 1 s
+    // timeslice: every full window during steady state must report
+    // exactly 256 dirty pages.
+    let layout = LayoutBuilder::new()
+        .static_bytes(PAGE_SIZE)
+        .heap_capacity_bytes(2048 * PAGE_SIZE)
+        .mmap_capacity_bytes(PAGE_SIZE)
+        .build();
+    let cfg = CharacterizationConfig {
+        nranks: 1,
+        run_for: SimDuration::from_secs(10),
+        ..Default::default()
+    };
+    let report = characterize_model(&cfg, layout, |_| {
+        Box::new(SyntheticApp::new(SyntheticConfig::default()))
+    });
+    let samples = &report.ranks[0].samples;
+    // Skip the init window (1024 pages first-touched in 0.1 s).
+    let steady: Vec<u64> = samples
+        .iter()
+        .filter(|s| s.end_time > SimTime::from_secs(1))
+        .map(|s| s.iws_pages)
+        .collect();
+    assert!(!steady.is_empty());
+    for (i, &iws) in steady.iter().enumerate() {
+        assert!(
+            iws == 256 || iws == 0 || iws == 512,
+            "window {i}: unexpected IWS {iws} (iteration drift at window edges)"
+        );
+    }
+    let avg = steady.iter().sum::<u64>() as f64 / steady.len() as f64;
+    assert!((avg - 256.0).abs() < 40.0, "steady-state average {avg} ~ 256 pages/s");
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let cfg = small(4, 60);
+    let a = characterize(Workload::NasLu, &cfg);
+    let b = characterize(Workload::NasLu, &cfg);
+    for (ra, rb) in a.ranks.iter().zip(&b.ranks) {
+        assert_eq!(ra.samples, rb.samples, "rank {} samples differ across runs", ra.rank);
+        assert_eq!(ra.total_faults, rb.total_faults);
+        assert_eq!(ra.final_time, rb.final_time);
+    }
+}
+
+#[test]
+fn all_workloads_run_on_four_ranks() {
+    for w in Workload::ALL {
+        let run_secs = (4.0 * w.calib().period_s).ceil().max(20.0) as u64;
+        let report = characterize(w, &small(4, run_secs));
+        assert_eq!(report.ranks.len(), 4, "{}", w.name());
+        for r in &report.ranks {
+            assert!(r.iterations >= 2, "{}: rank {} only {} iterations", w.name(), r.rank, r.iterations);
+            assert!(r.total_faults > 0, "{}", w.name());
+            assert!(!r.samples.is_empty(), "{}", w.name());
+        }
+        // Bulk-synchronous: all ranks end at the same virtual time and
+        // iteration count.
+        let t0 = report.ranks[0].final_time;
+        assert!(report.ranks.iter().all(|r| r.final_time == t0), "{}", w.name());
+        let i0 = report.ranks[0].iterations;
+        assert!(report.ranks.iter().all(|r| r.iterations == i0), "{}", w.name());
+    }
+}
+
+#[test]
+fn ib_decreases_with_longer_timeslices() {
+    // Fig 2's headline shape: average IB decays as the timeslice grows
+    // (page reuse within longer windows).
+    let mut results = Vec::new();
+    for ts in [1u64, 5, 20] {
+        let cfg = CharacterizationConfig {
+            nranks: 2,
+            scale: 0.02,
+            run_for: SimDuration::from_secs(120),
+            timeslice: SimDuration::from_secs(ts),
+            ..Default::default()
+        };
+        let report = characterize(Workload::Sage50, &cfg);
+        let stats = IbStats::from_samples(
+            &report.ranks[0].samples,
+            SimDuration::from_secs(ts),
+            SimTime::from_secs(25), // skip init + first partial period
+        );
+        assert!(stats.windows > 0, "timeslice {ts}");
+        results.push(stats.avg_mbps);
+    }
+    assert!(
+        results[0] > results[1] && results[1] > results[2],
+        "avg IB must decay with timeslice: {results:?}"
+    );
+}
+
+#[test]
+fn sage_shows_periodic_bursts() {
+    // Fig 1(a): write bursts every iteration period.
+    let cfg = CharacterizationConfig {
+        nranks: 2,
+        scale: 0.02,
+        run_for: SimDuration::from_secs(90), // Sage-50 period = 20 s
+        ..Default::default()
+    };
+    let report = characterize(Workload::Sage50, &cfg);
+    let samples = &report.ranks[0].samples;
+    let series: Vec<u64> = samples.iter().map(|s| s.iws_pages).collect();
+    let detected = ickpt::core::policy::detect_period(
+        &series,
+        SimDuration::from_secs(1),
+        5, // skip the init burst
+    );
+    let period = detected.expect("Sage must show a detectable period").as_secs_f64();
+    assert!(
+        (period - 20.0).abs() < 4.0,
+        "detected period {period} s vs calibrated 20 s"
+    );
+}
+
+#[test]
+fn communication_is_recorded_per_window() {
+    let cfg = small(4, 60);
+    let report = characterize(Workload::NasLu, &cfg);
+    for r in &report.ranks {
+        assert!(r.bytes_received > 0, "rank {} received nothing", r.rank);
+        let window_total: u64 = r.samples.iter().map(|s| s.bytes_received).sum();
+        assert!(window_total > 0, "per-window traffic series is empty");
+    }
+}
+
+#[test]
+fn weak_scaling_keeps_per_rank_ib_stable() {
+    // Fig 5: per-process IB does not grow with processor count.
+    let mut avgs = Vec::new();
+    for nranks in [2usize, 8] {
+        let cfg = CharacterizationConfig {
+            nranks,
+            scale: 0.02,
+            run_for: SimDuration::from_secs(120),
+            ..Default::default()
+        };
+        let report = characterize(Workload::Sage50, &cfg);
+        let stats = IbStats::from_samples(
+            &report.ranks[0].samples,
+            SimDuration::from_secs(1),
+            SimTime::from_secs(25),
+        );
+        avgs.push(stats.avg_mbps);
+    }
+    let ratio = avgs[1] / avgs[0];
+    assert!(
+        (0.85..=1.02).contains(&ratio),
+        "per-rank IB at 8 ranks should be ≈ (slightly below) 2 ranks: {avgs:?}"
+    );
+}
+
+#[test]
+fn single_rank_runs_degenerate_gracefully() {
+    // Collectives over one party, no neighbors, no traffic: the
+    // characterization must still sample and detect structure.
+    let cfg = CharacterizationConfig {
+        nranks: 1,
+        scale: 0.02,
+        run_for: SimDuration::from_secs(80),
+        ..Default::default()
+    };
+    let report = characterize(Workload::Sage50, &cfg);
+    assert_eq!(report.ranks.len(), 1);
+    let r0 = &report.ranks[0];
+    assert!(r0.iterations >= 3);
+    assert!(r0.total_faults > 0);
+    let series: Vec<u64> = r0.samples.iter().map(|s| s.iws_pages).collect();
+    let period = ickpt::core::policy::detect_period(&series, SimDuration::from_secs(1), 5);
+    assert!(period.is_some(), "periodicity survives the single-rank case");
+}
+
+#[test]
+fn intrusiveness_accounting() {
+    // §6.5: fault overhead at a 1 s timeslice stays below 10 % and
+    // shrinks with longer timeslices.
+    let mut overheads = Vec::new();
+    for ts in [1u64, 10] {
+        let cfg = CharacterizationConfig {
+            nranks: 2,
+            scale: 0.02,
+            run_for: SimDuration::from_secs(100),
+            timeslice: SimDuration::from_secs(ts),
+            fault_cost: SimDuration::from_micros(10),
+            ..Default::default()
+        };
+        let report = characterize(Workload::Sage50, &cfg);
+        let r = &report.ranks[0];
+        let slowdown = r.overhead.as_secs_f64() / r.final_time.as_secs_f64();
+        overheads.push(slowdown);
+    }
+    assert!(overheads[0] < 0.10, "slowdown at 1 s = {:.3}", overheads[0]);
+    assert!(overheads[1] < overheads[0], "longer timeslice must be less intrusive");
+}

@@ -1,0 +1,340 @@
+//! End-to-end fault tolerance: coordinated incremental checkpoints,
+//! injected failures, rollback recovery, and byte-exact equivalence
+//! with a failure-free execution.
+
+use std::sync::Arc;
+
+use ickpt::apps::synthetic::{SyntheticApp, SyntheticConfig};
+use ickpt::apps::Workload;
+use ickpt::cluster::{run_fault_tolerant, CheckpointMode, FailureSpec, FaultTolerantConfig, StoragePath, RunOutcome};
+use ickpt::core::coordinator::CheckpointPolicy;
+use ickpt::mem::{DataLayout, LayoutBuilder, PAGE_SIZE};
+use ickpt::net::NetConfig;
+use ickpt::sim::{DevicePreset, SimDuration, SimTime};
+use ickpt::storage::MemStore;
+
+fn synthetic_layout() -> DataLayout {
+    LayoutBuilder::new()
+        .static_bytes(PAGE_SIZE)
+        .heap_capacity_bytes(2048 * PAGE_SIZE)
+        .mmap_capacity_bytes(PAGE_SIZE)
+        .build()
+}
+
+fn synthetic_cfg(nranks: usize, max_iterations: u64, failures: Vec<FailureSpec>) -> FaultTolerantConfig {
+    FaultTolerantConfig {
+        nranks,
+        max_iterations,
+        timeslice: SimDuration::from_secs(1),
+        policy: CheckpointPolicy::incremental(SimDuration::from_secs(3), 0),
+        store: Arc::new(MemStore::new()),
+        device: DevicePreset::ScsiDisk,
+        mode: CheckpointMode::StopAndCopy,
+        storage_path: StoragePath::PerRank,
+        failures,
+        net: NetConfig::qsnet(),
+        max_attempts: 4,
+    }
+}
+
+fn build_synthetic(nranks: usize) -> impl Fn(usize) -> Box<dyn ickpt::apps::AppModel> + Sync {
+    move |rank| {
+        Box::new(SyntheticApp::new(SyntheticConfig {
+            exchange_bytes: 8192,
+            rank,
+            nranks,
+            ..Default::default()
+        }))
+    }
+}
+
+#[test]
+fn failure_free_run_checkpoints_and_completes() {
+    let cfg = synthetic_cfg(4, 12, vec![]);
+    let report =
+        run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(4)).unwrap();
+    assert_eq!(report.outcome, RunOutcome::Completed);
+    assert_eq!(report.attempts, 1);
+    for r in &report.ranks {
+        assert_eq!(r.iterations, 12);
+        // ~12 virtual seconds / 3 s interval → ~4 checkpoints.
+        assert!((3..=5).contains(&r.checkpoints), "rank {}: {} ckpts", r.rank, r.checkpoints);
+        assert!(r.checkpoint_bytes > 0);
+        assert!(r.content_digest.is_some());
+        assert!(r.last_committed.is_some());
+    }
+    // Stable storage holds a committed manifest for every generation.
+    let gens = cfg.store.list_manifests().unwrap();
+    assert!(!gens.is_empty());
+    for r in 0..4u32 {
+        assert_eq!(cfg.store.list_generations(r).unwrap().len(), gens.len());
+    }
+}
+
+#[test]
+fn recovery_reproduces_failure_free_final_state() {
+    // Reference: no failures.
+    let cfg_ref = synthetic_cfg(4, 15, vec![]);
+    let reference =
+        run_fault_tolerant(&cfg_ref, synthetic_layout(), build_synthetic(4)).unwrap();
+    assert_eq!(reference.outcome, RunOutcome::Completed);
+    let ref_digests: Vec<_> =
+        reference.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+
+    // Same run, but rank 2 dies ~8 virtual seconds in.
+    let cfg = synthetic_cfg(
+        4,
+        15,
+        vec![FailureSpec { rank: 2, at: SimTime::from_secs(8) }],
+    );
+    let recovered =
+        run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(4)).unwrap();
+    assert_eq!(recovered.outcome, RunOutcome::Completed);
+    assert_eq!(recovered.attempts, 2, "one failure, one recovery");
+    let rec_digests: Vec<_> =
+        recovered.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+    assert_eq!(
+        ref_digests, rec_digests,
+        "rollback recovery must reproduce the failure-free memory image"
+    );
+    for (a, b) in reference.ranks.iter().zip(&recovered.ranks) {
+        assert_eq!(a.iterations, b.iterations);
+    }
+}
+
+#[test]
+fn multiple_failures_multiple_recoveries() {
+    let cfg_ref = synthetic_cfg(2, 20, vec![]);
+    let reference =
+        run_fault_tolerant(&cfg_ref, synthetic_layout(), build_synthetic(2)).unwrap();
+    let ref_digests: Vec<_> =
+        reference.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+
+    let cfg = synthetic_cfg(
+        2,
+        20,
+        vec![
+            FailureSpec { rank: 0, at: SimTime::from_secs(6) },
+            FailureSpec { rank: 1, at: SimTime::from_secs(13) },
+        ],
+    );
+    let recovered =
+        run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(2)).unwrap();
+    assert_eq!(recovered.outcome, RunOutcome::Completed);
+    assert_eq!(recovered.attempts, 3, "two failures, two recoveries");
+    let rec_digests: Vec<_> =
+        recovered.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+    assert_eq!(ref_digests, rec_digests);
+}
+
+#[test]
+fn failure_before_any_checkpoint_restarts_from_scratch() {
+    // Checkpoint interval longer than the run: no generation ever
+    // commits, so the failure triggers a cold restart from the
+    // beginning — and the restarted run must still produce the same
+    // final state as an undisturbed one.
+    let mut cfg = synthetic_cfg(2, 10, vec![FailureSpec { rank: 0, at: SimTime::from_secs(2) }]);
+    cfg.policy = CheckpointPolicy::incremental(SimDuration::from_secs(1000), 0);
+    let report = run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(2)).unwrap();
+    assert_eq!(report.outcome, RunOutcome::Completed);
+    assert_eq!(report.attempts, 2, "one cold restart");
+
+    let mut clean_cfg = synthetic_cfg(2, 10, vec![]);
+    clean_cfg.policy = CheckpointPolicy::incremental(SimDuration::from_secs(1000), 0);
+    let clean = run_fault_tolerant(&clean_cfg, synthetic_layout(), build_synthetic(2)).unwrap();
+    for (a, b) in clean.ranks.iter().zip(&report.ranks) {
+        assert_eq!(a.content_digest, b.content_digest);
+    }
+}
+
+#[test]
+fn incremental_checkpoints_are_smaller_than_full() {
+    // The premise of the paper: after the base, increments move only
+    // the working set.
+    let cfg_incr = synthetic_cfg(2, 12, vec![]);
+    let incr = run_fault_tolerant(&cfg_incr, synthetic_layout(), build_synthetic(2)).unwrap();
+
+    let mut cfg_full = synthetic_cfg(2, 12, vec![]);
+    cfg_full.policy = CheckpointPolicy::always_full(SimDuration::from_secs(3));
+    let full = run_fault_tolerant(&cfg_full, synthetic_layout(), build_synthetic(2)).unwrap();
+
+    let incr_bytes = incr.ranks[0].checkpoint_bytes;
+    let full_bytes = full.ranks[0].checkpoint_bytes;
+    assert!(
+        // Synthetic writes 256 of 1024 pages per iteration: increments
+        // should be ≈ 4x smaller after the shared base checkpoint.
+        (incr_bytes as f64) < 0.5 * full_bytes as f64,
+        "incremental {incr_bytes} vs full {full_bytes}"
+    );
+}
+
+#[test]
+fn forked_checkpoints_stall_less_and_still_recover() {
+    // Same synthetic run under both modes: forked mode must stall the
+    // application far less per checkpoint, eventually commit every
+    // generation, and still support byte-exact recovery.
+    let stop_cfg = synthetic_cfg(4, 15, vec![]);
+    let stop = run_fault_tolerant(&stop_cfg, synthetic_layout(), build_synthetic(4)).unwrap();
+
+    let mut fork_cfg = synthetic_cfg(4, 15, vec![]);
+    fork_cfg.mode = CheckpointMode::Forked { fork_cost_per_page_ns: 200, cow_copy_ns: 2_000 };
+    let fork = run_fault_tolerant(&fork_cfg, synthetic_layout(), build_synthetic(4)).unwrap();
+
+    let s = &stop.ranks[0];
+    let f = &fork.ranks[0];
+    assert_eq!(s.checkpoints, f.checkpoints, "same schedule");
+    assert!(
+        f.checkpoint_stall.as_secs_f64() < 0.5 * s.checkpoint_stall.as_secs_f64(),
+        "forked stall {} vs stop-and-copy {}",
+        f.checkpoint_stall,
+        s.checkpoint_stall
+    );
+    assert!(f.commit_lag > ickpt::sim::SimDuration::ZERO, "commits are deferred");
+    assert_eq!(s.content_digest, f.content_digest, "mode must not change the computation");
+    // Every generation eventually committed.
+    assert_eq!(
+        fork_cfg.store.list_manifests().unwrap().len() as u64,
+        f.checkpoints,
+        "all forked generations commit"
+    );
+
+    // Recovery still works under forked mode.
+    let mut fail_cfg = synthetic_cfg(
+        4,
+        15,
+        vec![FailureSpec { rank: 1, at: SimTime::from_secs(8) }],
+    );
+    fail_cfg.mode = CheckpointMode::Forked { fork_cost_per_page_ns: 200, cow_copy_ns: 2_000 };
+    let recovered =
+        run_fault_tolerant(&fail_cfg, synthetic_layout(), build_synthetic(4)).unwrap();
+    assert_eq!(recovered.outcome, RunOutcome::Completed);
+    for (a, b) in stop.ranks.iter().zip(&recovered.ranks) {
+        assert_eq!(a.content_digest, b.content_digest, "rank {}", a.rank);
+    }
+}
+
+#[test]
+fn memory_exclusion_is_accounted_for_dynamic_apps() {
+    // Sage maps a burst workspace and frees it before iteration end:
+    // those dirty pages are excluded from checkpoints and the tracker
+    // reports the saving. Static apps exclude nothing.
+    let nranks = 2;
+    let scale = 0.02;
+    let w = Workload::Sage50;
+    let cfg = FaultTolerantConfig {
+        nranks,
+        max_iterations: 4,
+        timeslice: SimDuration::from_secs(1),
+        policy: CheckpointPolicy::incremental(SimDuration::from_secs(35), 0),
+        store: Arc::new(MemStore::new()),
+        device: DevicePreset::ScsiDisk,
+        mode: CheckpointMode::StopAndCopy,
+        storage_path: StoragePath::PerRank,
+        failures: vec![],
+        net: NetConfig::qsnet(),
+        max_attempts: 1,
+    };
+    let report = run_fault_tolerant(&cfg, w.layout(scale), move |rank| {
+        Box::new(w.build(rank, nranks, scale, 7))
+    })
+    .unwrap();
+    let r0 = &report.ranks[0];
+    assert!(
+        r0.excluded_pages > 0,
+        "Sage's freed workspace must show up as excluded pages"
+    );
+
+    let static_report = run_fault_tolerant(
+        &synthetic_cfg(2, 6, vec![]),
+        synthetic_layout(),
+        build_synthetic(2),
+    )
+    .unwrap();
+    assert_eq!(static_report.ranks[0].excluded_pages, 0, "static app excludes nothing");
+}
+
+#[test]
+fn sage_recovery_from_incremental_chain_is_byte_exact() {
+    // Regression: recovery from an *incremental* generation (not the
+    // base) with mmap churn in between. Two historical bugs hid here:
+    // freshly mapped pages were not zeroed, and newly mapped ranges
+    // were missing from the checkpoint set, so a restore resurrected
+    // stale bytes into re-used address ranges.
+    let nranks = 4;
+    let scale = 0.02;
+    let w = Workload::Sage50;
+    let layout = w.layout(scale);
+    let build = move |rank: usize| -> Box<dyn ickpt::apps::AppModel> {
+        Box::new(w.build(rank, nranks, scale, 7))
+    };
+    let mk = |failures: Vec<FailureSpec>| FaultTolerantConfig {
+        nranks,
+        max_iterations: 8,
+        timeslice: SimDuration::from_secs(1),
+        // Interval 40 s: a full at t=40, an increment at t=80, failure
+        // at t>=90 -> recovery restores the incremental chain.
+        policy: CheckpointPolicy::incremental(SimDuration::from_secs(40), 0),
+        store: Arc::new(MemStore::new()),
+        device: DevicePreset::ScsiDisk,
+        mode: CheckpointMode::StopAndCopy,
+        storage_path: StoragePath::PerRank,
+        failures,
+        net: NetConfig::qsnet(),
+        max_attempts: 3,
+    };
+    let reference = run_fault_tolerant(&mk(vec![]), layout, build).unwrap();
+    let recovered = run_fault_tolerant(
+        &mk(vec![FailureSpec { rank: 2, at: SimTime::from_secs(90) }]),
+        layout,
+        build,
+    )
+    .unwrap();
+    assert_eq!(recovered.outcome, RunOutcome::Completed);
+    assert_eq!(recovered.attempts, 2);
+    for (a, b) in reference.ranks.iter().zip(&recovered.ranks) {
+        assert_eq!(a.content_digest, b.content_digest, "rank {}", a.rank);
+    }
+}
+
+#[test]
+fn sage_model_survives_failure_with_dynamic_memory() {
+    // The hard case: Sage churns mmap blocks and maps a burst
+    // workspace; recovery must rebuild the exact mapping layout.
+    let nranks = 2;
+    let scale = 0.01;
+    let w = Workload::Sage50;
+    let layout = w.layout(scale);
+    let build = move |rank: usize| -> Box<dyn ickpt::apps::AppModel> {
+        Box::new(w.build(rank, nranks, scale, 99))
+    };
+
+    let cfg_ref = FaultTolerantConfig {
+        nranks,
+        max_iterations: 6,
+        timeslice: SimDuration::from_secs(1),
+        policy: CheckpointPolicy::incremental(SimDuration::from_secs(30), 0),
+        store: Arc::new(MemStore::new()),
+        device: DevicePreset::ScsiDisk,
+        mode: CheckpointMode::StopAndCopy,
+        storage_path: StoragePath::PerRank,
+        failures: vec![],
+        net: NetConfig::qsnet(),
+        max_attempts: 3,
+    };
+    let reference = run_fault_tolerant(&cfg_ref, layout, build).unwrap();
+    assert_eq!(reference.outcome, RunOutcome::Completed);
+    let ref_digests: Vec<_> =
+        reference.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+
+    let cfg = FaultTolerantConfig {
+        store: Arc::new(MemStore::new()),
+        failures: vec![FailureSpec { rank: 1, at: SimTime::from_secs(70) }],
+        ..cfg_ref
+    };
+    let recovered = run_fault_tolerant(&cfg, layout, build).unwrap();
+    assert_eq!(recovered.outcome, RunOutcome::Completed);
+    assert_eq!(recovered.attempts, 2);
+    let rec_digests: Vec<_> =
+        recovered.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+    assert_eq!(ref_digests, rec_digests, "Sage recovery must be byte-exact");
+}
