@@ -21,8 +21,7 @@ pub fn ascii_multi_plot(
 ) -> String {
     assert!(width >= 8 && height >= 2, "plot area too small");
     const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
     let mut out = String::new();
     if !title.is_empty() {
         out.push_str(title);
@@ -69,7 +68,13 @@ pub fn ascii_multi_plot(
         out.push('\n');
     }
     out.push_str(&format!("{:>9}  {}\n", "", "-".repeat(width)));
-    out.push_str(&format!("{:>11}{:<.1}{}{:>.1}\n", "", xmin, " ".repeat(width.saturating_sub(8)), xmax));
+    out.push_str(&format!(
+        "{:>11}{:<.1}{}{:>.1}\n",
+        "",
+        xmin,
+        " ".repeat(width.saturating_sub(8)),
+        xmax
+    ));
     let legend: Vec<String> = series
         .iter()
         .enumerate()

@@ -121,16 +121,10 @@ pub fn lu(rank: usize, nranks: usize, scale: f64, seed: u64) -> PhasedApp {
 /// NAS FT: 3D FFT with an all-to-all transpose after each per-dimension
 /// FFT pass.
 pub fn ft(rank: usize, nranks: usize, scale: f64, seed: u64) -> PhasedApp {
-    let per_pair = if nranks > 1 {
-        (NAS_FT.ws_bytes() as f64 * scale / nranks as f64) as u64
-    } else {
-        0
-    };
-    let comm = if per_pair > 0 {
-        CommSpec::AllToAll { bytes_per_pair: per_pair }
-    } else {
-        CommSpec::None
-    };
+    let per_pair =
+        if nranks > 1 { (NAS_FT.ws_bytes() as f64 * scale / nranks as f64) as u64 } else { 0 };
+    let comm =
+        if per_pair > 0 { CommSpec::AllToAll { bytes_per_pair: per_pair } } else { CommSpec::None };
     nas_model(&NAS_FT, rank, nranks, scale, seed, 3, comm)
 }
 
@@ -149,8 +143,7 @@ mod tests {
             let cfg = app.config();
             // Compute plus (estimated) communication fills the period;
             // FT's all-to-all transposes occupy a large share of it.
-            let est_comm =
-                cfg.comm.estimate_seconds_per_iter(0, 16, cfg.kernels, 340e6);
+            let est_comm = cfg.comm.estimate_seconds_per_iter(0, 16, cfg.kernels, 340e6);
             let busy = cfg.burst().as_secs_f64() + est_comm;
             let frac = busy / cfg.period.as_secs_f64();
             assert!(

@@ -182,11 +182,7 @@ mod tests {
 
     fn ws() -> WorkingSet {
         // Fragmented: [10,15) [30,35) [50,60) => 20 pages flat.
-        WorkingSet::new(vec![
-            PageRange::new(10, 5),
-            PageRange::new(30, 5),
-            PageRange::new(50, 10),
-        ])
+        WorkingSet::new(vec![PageRange::new(10, 5), PageRange::new(30, 5), PageRange::new(50, 10)])
     }
 
     fn expand(ranges: &[PageRange]) -> Vec<u64> {

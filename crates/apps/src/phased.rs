@@ -307,11 +307,7 @@ impl PhasedApp {
                         steps.push(Step::Send { to: nb, tag, bytes: *bytes });
                     }
                     for (d, &nb) in nbrs.iter().enumerate() {
-                        steps.push(Step::Recv {
-                            from: nb,
-                            tag,
-                            into: self.ghost_range(d, *bytes),
-                        });
+                        steps.push(Step::Recv { from: nb, tag, into: self.ghost_range(d, *bytes) });
                     }
                 }
                 steps
@@ -388,9 +384,8 @@ impl AppModel for PhasedApp {
         self.initialized = true;
         // First-touch initialization sweep over everything mapped.
         let all = WorkingSet::new(self.array_ranges());
-        let duration = SimDuration::from_secs_f64(
-            (all.total_pages() * PAGE_SIZE) as f64 / self.cfg.init_rate,
-        );
+        let duration =
+            SimDuration::from_secs_f64((all.total_pages() * PAGE_SIZE) as f64 / self.cfg.init_rate);
         Ok(Phase::continuing(vec![Step::Compute {
             duration,
             pattern: AccessPattern::Sweep {
@@ -614,8 +609,7 @@ mod tests {
         app.init(&mut sp).unwrap();
         let burst = app.next_phase(&mut sp).unwrap();
         assert!(!burst.ends_iteration);
-        let computes =
-            burst.steps.iter().filter(|s| matches!(s, Step::Compute { .. })).count();
+        let computes = burst.steps.iter().filter(|s| matches!(s, Step::Compute { .. })).count();
         assert_eq!(computes, 4, "one compute per kernel");
         let sends = burst.steps.iter().filter(|s| matches!(s, Step::Send { .. })).count();
         assert_eq!(sends, 8, "two ring neighbors x four kernels");
@@ -634,12 +628,8 @@ mod tests {
 
     #[test]
     fn sage_churn_maps_temp_during_burst_only() {
-        let alloc = AllocMode::SageChurn {
-            perm_blocks: 4,
-            temp_frac: 0.25,
-            churn_blocks: 1,
-            jitter: 0.2,
-        };
+        let alloc =
+            AllocMode::SageChurn { perm_blocks: 4, temp_frac: 0.25, churn_blocks: 1, jitter: 0.2 };
         let mut app = PhasedApp::new(test_cfg(alloc, 2));
         let mut sp = space();
         app.init(&mut sp).unwrap();
@@ -668,9 +658,9 @@ mod tests {
             .steps
             .iter()
             .filter_map(|s| match s {
-                Step::Compute {
-                    pattern: AccessPattern::Sweep { start_offset, .. }, ..
-                } => Some(*start_offset),
+                Step::Compute { pattern: AccessPattern::Sweep { start_offset, .. }, .. } => {
+                    Some(*start_offset)
+                }
                 _ => None,
             })
             .collect();
@@ -680,12 +670,8 @@ mod tests {
 
     #[test]
     fn state_roundtrip_preserves_trajectory() {
-        let alloc = AllocMode::SageChurn {
-            perm_blocks: 3,
-            temp_frac: 0.2,
-            churn_blocks: 1,
-            jitter: 0.2,
-        };
+        let alloc =
+            AllocMode::SageChurn { perm_blocks: 3, temp_frac: 0.2, churn_blocks: 1, jitter: 0.2 };
         let mut a = PhasedApp::new(test_cfg(alloc.clone(), 2));
         let mut sp_a = space();
         a.init(&mut sp_a).unwrap();

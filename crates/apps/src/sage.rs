@@ -64,9 +64,8 @@ pub fn model(calib: &AppCalib, rank: usize, nranks: usize, scale: f64, seed: u64
         bytes: (EXCHANGE_BYTES as f64 * scale) as u64,
         rounds,
     };
-    let comm_budget = SimDuration::from_secs_f64(
-        comm.estimate_seconds_per_iter(rank, nranks, kernels, 340e6),
-    );
+    let comm_budget =
+        SimDuration::from_secs_f64(comm.estimate_seconds_per_iter(rank, nranks, kernels, 340e6));
     PhasedApp::new(PhasedConfig {
         name: c.name.to_string(),
         rank,

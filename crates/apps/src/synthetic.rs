@@ -84,9 +84,7 @@ impl AppModel for SyntheticApp {
 
     fn next_phase(&mut self, _space: &mut dyn AddressSpace) -> Result<Phase, MemError> {
         let heap = self.heap.expect("init first");
-        let burst = SimDuration::from_secs_f64(
-            self.cfg.period.as_secs_f64() * self.cfg.burst_frac,
-        );
+        let burst = SimDuration::from_secs_f64(self.cfg.period.as_secs_f64() * self.cfg.burst_frac);
         let quiet = self.cfg.period - burst;
         let ws = PageRange::new(heap.start, self.cfg.writes_per_iter);
         let mut steps = vec![Step::Compute {
@@ -165,12 +163,8 @@ mod tests {
 
     #[test]
     fn exchange_steps_present_with_ranks() {
-        let cfg = SyntheticConfig {
-            exchange_bytes: 4096,
-            rank: 1,
-            nranks: 4,
-            ..Default::default()
-        };
+        let cfg =
+            SyntheticConfig { exchange_bytes: 4096, rank: 1, nranks: 4, ..Default::default() };
         let mut app = SyntheticApp::new(cfg);
         let mut sp = space();
         app.init(&mut sp).unwrap();

@@ -142,8 +142,8 @@ pub fn layout_for(cfg: &PhasedConfig) -> DataLayout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ickpt_mem::{AddressSpace, SparseSpace};
     use crate::step::AppModel;
+    use ickpt_mem::{AddressSpace, SparseSpace};
 
     #[test]
     fn catalog_is_complete_and_named() {

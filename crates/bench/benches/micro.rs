@@ -5,11 +5,14 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
+use ickpt::core::checkpoint::{capture_full_with, CaptureConfig, CaptureScratch};
 use ickpt::core::tracker::{TrackerConfig, WriteTracker};
-use ickpt::mem::{DirtyBitmap, PageRange};
+use ickpt::mem::{
+    AddressSpace, BackedSpace, DirtyBitmap, FlatDirtyBitmap, LayoutBuilder, PageRange, PAGE_SIZE,
+};
 use ickpt::native::TrackedRegion;
 use ickpt::sim::SimDuration;
-use ickpt::storage::crc::crc32;
+use ickpt::storage::crc::{crc32, crc32_bytewise};
 use ickpt::storage::{Chunk, ChunkKind, PageRecord};
 
 fn bench_bitmap(c: &mut Criterion) {
@@ -38,6 +41,67 @@ fn bench_bitmap(c: &mut Criterion) {
             bm.set(p);
         }
         b.iter(|| black_box(bm.dirty_ranges().len()));
+    });
+    g.finish();
+}
+
+/// Hierarchical vs flat bitmap on the iteration/clear paths the write
+/// tracker hits every timeslice. "Sparse" is the paper's common case: a
+/// small IWS scattered across a 1 GB image, where the summary level
+/// lets the hierarchical bitmap skip clean 4096-page blocks entirely.
+fn bench_bitmap_hier_vs_flat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap_hier_vs_flat");
+    let pages = 262_144u64;
+    // ~64 scattered dirty pages out of 262144 (0.02% — a quiet window).
+    let sparse: Vec<u64> = (0..pages).step_by(4099).collect();
+    g.throughput(Throughput::Elements(pages));
+
+    let mut hier = DirtyBitmap::new(pages);
+    let mut flat = FlatDirtyBitmap::new(pages);
+    for &p in &sparse {
+        hier.set(p);
+        flat.set(p);
+    }
+    g.bench_function("dirty_ranges_sparse_hier", |b| {
+        b.iter(|| black_box(hier.dirty_ranges().len()))
+    });
+    g.bench_function("dirty_ranges_sparse_flat", |b| {
+        b.iter(|| black_box(flat.dirty_ranges().len()))
+    });
+    g.bench_function("iter_sparse_hier", |b| b.iter(|| black_box(hier.iter_set().count())));
+    g.bench_function("iter_sparse_flat", |b| b.iter(|| black_box(flat.iter_set().count())));
+    g.bench_function("clear_all_sparse_hier", |b| {
+        let mut bm = DirtyBitmap::new(pages);
+        b.iter(|| {
+            for &p in &sparse {
+                bm.set(p);
+            }
+            bm.clear_all();
+            black_box(bm.count())
+        })
+    });
+    g.bench_function("clear_all_sparse_flat", |b| {
+        let mut bm = FlatDirtyBitmap::new(pages);
+        b.iter(|| {
+            for &p in &sparse {
+                bm.set(p);
+            }
+            bm.clear_all();
+            black_box(bm.count())
+        })
+    });
+
+    // Dense: everything dirty (an initialization sweep). The summary
+    // level must not cost anything measurable here.
+    let mut dhier = DirtyBitmap::new(pages);
+    let mut dflat = FlatDirtyBitmap::new(pages);
+    dhier.set_range(PageRange::new(0, pages));
+    dflat.set_range(PageRange::new(0, pages));
+    g.bench_function("dirty_ranges_dense_hier", |b| {
+        b.iter(|| black_box(dhier.dirty_ranges().len()))
+    });
+    g.bench_function("dirty_ranges_dense_flat", |b| {
+        b.iter(|| black_box(dflat.dirty_ranges().len()))
     });
     g.finish();
 }
@@ -91,7 +155,61 @@ fn bench_crc(c: &mut Criterion) {
     let mut g = c.benchmark_group("crc32");
     let data = vec![0x5Au8; 1 << 20];
     g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("1mb", |b| b.iter(|| black_box(crc32(&data))));
+    g.bench_function("slice8_1mb", |b| b.iter(|| black_box(crc32(&data))));
+    g.bench_function("bytewise_1mb", |b| b.iter(|| black_box(crc32_bytewise(&data))));
+    g.finish();
+}
+
+/// Full-image capture, serial vs parallel, on a Sage-like footprint.
+///
+/// Size via `ICKPT_BENCH_CAPTURE_MB` (default 256; the paper's largest
+/// process image is ~1 GB). The parallel variants force the fan-out
+/// path (`parallel_threshold_pages: 0`); on a single-core host they
+/// measure the overhead of span splitting + merge, on a multi-core host
+/// the speedup of the page-copy fan-out. All variants reuse one
+/// [`CaptureScratch`], so steady-state captures are allocation-free.
+fn bench_capture(c: &mut Criterion) {
+    let mb: u64 =
+        std::env::var("ICKPT_BENCH_CAPTURE_MB").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+    let pages = mb * (1 << 20) / PAGE_SIZE;
+    let layout = LayoutBuilder::new()
+        .static_bytes(4 * PAGE_SIZE)
+        .heap_capacity_bytes(pages * PAGE_SIZE)
+        .mmap_capacity_bytes(4 * PAGE_SIZE)
+        .build();
+    let mut space = BackedSpace::new(layout);
+    space.heap_grow(pages - 4).unwrap();
+    // ~87% of pages written, the rest left zero (fresh allocations), so
+    // both the copy path and the zero-elision word scan are exercised.
+    for r in space.mapped_ranges() {
+        for p in r.iter() {
+            if p % 8 != 5 {
+                space.fill_page(p, p.wrapping_mul(0x9E37_79B9)).unwrap();
+            }
+        }
+    }
+    let bytes = space.mapped_pages() * PAGE_SIZE;
+
+    let mut g = c.benchmark_group("capture_full");
+    g.throughput(Throughput::Bytes(bytes));
+    for workers in [1usize, 4, 8] {
+        let id = if workers == 1 {
+            format!("{mb}mb_serial")
+        } else {
+            format!("{mb}mb_{workers}workers")
+        };
+        let cfg = CaptureConfig { workers, parallel_threshold_pages: 0 };
+        let mut scratch = CaptureScratch::new();
+        g.bench_function(&id, |b| {
+            b.iter(|| {
+                let chunk =
+                    capture_full_with(&space, 0, 1, ickpt::sim::SimTime::ZERO, &cfg, &mut scratch);
+                let pages = chunk.payload_pages();
+                scratch.recycle(chunk);
+                black_box(pages)
+            })
+        });
+    }
     g.finish();
 }
 
@@ -123,9 +241,11 @@ fn bench_native_fault(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_bitmap,
+    bench_bitmap_hier_vs_flat,
     bench_tracker,
     bench_chunk_codec,
     bench_crc,
+    bench_capture,
     bench_native_fault
 );
 criterion_main!(benches);

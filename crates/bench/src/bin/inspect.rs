@@ -67,7 +67,13 @@ fn main() {
             }
             Err(e) => {
                 problems += 1;
-                mtable.row(vec![g.to_string(), "?".into(), "?".into(), format!("CORRUPT: {e}"), "-".into()]);
+                mtable.row(vec![
+                    g.to_string(),
+                    "?".into(),
+                    "?".into(),
+                    format!("CORRUPT: {e}"),
+                    "-".into(),
+                ]);
             }
         }
     }

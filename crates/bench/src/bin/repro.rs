@@ -19,11 +19,7 @@ type Experiment = (&'static str, fn() -> Vec<Comparison>);
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let out_path = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
 
     let experiments: Vec<Experiment> = vec![
         ("Table 2 (memory footprints)", experiments::table2::run_and_print),

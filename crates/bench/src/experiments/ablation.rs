@@ -100,7 +100,9 @@ fn mode_ablation(comparisons: &mut Vec<Comparison>) {
     }
     println!("{}", t.render());
     let speedup = s0.checkpoint_stall.as_secs_f64() / f0.checkpoint_stall.as_secs_f64().max(1e-9);
-    println!("forked mode reduces the application stall {speedup:.1}x (at the cost of deferred commits)");
+    println!(
+        "forked mode reduces the application stall {speedup:.1}x (at the cost of deferred commits)"
+    );
     comparisons.push(Comparison::new(
         "Ablation / forked stall reduction (expect >2x)",
         2.0,
@@ -155,21 +157,15 @@ fn exclusion_ablation(comparisons: &mut Vec<Comparison>) {
 fn traffic_ablation(comparisons: &mut Vec<Comparison>) {
     println!("ablation 1+2: checkpoint traffic (rank-0 bytes) over 40 virtual seconds");
     println!("  synthetic: 4 MiB footprint, 1 MiB working set per 1 s iteration");
-    let mut t = TextTable::new("").header(&[
-        "interval (s)",
-        "full bytes",
-        "incremental bytes",
-        "saving",
-    ]);
+    let mut t =
+        TextTable::new("").header(&["interval (s)", "full bytes", "incremental bytes", "saving"]);
     let mut saving_at_2 = 0.0;
     for interval in [2u64, 5, 10] {
         let full_cfg =
             ft_config(CheckpointPolicy::always_full(SimDuration::from_secs(interval)), 40);
         let full = run_fault_tolerant(&full_cfg, layout(), build).unwrap();
-        let incr_cfg = ft_config(
-            CheckpointPolicy::incremental(SimDuration::from_secs(interval), 0),
-            40,
-        );
+        let incr_cfg =
+            ft_config(CheckpointPolicy::incremental(SimDuration::from_secs(interval), 0), 40);
         let incr = run_fault_tolerant(&incr_cfg, layout(), build).unwrap();
         let fb = full.ranks[0].checkpoint_bytes;
         let ib = incr.ranks[0].checkpoint_bytes;
@@ -207,10 +203,8 @@ fn chain_ablation(comparisons: &mut Vec<Comparison>) {
     ]);
     let mut longest_chain = 0usize;
     for full_every in [0u64, 4, 2, 1] {
-        let cfg = ft_config(
-            CheckpointPolicy::incremental(SimDuration::from_secs(2), full_every),
-            30,
-        );
+        let cfg =
+            ft_config(CheckpointPolicy::incremental(SimDuration::from_secs(2), full_every), 30);
         let result = run_fault_tolerant(&cfg, layout(), build).unwrap();
         let gen = result.ranks[0].last_committed.expect("checkpoints taken");
         let mut space = BackedSpace::new(layout());
@@ -316,9 +310,7 @@ fn storage_path_ablation(comparisons: &mut Vec<Comparison>) {
     }
     println!("{}", t.render());
     let growth = shared_growth[2] / shared_growth[0].max(1e-9);
-    println!(
-        "shared-array stall grows {growth:.1}x from 2 to 8 ranks (per-rank paths stay flat)"
-    );
+    println!("shared-array stall grows {growth:.1}x from 2 to 8 ranks (per-rank paths stay flat)");
     comparisons.push(Comparison::new(
         "Ablation / shared-array stall growth 2→8 ranks (expect ~4x)",
         4.0,

@@ -14,7 +14,9 @@ use std::sync::Arc;
 
 use ickpt::apps::synthetic::{SyntheticApp, SyntheticConfig};
 use ickpt::apps::AppModel;
-use ickpt::cluster::{run_fault_tolerant, CheckpointMode, FailureSpec, FaultTolerantConfig, StoragePath, RunOutcome};
+use ickpt::cluster::{
+    run_fault_tolerant, CheckpointMode, FailureSpec, FaultTolerantConfig, RunOutcome, StoragePath,
+};
 use ickpt::core::coordinator::CheckpointPolicy;
 use ickpt::core::interval::IntervalModel;
 use ickpt::net::NetConfig;

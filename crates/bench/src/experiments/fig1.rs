@@ -56,11 +56,6 @@ pub fn run_and_print() -> Vec<Comparison> {
     );
     vec![
         Comparison::new("Fig 1a / Sage-1000MB burst period", 145.0, period, "s"),
-        Comparison::new(
-            "Fig 1a / Sage-1000MB init peak",
-            400.0,
-            init_peak,
-            "MB",
-        ),
+        Comparison::new("Fig 1a / Sage-1000MB init peak", 400.0, init_peak, "MB"),
     ]
 }

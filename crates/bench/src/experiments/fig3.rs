@@ -28,9 +28,7 @@ pub fn run_and_print() -> Vec<Comparison> {
     }
     let series: Vec<(&str, Vec<(f64, f64)>)> = all_rows
         .iter()
-        .map(|(w, rows)| {
-            (w.name(), rows.iter().map(|&(ts, v)| (ts as f64, v)).collect::<Vec<_>>())
-        })
+        .map(|(w, rows)| (w.name(), rows.iter().map(|&(ts, v)| (ts as f64, v)).collect::<Vec<_>>()))
         .collect();
     let series_refs: Vec<(&str, &[(f64, f64)])> =
         series.iter().map(|(n, s)| (*n, s.as_slice())).collect();

@@ -29,13 +29,14 @@ pub fn run_and_print() -> Vec<Comparison> {
     }
     let series: Vec<(&str, Vec<(f64, f64)>)> = all_rows
         .iter()
-        .map(|(w, rows)| {
-            (w.name(), rows.iter().map(|&(ts, v)| (ts as f64, v)).collect::<Vec<_>>())
-        })
+        .map(|(w, rows)| (w.name(), rows.iter().map(|&(ts, v)| (ts as f64, v)).collect::<Vec<_>>()))
         .collect();
     let series_refs: Vec<(&str, &[(f64, f64)])> =
         series.iter().map(|(n, s)| (*n, s.as_slice())).collect();
-    println!("{}", ascii_multi_plot("IWS : footprint ratio (%) vs timeslice (s)", &series_refs, 60, 14));
+    println!(
+        "{}",
+        ascii_multi_plot("IWS : footprint ratio (%) vs timeslice (s)", &series_refs, 60, 14)
+    );
 
     let mut t = TextTable::new("").header(&["timeslice (s)", "1000MB", "500MB", "100MB", "50MB"]);
     for (i, &ts) in TIMESLICES.iter().enumerate() {

@@ -13,7 +13,7 @@ use ickpt_analysis::table::fnum;
 use ickpt_analysis::{ascii_multi_plot, Comparison, TextTable};
 
 use crate::experiments::fig2::TIMESLICES;
-use crate::{bench_scale, ib_stats, run_length, banner, BENCH_SEED};
+use crate::{banner, bench_scale, ib_stats, run_length, BENCH_SEED};
 
 /// The processor counts of the paper's scaling study.
 pub const RANK_COUNTS: [usize; 4] = [8, 16, 32, 64];
@@ -37,8 +37,7 @@ pub fn run_and_print() -> Vec<Comparison> {
     banner("Figure 5: avg per-process IB for 8/16/32/64 processors (Sage-1000MB, weak scaling)");
     let mut per_p: Vec<(usize, Vec<(u64, f64)>)> = Vec::new();
     for &p in &RANK_COUNTS {
-        let rows: Vec<(u64, f64)> =
-            TIMESLICES.iter().map(|&ts| (ts, run_at(p, ts))).collect();
+        let rows: Vec<(u64, f64)> = TIMESLICES.iter().map(|&ts| (ts, run_at(p, ts))).collect();
         per_p.push((p, rows));
     }
     let names: Vec<String> = RANK_COUNTS.iter().map(|p| format!("{p} procs")).collect();
@@ -50,8 +49,7 @@ pub fn run_and_print() -> Vec<Comparison> {
         names.iter().zip(&series).map(|(n, s)| (n.as_str(), s.as_slice())).collect();
     println!("{}", ascii_multi_plot("avg IB (MB/s) vs timeslice (s)", &series_refs, 60, 14));
 
-    let mut t =
-        TextTable::new("").header(&["timeslice (s)", "8", "16", "32", "64"]);
+    let mut t = TextTable::new("").header(&["timeslice (s)", "8", "16", "32", "64"]);
     for (i, &ts) in TIMESLICES.iter().enumerate() {
         t.row(vec![
             ts.to_string(),

@@ -81,13 +81,8 @@ pub fn run_and_print() -> Vec<Comparison> {
 
     println!();
     println!("native: real mprotect/SIGSEGV tracker on this machine");
-    let mut t = TextTable::new("").header(&[
-        "timeslice",
-        "baseline",
-        "tracked",
-        "slowdown",
-        "faults",
-    ]);
+    let mut t =
+        TextTable::new("").header(&["timeslice", "baseline", "tracked", "slowdown", "faults"]);
     // The sweep must span many timeslices for re-protection to bite:
     // 2048 pages x 60 passes is tens of milliseconds of wall time.
     for ms in [2u64, 20, 1000] {

@@ -14,13 +14,8 @@ use crate::{banner, footprint_mb, run};
 /// Regenerate Table 2.
 pub fn run_and_print() -> Vec<Comparison> {
     banner("Table 2: Memory Footprint Size (MB)");
-    let mut table = TextTable::new("").header(&[
-        "Application",
-        "Maximum",
-        "Average",
-        "paper max",
-        "paper avg",
-    ]);
+    let mut table =
+        TextTable::new("").header(&["Application", "Maximum", "Average", "paper max", "paper avg"]);
     let mut comparisons = Vec::new();
     for w in Workload::ALL {
         let report = run(w, 1);

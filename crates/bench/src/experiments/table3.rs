@@ -38,8 +38,7 @@ fn measure(w: Workload) -> (Option<f64>, f64) {
         // at least ~8 periods and ~200 windows remain for the
         // autocorrelation.
         run_for: SimDuration::from_secs_f64(
-            skip_until(w).as_secs_f64()
-                + (8.0 * w.calib().period_s).max(200.0 * ts.as_secs_f64()),
+            skip_until(w).as_secs_f64() + (8.0 * w.calib().period_s).max(200.0 * ts.as_secs_f64()),
         ),
         timeslice: ts,
         track_iterations: true,

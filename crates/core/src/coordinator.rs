@@ -222,10 +222,12 @@ mod tests {
     #[test]
     fn periodic_rebase() {
         let mut p = planner(1, 3);
-        let kinds: Vec<ChunkKind> =
-            (0..7).map(|i| p.plan(SimTime::from_secs(i)).kind).collect();
+        let kinds: Vec<ChunkKind> = (0..7).map(|i| p.plan(SimTime::from_secs(i)).kind).collect();
         use ChunkKind::*;
-        assert_eq!(kinds, vec![Full, Incremental, Incremental, Full, Incremental, Incremental, Full]);
+        assert_eq!(
+            kinds,
+            vec![Full, Incremental, Incremental, Full, Incremental, Incremental, Full]
+        );
     }
 
     #[test]

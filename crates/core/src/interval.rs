@@ -150,11 +150,8 @@ mod tests {
     #[test]
     fn from_bandwidth_uses_transfer_time() {
         // 780 MB full image over 320 MB/s disk ≈ 2.44 s per checkpoint.
-        let m = IntervalModel::from_bandwidth(
-            780_000_000,
-            320_000_000,
-            SimDuration::from_secs(3600),
-        );
+        let m =
+            IntervalModel::from_bandwidth(780_000_000, 320_000_000, SimDuration::from_secs(3600));
         assert!((m.checkpoint_cost.as_secs_f64() - 2.4375).abs() < 0.01);
         // The paper's scenario: with such cheap checkpoints, a
         // once-an-hour-failure machine still runs at ~96%+ efficiency.
@@ -164,9 +161,9 @@ mod tests {
     #[test]
     fn incremental_checkpoints_raise_efficiency() {
         let mtbf = SimDuration::from_secs(3600); // BlueGene/L-ish
-        // Full image: 780 MB; incremental at a 132 s Young interval:
-        // IB ≈ 12 MB/s * 132 s is bounded by the working set, call it
-        // 413 MB — still nearly 2x cheaper.
+                                                 // Full image: 780 MB; incremental at a 132 s Young interval:
+                                                 // IB ≈ 12 MB/s * 132 s is bounded by the working set, call it
+                                                 // 413 MB — still nearly 2x cheaper.
         let full = IntervalModel::from_bandwidth(780_000_000, 320_000_000, mtbf);
         let incr = IntervalModel::from_bandwidth(413_000_000, 320_000_000, mtbf);
         assert!(incr.optimal_efficiency() > full.optimal_efficiency());

@@ -77,7 +77,11 @@ impl IbStats {
     /// excluded by construction because its `end_time` is not a
     /// multiple of the timeslice... it is excluded here by checking the
     /// window length via consecutive end times.
-    pub fn from_samples(samples: &[IwsSample], timeslice: SimDuration, skip_until: SimTime) -> IbStats {
+    pub fn from_samples(
+        samples: &[IwsSample],
+        timeslice: SimDuration,
+        skip_until: SimTime,
+    ) -> IbStats {
         let ts_secs = timeslice.as_secs_f64();
         let mut total_mb = 0.0;
         let mut max_mbps: f64 = 0.0;

@@ -133,8 +133,7 @@ pub fn detect_bursts(samples: &[IwsSample], threshold_frac: f64, skip: usize) ->
         bursts.push(b);
     }
     let mean_start_gap = if bursts.len() >= 2 {
-        let gaps: Vec<f64> =
-            bursts.windows(2).map(|w| (w[1].start - w[0].start) as f64).collect();
+        let gaps: Vec<f64> = bursts.windows(2).map(|w| (w[1].start - w[0].start) as f64).collect();
         Some(gaps.iter().sum::<f64>() / gaps.len() as f64)
     } else {
         None

@@ -11,7 +11,7 @@
 //! exclusion means pages absent from the final mapping are skipped.
 
 use ickpt_mem::{BackedSpace, PageRange, PageSink};
-use ickpt_storage::{Chunk, ChunkKind, ChunkKey, Manifest, StableStorage, CHUNK_PAGE_SIZE};
+use ickpt_storage::{Chunk, ChunkKey, ChunkKind, Manifest, StableStorage, CHUNK_PAGE_SIZE};
 
 use crate::error::CoreError;
 

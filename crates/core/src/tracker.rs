@@ -305,10 +305,7 @@ impl WriteTracker {
     /// checkpoint: returns the coalesced dirty ranges and clears the
     /// set. Requires `track_checkpoint_set`.
     pub fn take_checkpoint_set(&mut self) -> Vec<PageRange> {
-        let ckpt = self
-            .ckpt
-            .as_mut()
-            .expect("take_checkpoint_set requires track_checkpoint_set");
+        let ckpt = self.ckpt.as_mut().expect("take_checkpoint_set requires track_checkpoint_set");
         let ranges = ckpt.dirty_ranges();
         ckpt.clear_all();
         ranges

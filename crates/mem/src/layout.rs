@@ -75,9 +75,9 @@ pub struct LayoutBuilder {
 impl Default for LayoutBuilder {
     fn default() -> Self {
         Self {
-            static_bytes: 4 << 20,          // 4 MiB of static data
-            heap_capacity_bytes: 64 << 20,  // 64 MiB heap headroom
-            mmap_capacity_bytes: 64 << 20,  // 64 MiB mmap headroom
+            static_bytes: 4 << 20,         // 4 MiB of static data
+            heap_capacity_bytes: 64 << 20, // 64 MiB heap headroom
+            mmap_capacity_bytes: 64 << 20, // 64 MiB mmap headroom
         }
     }
 }

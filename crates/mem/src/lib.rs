@@ -37,7 +37,7 @@ pub mod mmap_area;
 pub mod page;
 pub mod space;
 
-pub use dirty::DirtyBitmap;
+pub use dirty::{DirtyBitmap, FlatDirtyBitmap};
 pub use error::MemError;
 pub use heap::Heap;
 pub use layout::{DataLayout, LayoutBuilder};

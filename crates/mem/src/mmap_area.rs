@@ -64,11 +64,8 @@ impl MmapArea {
     /// Map `pages` pages (`mmap`), first-fit. Returns the new mapping.
     pub fn map(&mut self, pages: u64) -> Result<PageRange, MemError> {
         assert!(pages > 0, "mmap of zero pages");
-        let found = self
-            .free
-            .iter()
-            .find(|(_, &len)| len >= pages)
-            .map(|(&start, &len)| (start, len));
+        let found =
+            self.free.iter().find(|(_, &len)| len >= pages).map(|(&start, &len)| (start, len));
         let (start, len) = found.ok_or(MemError::MmapExhausted {
             requested_pages: pages,
             free_pages: self.free_pages(),
@@ -89,11 +86,8 @@ impl MmapArea {
     pub fn map_fixed(&mut self, range: PageRange) -> Result<(), MemError> {
         assert!(!range.is_empty(), "map_fixed of empty range");
         // Find the free block containing the range start.
-        let (&fstart, &flen) = self
-            .free
-            .range(..=range.start)
-            .next_back()
-            .ok_or(MemError::MmapExhausted {
+        let (&fstart, &flen) =
+            self.free.range(..=range.start).next_back().ok_or(MemError::MmapExhausted {
                 requested_pages: range.len,
                 free_pages: self.free_pages(),
             })?;
@@ -153,10 +147,7 @@ impl MmapArea {
 
     /// Whether `page` belongs to a live mapping.
     pub fn is_mapped(&self, page: u64) -> bool {
-        self.live
-            .range(..=page)
-            .next_back()
-            .is_some_and(|(&start, &len)| page < start + len)
+        self.live.range(..=page).next_back().is_some_and(|(&start, &len)| page < start + len)
     }
 
     /// Iterate over live mappings in address order.

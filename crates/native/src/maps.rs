@@ -90,17 +90,15 @@ mod tests {
 
     #[test]
     fn parses_typical_lines() {
-        let heap =
-            parse_line("55a8c5800000-55a8c5a00000 rw-p 00000000 00:00 0   [heap]").unwrap();
+        let heap = parse_line("55a8c5800000-55a8c5a00000 rw-p 00000000 00:00 0   [heap]").unwrap();
         assert_eq!(heap.path, "[heap]");
         assert!(heap.read && heap.write && !heap.exec && heap.private);
         assert_eq!(heap.len(), 0x200000);
         assert!(heap.is_trackable_data());
 
-        let text = parse_line(
-            "7f1c8a000000-7f1c8a200000 r-xp 00000000 08:01 131 /usr/lib/libc.so.6",
-        )
-        .unwrap();
+        let text =
+            parse_line("7f1c8a000000-7f1c8a200000 r-xp 00000000 08:01 131 /usr/lib/libc.so.6")
+                .unwrap();
         assert!(text.exec && !text.write);
         assert!(!text.is_trackable_data());
         assert_eq!(text.path, "/usr/lib/libc.so.6");

@@ -84,9 +84,8 @@ impl TrackedRegion {
     /// handler's re-protect step).
     pub fn protect_all(&self) {
         // SAFETY: protecting our own mapping.
-        let rc = unsafe {
-            libc::mprotect(self.base as *mut libc::c_void, self.len(), libc::PROT_READ)
-        };
+        let rc =
+            unsafe { libc::mprotect(self.base as *mut libc::c_void, self.len(), libc::PROT_READ) };
         assert_eq!(rc, 0, "mprotect(PROT_READ) failed");
         for w in self.bitmap.iter() {
             w.store(0, Ordering::Release);
@@ -154,9 +153,8 @@ impl TrackedRegion {
             }
         }
         // SAFETY: protecting our own mapping.
-        let rc = unsafe {
-            libc::mprotect(self.base as *mut libc::c_void, self.len(), libc::PROT_READ)
-        };
+        let rc =
+            unsafe { libc::mprotect(self.base as *mut libc::c_void, self.len(), libc::PROT_READ) };
         assert_eq!(rc, 0, "mprotect(PROT_READ) failed");
         dirty.sort_unstable();
         NativeSample { dirty_pages: dirty, total_pages: self.pages }

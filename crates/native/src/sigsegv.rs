@@ -63,14 +63,15 @@ pub fn ensure_handler() {
 /// `bitmap` must point at `len.div_ceil(64 * page_size)`... i.e. enough
 /// `AtomicU64` words for `len / page_size` pages, and must outlive the
 /// registration.
-pub unsafe fn register(start: usize, len: usize, bitmap: *const AtomicU64, page_size: usize) -> usize {
+pub unsafe fn register(
+    start: usize,
+    len: usize,
+    bitmap: *const AtomicU64,
+    page_size: usize,
+) -> usize {
     ensure_handler();
     for (i, slot) in SLOTS.iter().enumerate() {
-        if slot
-            .active
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
-        {
+        if slot.active.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_ok() {
             slot.start.store(start, Ordering::Release);
             slot.len.store(len, Ordering::Release);
             slot.bitmap.store(bitmap as usize, Ordering::Release);

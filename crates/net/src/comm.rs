@@ -158,7 +158,13 @@ impl Endpoint {
     /// Eager send of `bytes` to `dst` with `tag` at local time `now`.
     /// Returns the sender's new local time (after handing the buffer to
     /// the NIC); the transfer itself pipelines on the NIC.
-    pub fn send(&mut self, now: SimTime, dst: usize, tag: u32, bytes: u64) -> Result<SimTime, NetError> {
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        dst: usize,
+        tag: u32,
+        bytes: u64,
+    ) -> Result<SimTime, NetError> {
         assert!(dst < self.nranks, "send to unknown rank {dst}");
         // Hand-off: copy into the NIC's buffer at memory bandwidth.
         let handoff = now + SimDuration::for_transfer(bytes, self.config.mem_copy_bandwidth);
@@ -192,9 +198,10 @@ impl Endpoint {
             }
         }
         loop {
-            let msg = self.inbox.recv_timeout(RECV_WALL_TIMEOUT).map_err(|_| {
-                NetError::RecvTimeout { rank: self.rank, from: src, tag }
-            })?;
+            let msg = self
+                .inbox
+                .recv_timeout(RECV_WALL_TIMEOUT)
+                .map_err(|_| NetError::RecvTimeout { rank: self.rank, from: src, tag })?;
             if msg.src == src && msg.tag == tag {
                 return Ok(msg);
             }
@@ -264,11 +271,8 @@ impl Endpoint {
         let cost = (self.config.collective_stage_latency
             + SimDuration::for_transfer(bytes, self.config.nic_bandwidth))
             * stages;
-        let recv = if self.rank == root {
-            NetConfig::tree_stages(self.nranks) as u64 * bytes
-        } else {
-            0
-        };
+        let recv =
+            if self.rank == root { NetConfig::tree_stages(self.nranks) as u64 * bytes } else { 0 };
         self.bytes_received += recv;
         AllreduceInfo { new_time: res.time + cost, value: res.value, bytes_received: recv }
     }
@@ -399,9 +403,7 @@ mod tests {
         let handles: Vec<_> = eps
             .into_iter()
             .zip(times)
-            .map(|(mut ep, t)| {
-                std::thread::spawn(move || ep.barrier(SimTime::from_secs(t)))
-            })
+            .map(|(mut ep, t)| std::thread::spawn(move || ep.barrier(SimTime::from_secs(t))))
             .collect();
         let outs: Vec<SimTime> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!(outs.iter().all(|&t| t == outs[0]));
@@ -465,8 +467,7 @@ mod tests {
             .enumerate()
             .map(|(i, mut ep)| {
                 std::thread::spawn(move || {
-                    let info =
-                        ep.reduce(SimTime::ZERO, 0, 8, (i as u64) + 1, Combine::Max);
+                    let info = ep.reduce(SimTime::ZERO, 0, 8, (i as u64) + 1, Combine::Max);
                     (i, info, ep.bytes_received())
                 })
             })

@@ -139,16 +139,19 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    fn run_parties(parties: usize, times: Vec<u64>, values: Vec<u64>, combine: Combine) -> Vec<RendezvousResult> {
+    fn run_parties(
+        parties: usize,
+        times: Vec<u64>,
+        values: Vec<u64>,
+        combine: Combine,
+    ) -> Vec<RendezvousResult> {
         let rdv = Arc::new(Rendezvous::new(parties));
         let mut handles = Vec::new();
         for i in 0..parties {
             let rdv = rdv.clone();
             let t = times[i];
             let v = values[i];
-            handles.push(std::thread::spawn(move || {
-                rdv.enter(SimTime::from_secs(t), v, combine)
-            }));
+            handles.push(std::thread::spawn(move || rdv.enter(SimTime::from_secs(t), v, combine)));
         }
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     }

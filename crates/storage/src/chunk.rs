@@ -127,7 +127,21 @@ impl Chunk {
 
     /// Encode into a fresh buffer.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.encoded_len());
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encode into a caller-owned buffer, reusing its capacity.
+    ///
+    /// The capture pipeline serializes one chunk per checkpoint per
+    /// rank; with a recycled buffer the steady-state encode performs no
+    /// heap allocation at all (the buffer grows to the largest chunk
+    /// seen and stays there). The contents are identical to
+    /// [`Chunk::encode`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.encoded_len());
         out.put_slice(MAGIC);
         out.put_u16_le(VERSION);
         out.put_u8(match self.kind {
@@ -163,9 +177,8 @@ impl Chunk {
             out.put_u64_le(rec.page_count());
             out.put_slice(&rec.data);
         }
-        let crc = crc32(&out);
+        let crc = crc32(out);
         out.put_u32_le(crc);
-        out
     }
 
     /// Decode and verify a chunk.
@@ -299,6 +312,17 @@ mod tests {
             assert_eq!(enc.len(), c.encoded_len());
             let d = Chunk::decode(&enc).unwrap();
             assert_eq!(c, d);
+        }
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_encode() {
+        let mut buf = vec![0xFFu8; 7]; // stale contents must be discarded
+        for kind in [ChunkKind::Full, ChunkKind::Incremental] {
+            let c = sample_chunk(kind);
+            c.encode_into(&mut buf);
+            assert_eq!(buf, c.encode());
+            assert_eq!(Chunk::decode(&buf).unwrap(), c);
         }
     }
 

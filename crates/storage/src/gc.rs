@@ -136,11 +136,7 @@ mod tests {
     }
 
     fn incr(rank: u32, generation: u64, parent: u64, recs: Vec<(u64, Vec<u8>)>) -> Chunk {
-        Chunk {
-            kind: ChunkKind::Incremental,
-            parent: Some(parent),
-            ..full(rank, generation, recs)
-        }
+        Chunk { kind: ChunkKind::Incremental, parent: Some(parent), ..full(rank, generation, recs) }
     }
 
     #[test]

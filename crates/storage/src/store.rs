@@ -133,13 +133,7 @@ impl StableStorage for MemStore {
     }
 
     fn list_generations(&self, rank: u32) -> Result<Vec<u64>, StorageError> {
-        Ok(self
-            .chunks
-            .read()
-            .keys()
-            .filter(|k| k.rank == rank)
-            .map(|k| k.generation)
-            .collect())
+        Ok(self.chunks.read().keys().filter(|k| k.rank == rank).map(|k| k.generation).collect())
     }
 
     fn put_manifest(&self, generation: u64, data: &[u8]) -> Result<(), StorageError> {

@@ -44,7 +44,10 @@ impl ThrottledStore {
     }
 
     /// Wrap `inner` behind a device shared with other ranks.
-    pub fn with_shared_device(inner: Arc<dyn StableStorage>, device: SharedBandwidthDevice) -> Self {
+    pub fn with_shared_device(
+        inner: Arc<dyn StableStorage>,
+        device: SharedBandwidthDevice,
+    ) -> Self {
         Self { inner, device }
     }
 
@@ -101,10 +104,7 @@ mod tests {
     use ickpt_sim::SimDuration;
 
     fn throttled(bw: u64) -> ThrottledStore {
-        ThrottledStore::new(
-            Arc::new(MemStore::new()),
-            BandwidthDevice::new(bw, SimDuration::ZERO),
-        )
+        ThrottledStore::new(Arc::new(MemStore::new()), BandwidthDevice::new(bw, SimDuration::ZERO))
     }
 
     #[test]
@@ -113,8 +113,7 @@ mod tests {
         let done = s.put_chunk_timed(SimTime::ZERO, ChunkKey::new(0, 0), &[0u8; 500_000]).unwrap();
         assert_eq!(done, SimTime::from_secs_f64(0.5));
         // A second write queues behind the first.
-        let done2 =
-            s.put_chunk_timed(SimTime::ZERO, ChunkKey::new(0, 1), &[0u8; 500_000]).unwrap();
+        let done2 = s.put_chunk_timed(SimTime::ZERO, ChunkKey::new(0, 1), &[0u8; 500_000]).unwrap();
         assert_eq!(done2, SimTime::from_secs(1));
         assert_eq!(s.bytes_total(), 1_000_000);
     }

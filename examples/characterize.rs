@@ -55,18 +55,15 @@ fn main() {
             p.as_secs_f64(),
             calib.period_s
         ),
-        None => println!(
-            "no period detectable at this timeslice (iteration shorter than the window)"
-        ),
+        None => {
+            println!("no period detectable at this timeslice (iteration shorter than the window)")
+        }
     }
     let bursts = detect_bursts(&r0.samples, 0.5, skip);
     println!("processing bursts detected: {}", bursts.bursts.len());
     let suggestions = suggest_checkpoint_windows(&bursts);
-    let times: Vec<String> = suggestions
-        .iter()
-        .take(5)
-        .map(|&w| format!("{:.1}s", (w as f64 + 1.0) * ts))
-        .collect();
+    let times: Vec<String> =
+        suggestions.iter().take(5).map(|&w| format!("{:.1}s", (w as f64 + 1.0) * ts)).collect();
     println!(
         "coordinated-checkpoint placements (right after each burst): {} ...",
         times.join(", ")

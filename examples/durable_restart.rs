@@ -13,7 +13,7 @@ use std::sync::Arc;
 use ickpt::apps::synthetic::{SyntheticApp, SyntheticConfig};
 use ickpt::apps::AppModel;
 use ickpt::cluster::{
-    run_fault_tolerant, CheckpointMode, FailureSpec, FaultTolerantConfig, StoragePath, RunOutcome,
+    run_fault_tolerant, CheckpointMode, FailureSpec, FaultTolerantConfig, RunOutcome, StoragePath,
 };
 use ickpt::core::coordinator::CheckpointPolicy;
 use ickpt::core::restore::latest_committed_generation;
@@ -88,8 +88,7 @@ fn main() {
     let gen = latest_committed_generation(store.as_ref(), NRANKS as u32)
         .unwrap()
         .expect("committed generations exist on disk");
-    let chunk =
-        Chunk::decode(&store.get_chunk(ChunkKey::new(0, gen)).unwrap()).unwrap();
+    let chunk = Chunk::decode(&store.get_chunk(ChunkKey::new(0, gen)).unwrap()).unwrap();
     println!(
         "phase 2: found committed generation {gen} on disk (captured at t={:.0}s, {} files)",
         chunk.capture_time_ns as f64 / 1e9,

@@ -10,7 +10,9 @@
 use std::sync::Arc;
 
 use ickpt::apps::{AppModel, Workload};
-use ickpt::cluster::{run_fault_tolerant, CheckpointMode, FailureSpec, FaultTolerantConfig, StoragePath, RunOutcome};
+use ickpt::cluster::{
+    run_fault_tolerant, CheckpointMode, FailureSpec, FaultTolerantConfig, RunOutcome, StoragePath,
+};
 use ickpt::core::coordinator::CheckpointPolicy;
 use ickpt::net::NetConfig;
 use ickpt::sim::{DevicePreset, SimDuration, SimTime};
@@ -56,10 +58,7 @@ fn main() {
     let cfg = config(vec![FailureSpec { rank: 2, at: SimTime::from_secs(100) }]);
     let recovered = run_fault_tolerant(&cfg, layout, build).unwrap();
     assert_eq!(recovered.outcome, RunOutcome::Completed);
-    println!(
-        "  survived with {} attempts (1 failure + rollback recovery)",
-        recovered.attempts
-    );
+    println!("  survived with {} attempts (1 failure + rollback recovery)", recovered.attempts);
 
     // The proof: final memory images match the failure-free run
     // byte for byte, on every rank.

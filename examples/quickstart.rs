@@ -25,11 +25,8 @@ fn main() {
     let report = characterize(workload, &cfg);
 
     // IB statistics, excluding the data-initialization burst like §6.3.
-    let stats = IbStats::from_samples(
-        &report.ranks[0].samples,
-        cfg.timeslice,
-        SimTime::from_secs(150),
-    );
+    let stats =
+        IbStats::from_samples(&report.ranks[0].samples, cfg.timeslice, SimTime::from_secs(150));
     println!(
         "incremental bandwidth: avg {:.1} MB/s, max {:.1} MB/s over {} windows",
         stats.avg_mbps, stats.max_mbps, stats.windows

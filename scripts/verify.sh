@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repo verification gate: everything a PR must pass, in the order that
+# fails fastest. Runs fully offline (all external deps are vendored
+# shims under vendor/ — see vendor/README.md).
+#
+# Usage:
+#   scripts/verify.sh            # build + tests + fmt + clippy
+#   scripts/verify.sh --bench    # also run the micro-bench smoke pass
+#                                # and refresh /tmp/ickpt_bench.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release
+run cargo test -q --workspace
+run cargo fmt --check
+run cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--bench" ]]; then
+    # Short measurement budget: a smoke pass in seconds, not minutes.
+    run cargo bench -q -p ickpt-bench --bench micro -- \
+        --measure-ms 100 --save-json /tmp/ickpt_bench.json
+fi
+
+echo "verify: OK"

@@ -36,7 +36,9 @@ use std::sync::Arc;
 use ickpt_apps::codec::{ByteReader, ByteWriter};
 use ickpt_apps::step::{AppModel, Step};
 use ickpt_apps::Workload;
-use ickpt_core::checkpoint::{capture_full, capture_incremental};
+use ickpt_core::checkpoint::{
+    capture_full_with, capture_incremental_with, CaptureConfig, CaptureScratch,
+};
 use ickpt_core::coordinator::{CheckpointPlanner, CheckpointPolicy, VoteFlags};
 use ickpt_core::metrics::IwsSample;
 use ickpt_core::restore::{latest_committed_generation, restore_rank};
@@ -48,8 +50,7 @@ use ickpt_net::{CommWorld, NetConfig};
 use ickpt_sim::rendezvous::Combine;
 use ickpt_sim::{DevicePreset, SimDuration, SimTime};
 use ickpt_storage::{
-    shared_device, Chunk, ChunkKey, ChunkKind, Manifest, RankEntry, StableStorage,
-    ThrottledStore,
+    shared_device, Chunk, ChunkKey, ChunkKind, Manifest, RankEntry, StableStorage, ThrottledStore,
 };
 
 /// Error from a cluster run.
@@ -411,8 +412,7 @@ where
                 let r0 = &report.ranks[0];
                 let preserved_until = match recover_from {
                     Some(gen) => {
-                        let chunk_data =
-                            cfg.store.get_chunk(ChunkKey::new(0, gen))?;
+                        let chunk_data = cfg.store.get_chunk(ChunkKey::new(0, gen))?;
                         SimTime(Chunk::decode(&chunk_data)?.capture_time_ns)
                     }
                     None => SimTime::ZERO,
@@ -448,8 +448,8 @@ where
     };
     let failure = cfg.failures.get(attempt as usize).copied();
     // One shared array for every rank, or None for per-rank paths.
-    let array = matches!(cfg.storage_path, StoragePath::Shared)
-        .then(|| shared_device(cfg.device.build()));
+    let array =
+        matches!(cfg.storage_path, StoragePath::Shared).then(|| shared_device(cfg.device.build()));
     let results: Vec<Result<(RankReport, bool), RunError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = endpoints
             .into_iter()
@@ -486,9 +486,9 @@ where
                         let mut blob = ByteReader::new(&chunk.app_state);
                         let model_state = blob
                             .get_bytes()
-                            .map_err(|_| ickpt_storage::StorageError::Corrupt(
-                                "bad app state".into(),
-                            ))?
+                            .map_err(|_| {
+                                ickpt_storage::StorageError::Corrupt("bad app state".into())
+                            })?
                             .to_vec();
                         let digest = blob.get_u64().map_err(|_| {
                             ickpt_storage::StorageError::Corrupt("missing digest".into())
@@ -501,11 +501,9 @@ where
                             ))
                             .into());
                         }
-                        model
-                            .restore_state(&model_state)
-                            .map_err(|_| ickpt_storage::StorageError::Corrupt(
-                                "bad app state".into(),
-                            ))?;
+                        model.restore_state(&model_state).map_err(|_| {
+                            ickpt_storage::StorageError::Corrupt("bad app state".into())
+                        })?;
                         // Restart cost: reading the chain back over
                         // the storage path takes real time.
                         clock = SimTime(chunk.capture_time_ns)
@@ -535,6 +533,8 @@ where
                         count: 0,
                         stall: SimDuration::ZERO,
                         commit_lag: SimDuration::ZERO,
+                        capture_cfg: CaptureConfig::from_env(),
+                        scratch: CaptureScratch::new(),
                     };
                     let mut runner = RankRunner::new(
                         rank,
@@ -612,6 +612,11 @@ struct RankCheckpointer {
     stall: SimDuration,
     /// Total lag between capture and global commit.
     commit_lag: SimDuration,
+    /// Capture tuning (worker count from `ICKPT_CAPTURE_WORKERS`).
+    capture_cfg: CaptureConfig,
+    /// Recycled capture/encode buffers: steady-state checkpoints are
+    /// allocation-free.
+    scratch: CaptureScratch,
 }
 
 impl RankCheckpointer {
@@ -629,17 +634,26 @@ impl RankCheckpointer {
             ChunkKind::Full => {
                 // A fresh base supersedes the pending dirty set.
                 let _ = tracker.take_checkpoint_set();
-                capture_full(space, self.rank as u32, planned.generation, now)
+                capture_full_with(
+                    space,
+                    self.rank as u32,
+                    planned.generation,
+                    now,
+                    &self.capture_cfg,
+                    &mut self.scratch,
+                )
             }
             ChunkKind::Incremental => {
                 let dirty = tracker.take_checkpoint_set();
-                capture_incremental(
+                capture_incremental_with(
                     space,
                     self.rank as u32,
                     planned.generation,
                     planned.parent.expect("incremental has parent"),
                     now,
                     &dirty,
+                    &self.capture_cfg,
+                    &mut self.scratch,
                 )
             }
         };
@@ -650,15 +664,18 @@ impl RankCheckpointer {
         blob.put_u64(space.content_digest());
         chunk.app_state = blob.into_vec();
         let payload = chunk.payload_bytes();
-        let encoded = chunk.encode();
+        let encoded = self.scratch.encode_reusing(&chunk);
+        let encoded_len = encoded.len() as u64;
         // Every rank streams its chunk to stable storage over its own
         // (bandwidth-limited) path.
         let write_done = self.tstore.put_chunk_timed(
             now,
             ChunkKey::new(self.rank as u32, planned.generation),
-            &encoded,
+            encoded,
         )?;
-        self.bytes_written += encoded.len() as u64;
+        // Return the chunk's buffers to the pool for the next capture.
+        self.scratch.recycle(chunk);
+        self.bytes_written += encoded_len;
         self.count += 1;
         match self.mode {
             CheckpointMode::StopAndCopy => {
@@ -683,8 +700,7 @@ impl RankCheckpointer {
             CheckpointMode::Forked { fork_cost_per_page_ns, .. } => {
                 // The rank pays only the snapshot cost; the write
                 // streams out in the background and commits later.
-                let fork_cost =
-                    SimDuration(space.mapped_pages() * fork_cost_per_page_ns);
+                let fork_cost = SimDuration(space.mapped_pages() * fork_cost_per_page_ns);
                 self.pending = Some(PendingCommit {
                     generation: planned.generation,
                     kind: planned.kind,
@@ -763,8 +779,7 @@ impl RankCheckpointer {
             // window had to be duplicated before the application's
             // store could proceed.
             if let CheckpointMode::Forked { cow_copy_ns, .. } = self.mode {
-                let cow_pages =
-                    tracker.total_faults().saturating_sub(pending.faults_at_capture);
+                let cow_pages = tracker.total_faults().saturating_sub(pending.faults_at_capture);
                 let cow = SimDuration(cow_pages * cow_copy_ns);
                 self.stall += cow;
                 t += cow;

@@ -72,7 +72,13 @@ fn all_workloads_run_on_four_ranks() {
         let report = characterize(w, &small(4, run_secs));
         assert_eq!(report.ranks.len(), 4, "{}", w.name());
         for r in &report.ranks {
-            assert!(r.iterations >= 2, "{}: rank {} only {} iterations", w.name(), r.rank, r.iterations);
+            assert!(
+                r.iterations >= 2,
+                "{}: rank {} only {} iterations",
+                w.name(),
+                r.rank,
+                r.iterations
+            );
             assert!(r.total_faults > 0, "{}", w.name());
             assert!(!r.samples.is_empty(), "{}", w.name());
         }
@@ -131,10 +137,7 @@ fn sage_shows_periodic_bursts() {
         5, // skip the init burst
     );
     let period = detected.expect("Sage must show a detectable period").as_secs_f64();
-    assert!(
-        (period - 20.0).abs() < 4.0,
-        "detected period {period} s vs calibrated 20 s"
-    );
+    assert!((period - 20.0).abs() < 4.0, "detected period {period} s vs calibrated 20 s");
 }
 
 #[test]

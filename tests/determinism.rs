@@ -30,8 +30,7 @@ fn run_script(seed: u64, nranks: usize, steps: usize) -> Vec<SimTime> {
                                 let right = (rank + 1) % nranks;
                                 let left = (rank + nranks - 1) % nranks;
                                 let bytes = 1 + mine.next_below(100_000);
-                                clock =
-                                    ep.send(clock, right, step as u32, bytes).unwrap();
+                                clock = ep.send(clock, right, step as u32, bytes).unwrap();
                                 let info = ep.recv(clock, left, step as u32).unwrap();
                                 clock = info.new_time;
                             }

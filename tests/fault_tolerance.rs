@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use ickpt::apps::synthetic::{SyntheticApp, SyntheticConfig};
 use ickpt::apps::Workload;
-use ickpt::cluster::{run_fault_tolerant, CheckpointMode, FailureSpec, FaultTolerantConfig, StoragePath, RunOutcome};
+use ickpt::cluster::{
+    run_fault_tolerant, CheckpointMode, FailureSpec, FaultTolerantConfig, RunOutcome, StoragePath,
+};
 use ickpt::core::coordinator::CheckpointPolicy;
 use ickpt::mem::{DataLayout, LayoutBuilder, PAGE_SIZE};
 use ickpt::net::NetConfig;
@@ -21,7 +23,11 @@ fn synthetic_layout() -> DataLayout {
         .build()
 }
 
-fn synthetic_cfg(nranks: usize, max_iterations: u64, failures: Vec<FailureSpec>) -> FaultTolerantConfig {
+fn synthetic_cfg(
+    nranks: usize,
+    max_iterations: u64,
+    failures: Vec<FailureSpec>,
+) -> FaultTolerantConfig {
     FaultTolerantConfig {
         nranks,
         max_iterations,
@@ -51,8 +57,7 @@ fn build_synthetic(nranks: usize) -> impl Fn(usize) -> Box<dyn ickpt::apps::AppM
 #[test]
 fn failure_free_run_checkpoints_and_completes() {
     let cfg = synthetic_cfg(4, 12, vec![]);
-    let report =
-        run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(4)).unwrap();
+    let report = run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(4)).unwrap();
     assert_eq!(report.outcome, RunOutcome::Completed);
     assert_eq!(report.attempts, 1);
     for r in &report.ranks {
@@ -75,24 +80,16 @@ fn failure_free_run_checkpoints_and_completes() {
 fn recovery_reproduces_failure_free_final_state() {
     // Reference: no failures.
     let cfg_ref = synthetic_cfg(4, 15, vec![]);
-    let reference =
-        run_fault_tolerant(&cfg_ref, synthetic_layout(), build_synthetic(4)).unwrap();
+    let reference = run_fault_tolerant(&cfg_ref, synthetic_layout(), build_synthetic(4)).unwrap();
     assert_eq!(reference.outcome, RunOutcome::Completed);
-    let ref_digests: Vec<_> =
-        reference.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+    let ref_digests: Vec<_> = reference.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
 
     // Same run, but rank 2 dies ~8 virtual seconds in.
-    let cfg = synthetic_cfg(
-        4,
-        15,
-        vec![FailureSpec { rank: 2, at: SimTime::from_secs(8) }],
-    );
-    let recovered =
-        run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(4)).unwrap();
+    let cfg = synthetic_cfg(4, 15, vec![FailureSpec { rank: 2, at: SimTime::from_secs(8) }]);
+    let recovered = run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(4)).unwrap();
     assert_eq!(recovered.outcome, RunOutcome::Completed);
     assert_eq!(recovered.attempts, 2, "one failure, one recovery");
-    let rec_digests: Vec<_> =
-        recovered.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+    let rec_digests: Vec<_> = recovered.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
     assert_eq!(
         ref_digests, rec_digests,
         "rollback recovery must reproduce the failure-free memory image"
@@ -105,10 +102,8 @@ fn recovery_reproduces_failure_free_final_state() {
 #[test]
 fn multiple_failures_multiple_recoveries() {
     let cfg_ref = synthetic_cfg(2, 20, vec![]);
-    let reference =
-        run_fault_tolerant(&cfg_ref, synthetic_layout(), build_synthetic(2)).unwrap();
-    let ref_digests: Vec<_> =
-        reference.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+    let reference = run_fault_tolerant(&cfg_ref, synthetic_layout(), build_synthetic(2)).unwrap();
+    let ref_digests: Vec<_> = reference.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
 
     let cfg = synthetic_cfg(
         2,
@@ -118,12 +113,10 @@ fn multiple_failures_multiple_recoveries() {
             FailureSpec { rank: 1, at: SimTime::from_secs(13) },
         ],
     );
-    let recovered =
-        run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(2)).unwrap();
+    let recovered = run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(2)).unwrap();
     assert_eq!(recovered.outcome, RunOutcome::Completed);
     assert_eq!(recovered.attempts, 3, "two failures, two recoveries");
-    let rec_digests: Vec<_> =
-        recovered.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+    let rec_digests: Vec<_> = recovered.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
     assert_eq!(ref_digests, rec_digests);
 }
 
@@ -199,14 +192,10 @@ fn forked_checkpoints_stall_less_and_still_recover() {
     );
 
     // Recovery still works under forked mode.
-    let mut fail_cfg = synthetic_cfg(
-        4,
-        15,
-        vec![FailureSpec { rank: 1, at: SimTime::from_secs(8) }],
-    );
+    let mut fail_cfg =
+        synthetic_cfg(4, 15, vec![FailureSpec { rank: 1, at: SimTime::from_secs(8) }]);
     fail_cfg.mode = CheckpointMode::Forked { fork_cost_per_page_ns: 200, cow_copy_ns: 2_000 };
-    let recovered =
-        run_fault_tolerant(&fail_cfg, synthetic_layout(), build_synthetic(4)).unwrap();
+    let recovered = run_fault_tolerant(&fail_cfg, synthetic_layout(), build_synthetic(4)).unwrap();
     assert_eq!(recovered.outcome, RunOutcome::Completed);
     for (a, b) in stop.ranks.iter().zip(&recovered.ranks) {
         assert_eq!(a.content_digest, b.content_digest, "rank {}", a.rank);
@@ -239,17 +228,11 @@ fn memory_exclusion_is_accounted_for_dynamic_apps() {
     })
     .unwrap();
     let r0 = &report.ranks[0];
-    assert!(
-        r0.excluded_pages > 0,
-        "Sage's freed workspace must show up as excluded pages"
-    );
+    assert!(r0.excluded_pages > 0, "Sage's freed workspace must show up as excluded pages");
 
-    let static_report = run_fault_tolerant(
-        &synthetic_cfg(2, 6, vec![]),
-        synthetic_layout(),
-        build_synthetic(2),
-    )
-    .unwrap();
+    let static_report =
+        run_fault_tolerant(&synthetic_cfg(2, 6, vec![]), synthetic_layout(), build_synthetic(2))
+            .unwrap();
     assert_eq!(static_report.ranks[0].excluded_pages, 0, "static app excludes nothing");
 }
 
@@ -323,8 +306,7 @@ fn sage_model_survives_failure_with_dynamic_memory() {
     };
     let reference = run_fault_tolerant(&cfg_ref, layout, build).unwrap();
     assert_eq!(reference.outcome, RunOutcome::Completed);
-    let ref_digests: Vec<_> =
-        reference.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+    let ref_digests: Vec<_> = reference.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
 
     let cfg = FaultTolerantConfig {
         store: Arc::new(MemStore::new()),
@@ -334,7 +316,6 @@ fn sage_model_survives_failure_with_dynamic_memory() {
     let recovered = run_fault_tolerant(&cfg, layout, build).unwrap();
     assert_eq!(recovered.outcome, RunOutcome::Completed);
     assert_eq!(recovered.attempts, 2);
-    let rec_digests: Vec<_> =
-        recovered.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+    let rec_digests: Vec<_> = recovered.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
     assert_eq!(ref_digests, rec_digests, "Sage recovery must be byte-exact");
 }

@@ -1,0 +1,346 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! A deliberately small statistical harness with criterion's calling
+//! convention (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `Bencher::iter`, `Throughput`) that runs in seconds rather than
+//! minutes. Each benchmark is auto-calibrated to ~15 ms batches, then
+//! measured for a fixed budget; the reported figure is the median
+//! batch, which is robust to scheduler noise on shared machines.
+//!
+//! Extras over upstream criterion, used by the repo's perf tooling:
+//!
+//! * `--save-json <path>` — write every result as machine-readable
+//!   JSON (used to produce `BENCH_PR1.json` baselines).
+//! * `--measure-ms <n>` / `ICKPT_BENCH_MEASURE_MS` — per-bench budget
+//!   (default 300 ms).
+//! * a positional argument filters benchmarks by substring, like
+//!   criterion.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-exported std intrinsic).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Median batch nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Fastest batch nanoseconds per iteration.
+    pub best_ns_per_iter: f64,
+    /// Iterations actually timed.
+    pub iterations: u64,
+    /// Declared per-iteration work.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Derived rate in units/second, if a throughput was declared.
+    pub fn rate(&self) -> Option<(f64, &'static str)> {
+        match self.throughput? {
+            Throughput::Bytes(n) => Some((n as f64 / (self.ns_per_iter * 1e-9), "B/s")),
+            Throughput::Elements(n) => Some((n as f64 / (self.ns_per_iter * 1e-9), "elem/s")),
+        }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    measure: Duration,
+    samples: Vec<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly; the routine's cost is the batch time
+    /// divided by the batch iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until it costs >= 1 ms, so timer
+        // overhead is <0.1% of a sample.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 30 {
+                // Aim for ~15 ms batches.
+                let scale = (15.0 / elapsed.as_secs_f64().max(1e-9) * 1e-3).clamp(1.0, 16384.0);
+                batch = ((batch as f64) * scale).ceil() as u64;
+                break;
+            }
+            batch *= 4;
+        }
+        // Measure batches until the budget runs out (at least 3).
+        let deadline = Instant::now() + self.measure;
+        while self.samples.len() < 3 || Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(ns);
+            self.iterations += batch;
+            if self.samples.len() >= 512 {
+                break;
+            }
+        }
+    }
+}
+
+/// The benchmark registry and runner.
+pub struct Criterion {
+    filter: Option<String>,
+    measure: Duration,
+    json_path: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Build from the bench binary's command line.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut json_path = None;
+        let mut measure_ms: u64 = std::env::var("ICKPT_BENCH_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--save-json" => json_path = args.next(),
+                "--measure-ms" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        measure_ms = v;
+                    }
+                }
+                // Flags cargo/criterion conventionally pass; ignore.
+                "--bench" | "--quick" | "--noplot" => {}
+                s if s.starts_with('-') => {
+                    // Unknown option (possibly with a value): skip it.
+                    if matches!(s, "--save-baseline" | "--baseline" | "--sample-size") {
+                        let _ = args.next();
+                    }
+                }
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Self { filter, measure: Duration::from_millis(measure_ms), json_path, results: Vec::new() }
+    }
+
+    fn wants(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if !self.wants(&id) {
+            return;
+        }
+        let mut b = Bencher { measure: self.measure, samples: Vec::new(), iterations: 0 };
+        f(&mut b);
+        if b.samples.is_empty() {
+            eprintln!("{id}: closure never called Bencher::iter");
+            return;
+        }
+        b.samples.sort_by(|a, z| a.total_cmp(z));
+        let median = b.samples[b.samples.len() / 2];
+        let best = b.samples[0];
+        let result = BenchResult {
+            id,
+            ns_per_iter: median,
+            best_ns_per_iter: best,
+            iterations: b.iterations,
+            throughput,
+        };
+        let mut line = format!("{:<48} {:>14} ns/iter", result.id, format_sig(result.ns_per_iter));
+        if let Some((rate, unit)) = result.rate() {
+            let _ = write!(line, "   {:>12}{}", format_rate(rate), unit);
+        }
+        println!("{line}");
+        self.results.push(result);
+    }
+
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id.to_string(), None, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Results measured so far (for programmatic consumers).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Flush JSON output if requested. Called by `criterion_main!`.
+    pub fn final_summary(&mut self) {
+        if let Some(path) = self.json_path.clone() {
+            let json = results_to_json(&self.results);
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("failed to write {path}: {e}");
+            } else {
+                eprintln!("wrote {} results to {path}", self.results.len());
+            }
+        }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self::from_args()
+    }
+}
+
+/// A named group; benchmarks inherit its throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for criterion compatibility; sampling here is
+    /// time-budgeted, so the count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let t = self.throughput;
+        self.c.run_one(full, t, f);
+        self
+    }
+
+    /// Close the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Serialize results as a stable, dependency-free JSON document.
+pub fn results_to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let (rate, unit) = r.rate().unwrap_or((0.0, ""));
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"best_ns_per_iter\": {:.1}, \
+             \"iterations\": {}, \"rate\": {:.1}, \"rate_unit\": \"{}\"}}{}",
+            r.id.replace('"', "'"),
+            r.ns_per_iter,
+            r.best_ns_per_iter,
+            r.iterations,
+            rate,
+            unit,
+            if i + 1 == results.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn format_sig(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2}M", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}k", ns / 1e3)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+/// Bundle benchmark functions into a group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Entry point: run every group, then emit the summary/JSON.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_fast() {
+        let mut b =
+            Bencher { measure: Duration::from_millis(10), samples: Vec::new(), iterations: 0 };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert!(!b.samples.is_empty());
+        assert!(b.iterations > 0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let r = BenchResult {
+            id: "g/f".into(),
+            ns_per_iter: 12.5,
+            best_ns_per_iter: 11.0,
+            iterations: 1000,
+            throughput: Some(Throughput::Bytes(1024)),
+        };
+        let json = results_to_json(&[r]);
+        assert!(json.contains("\"id\": \"g/f\""));
+        assert!(json.contains("\"rate_unit\": \"B/s\""));
+    }
+}

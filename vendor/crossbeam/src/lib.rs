@@ -1,0 +1,123 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses.
+//!
+//! * [`channel`] — unbounded MPSC channels over `std::sync::mpsc` with
+//!   crossbeam's method surface (`send`, `recv`, `recv_timeout`,
+//!   `try_recv`, `try_iter`).
+//! * [`thread`] — `scope`d threads over `std::thread::scope` (available
+//!   since Rust 1.63), with crossbeam's `Result`-returning entry point.
+
+pub mod channel {
+    //! Unbounded channels with the `crossbeam_channel` calling
+    //! convention. Std's receiver is single-consumer; every use in this
+    //! workspace keeps one receiver per endpoint, so the restriction
+    //! never bites.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; fails only if the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Block up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Drain everything currently queued without blocking.
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.inner.try_iter()
+        }
+
+        /// Blocking iterator until all senders hang up.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+pub mod thread {
+    //! Scoped threads borrowing from the parent stack frame.
+
+    /// Run `f` with a scope in which spawned threads may borrow local
+    //  data; all threads are joined before `scope` returns.
+    ///
+    /// Matches crossbeam's signature shape (`Result`-wrapped) so callers
+    /// written against crossbeam keep compiling; the std implementation
+    /// propagates child panics on join, so the error arm is never taken.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn channel_roundtrip_and_drain() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.recv().unwrap(), 0);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 1);
+        let rest: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(rest, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let data = [1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let (front, back) = data.split_at(data.len() / 2);
+            let a = s.spawn(|| front.iter().sum::<u64>());
+            let b = s.spawn(|| back.iter().sum::<u64>());
+            a.join().unwrap() + b.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline shim for the subset of `libc` this workspace uses.
+//!
+//! `ickpt-native` needs exactly the Linux memory-protection and signal
+//! surface of the paper's instrumentation library: `mmap`/`munmap`/
+//! `mprotect`, `sigaction` for SIGSEGV/SIGBUS, and `sysconf` for the
+//! page size. The declarations below match the x86_64/aarch64 Linux
+//! glibc ABI (struct layouts and constants verified against the real
+//! `libc` crate); anything else is intentionally absent.
+
+#![allow(non_camel_case_types)]
+#![cfg(target_os = "linux")]
+
+pub use core::ffi::c_void;
+
+pub type c_char = i8;
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type size_t = usize;
+pub type off_t = i64;
+pub type pid_t = i32;
+pub type uid_t = u32;
+pub type sighandler_t = size_t;
+
+// --- memory protection -------------------------------------------------
+
+pub const PROT_NONE: c_int = 0;
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+pub const PROT_EXEC: c_int = 4;
+
+pub const MAP_SHARED: c_int = 0x01;
+pub const MAP_PRIVATE: c_int = 0x02;
+pub const MAP_FIXED: c_int = 0x10;
+pub const MAP_ANONYMOUS: c_int = 0x20;
+pub const MAP_ANON: c_int = MAP_ANONYMOUS;
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+
+// --- signals -----------------------------------------------------------
+
+pub const SIGBUS: c_int = 7;
+pub const SIGSEGV: c_int = 11;
+
+pub const SA_SIGINFO: c_int = 0x0000_0004;
+pub const SA_NODEFER: c_int = 0x4000_0000;
+pub const SA_RESTART: c_int = 0x1000_0000;
+
+pub const SIG_DFL: sighandler_t = 0;
+pub const SIG_IGN: sighandler_t = 1;
+
+pub const _SC_PAGESIZE: c_int = 30;
+pub const _SC_NPROCESSORS_ONLN: c_int = 84;
+
+/// glibc `sigset_t`: 1024 bits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    __val: [c_ulong; 16],
+}
+
+/// glibc `struct sigaction` (x86_64/aarch64 field order).
+#[repr(C)]
+pub struct sigaction {
+    pub sa_sigaction: sighandler_t,
+    pub sa_mask: sigset_t,
+    pub sa_flags: c_int,
+    pub sa_restorer: Option<unsafe extern "C" fn()>,
+}
+
+/// glibc `siginfo_t`: 128 bytes; the fault-address union member
+/// (`si_addr`) sits right after the three leading ints plus padding.
+#[repr(C)]
+pub struct siginfo_t {
+    pub si_signo: c_int,
+    pub si_errno: c_int,
+    pub si_code: c_int,
+    _pad: c_int,
+    _fields: [u64; 14],
+}
+
+impl siginfo_t {
+    /// Faulting address for SIGSEGV/SIGBUS.
+    pub fn si_addr(&self) -> *mut c_void {
+        self._fields[0] as *mut c_void
+    }
+}
+
+extern "C" {
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+    pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
+    pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    pub fn raise(sig: c_int) -> c_int;
+    pub fn sysconf(name: c_int) -> c_long;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_sizes_match_glibc() {
+        // Layouts the signal handler depends on; a mismatch here would
+        // corrupt the stack on the first fault.
+        assert_eq!(std::mem::size_of::<sigset_t>(), 128);
+        assert_eq!(std::mem::size_of::<siginfo_t>(), 128);
+        assert_eq!(std::mem::size_of::<sigaction>(), 8 + 128 + 8 + 8);
+    }
+
+    #[test]
+    fn sysconf_page_size_sane() {
+        let ps = unsafe { sysconf(_SC_PAGESIZE) };
+        assert!(ps == 4096 || ps.is_positive() && (ps as u64).is_power_of_two());
+    }
+
+    #[test]
+    fn mmap_mprotect_roundtrip() {
+        unsafe {
+            let len = 4096usize;
+            let p = mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED);
+            *(p as *mut u8) = 0xAB;
+            assert_eq!(mprotect(p, len, PROT_READ), 0);
+            assert_eq!(*(p as *const u8), 0xAB);
+            assert_eq!(munmap(p, len), 0);
+        }
+    }
+}
