@@ -5,15 +5,18 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
-use ickpt::core::checkpoint::{capture_full_with, CaptureConfig, CaptureScratch};
+use ickpt::core::checkpoint::{
+    capture_full_with, capture_incremental_with, CaptureConfig, CaptureScratch,
+};
+use ickpt::core::restore::{restore_rank_sequential, restore_rank_with, RestoreConfig};
 use ickpt::core::tracker::{TrackerConfig, WriteTracker};
 use ickpt::mem::{
     AddressSpace, BackedSpace, DirtyBitmap, FlatDirtyBitmap, LayoutBuilder, PageRange, PAGE_SIZE,
 };
 use ickpt::native::TrackedRegion;
-use ickpt::sim::SimDuration;
+use ickpt::sim::{SimDuration, SimTime};
 use ickpt::storage::crc::{crc32, crc32_bytewise};
-use ickpt::storage::{Chunk, ChunkKind, PageRecord};
+use ickpt::storage::{gc, Chunk, ChunkKey, ChunkKind, MemStore, PageRecord, StableStorage};
 
 fn bench_bitmap(c: &mut Criterion) {
     let mut g = c.benchmark_group("dirty_bitmap");
@@ -213,6 +216,104 @@ fn bench_capture(c: &mut Criterion) {
     g.finish();
 }
 
+/// Planned restore vs sequential chain replay, plus plan-driven chain
+/// compaction.
+///
+/// Size via `ICKPT_BENCH_RESTORE_MB` (default 64). Both chains share
+/// one live set: a full base plus increments that all overwrite the
+/// same quarter of the image. The planned restore decodes each live
+/// page exactly once, so its page work is flat in chain length; the
+/// sequential replay re-applies every superseded record, so its work
+/// grows with every increment. `restore_planned/chainN_8workers`
+/// additionally fans the plan's page copies across threads.
+fn bench_restore(c: &mut Criterion) {
+    let mb: u64 =
+        std::env::var("ICKPT_BENCH_RESTORE_MB").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+    let pages = (mb * (1 << 20) / PAGE_SIZE).max(16);
+    let layout = LayoutBuilder::new()
+        .static_bytes(4 * PAGE_SIZE)
+        .heap_capacity_bytes(pages * PAGE_SIZE)
+        .mmap_capacity_bytes(4 * PAGE_SIZE)
+        .build();
+    let mut src = BackedSpace::new(layout);
+    src.heap_grow(pages - 4).unwrap();
+    for r in src.mapped_ranges() {
+        for p in r.iter() {
+            src.fill_page(p, p.wrapping_mul(0x9E37_79B9)).unwrap();
+        }
+    }
+    // Every increment rewrites the same quarter of the heap, so the
+    // live set (and therefore the planned restore's page reads) is
+    // identical for the 2- and 32-increment chains.
+    let window = {
+        let heap = src.mapped_ranges()[1];
+        PageRange::new(heap.start, heap.start + (pages / 4).max(1))
+    };
+    let build_chain = |increments: u64| -> MemStore {
+        let store = MemStore::new();
+        let cfg = CaptureConfig::serial();
+        let mut scratch = CaptureScratch::new();
+        let base = capture_full_with(&src, 0, 0, SimTime::ZERO, &cfg, &mut scratch);
+        store.put_chunk(ChunkKey::new(0, 0), &base.encode()).unwrap();
+        for g in 1..=increments {
+            let chunk = capture_incremental_with(
+                &src,
+                0,
+                g,
+                g - 1,
+                SimTime::ZERO,
+                &[window],
+                &cfg,
+                &mut scratch,
+            );
+            store.put_chunk(ChunkKey::new(0, g), &chunk.encode()).unwrap();
+        }
+        store
+    };
+    let bytes = src.mapped_pages() * PAGE_SIZE;
+
+    let mut g = c.benchmark_group("restore");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(20);
+    for increments in [2u64, 32] {
+        let store = build_chain(increments);
+        for workers in [1usize, 8] {
+            let id = if workers == 1 {
+                format!("planned_chain{increments}_serial")
+            } else {
+                format!("planned_chain{increments}_{workers}workers")
+            };
+            let cfg = RestoreConfig { workers, parallel_threshold_pages: 0 };
+            let mut space = BackedSpace::new(layout);
+            g.bench_function(&id, |b| {
+                b.iter(|| {
+                    let rep = restore_rank_with(&store, 0, increments, &mut space, &cfg).unwrap();
+                    black_box(rep.pages_applied)
+                })
+            });
+        }
+        let mut space = BackedSpace::new(layout);
+        g.bench_function(&format!("sequential_chain{increments}"), |b| {
+            b.iter(|| {
+                let rep = restore_rank_sequential(&store, 0, increments, &mut space).unwrap();
+                black_box(rep.pages_applied)
+            })
+        });
+    }
+
+    // Compaction: merge a 32-increment chain into one full chunk via
+    // the restore plan (single pass, dead records never copied).
+    let store = build_chain(32);
+    let chain: Vec<Chunk> = (0..=32)
+        .map(|g| Chunk::decode(&store.get_chunk(ChunkKey::new(0, g)).unwrap()).unwrap())
+        .collect();
+    drop(store);
+    g.bench_function("gc_merge_chain32", |b| {
+        b.iter(|| black_box(gc::merge_chain(&chain, None).payload_pages()))
+    });
+    g.finish();
+}
+
 fn bench_native_fault(c: &mut Criterion) {
     let mut g = c.benchmark_group("native_fault");
     // Cost of one protection fault + handler + mprotect, amortized over
@@ -246,6 +347,7 @@ criterion_group!(
     bench_chunk_codec,
     bench_crc,
     bench_capture,
+    bench_restore,
     bench_native_fault
 );
 criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! incomplete manifests are reported. Exit status is nonzero if any
 //! integrity problem is found.
 
-use ickpt::storage::{Chunk, ChunkKey, ChunkKind, FileStore, Manifest, StableStorage};
+use ickpt::storage::{Chunk, ChunkKey, ChunkKind, FileStore, Manifest, RestorePlan, StableStorage};
 use ickpt_analysis::table::fnum;
 use ickpt_analysis::TextTable;
 
@@ -101,6 +101,7 @@ fn main() {
             "crc",
         ]);
         let mut known: std::collections::BTreeSet<u64> = gens.iter().copied().collect();
+        let mut decoded: std::collections::BTreeMap<u64, Chunk> = std::collections::BTreeMap::new();
         for &g in &gens {
             match store.get_chunk(ChunkKey::new(rank, g)) {
                 Ok(data) => match Chunk::decode(&data) {
@@ -126,6 +127,7 @@ fn main() {
                             data.len().to_string(),
                             "ok".into(),
                         ]);
+                        decoded.insert(g, c);
                     }
                     Err(e) => {
                         problems += 1;
@@ -157,6 +159,57 @@ fn main() {
             }
         }
         println!("{}", t.render());
+
+        // ---- Restore-plan statistics for the newest chain ----
+        // Walk parents from the newest decoded generation, then build
+        // the latest-wins plan to show where chain bloat lives: dead
+        // (superseded) page records a planned restore never decodes
+        // and compaction would reclaim.
+        let mut chain: Vec<&Chunk> = Vec::new();
+        let mut cursor = decoded.keys().next_back().copied();
+        while let Some(g) = cursor {
+            let Some(c) = decoded.get(&g) else { break };
+            chain.push(c);
+            cursor = c.parent;
+        }
+        if chain.last().map(|c| c.kind) == Some(ChunkKind::Full) {
+            chain.reverse(); // base first
+            let plan = RestorePlan::build(&chain, None);
+            let mut pt = TextTable::new(format!(
+                "rank {rank} restore plan (newest chain, {} chunks)",
+                chain.len()
+            ))
+            .header(&["gen", "live pages", "live zero", "dead pages", "skipped MB"]);
+            for s in &plan.per_chunk {
+                pt.row(vec![
+                    s.generation.to_string(),
+                    s.live_pages.to_string(),
+                    s.live_zero_pages.to_string(),
+                    (s.superseded_pages + s.excluded_pages).to_string(),
+                    fnum(s.skipped_payload_bytes() as f64 / 1e6, 2),
+                ]);
+            }
+            println!("{}", pt.render());
+            println!(
+                "  planned restore decodes {} MB of page payload, skips {} MB dead \
+                 ({} of {} stored pages live)",
+                fnum(plan.planned_payload_bytes() as f64 / 1e6, 2),
+                fnum(plan.skipped_payload_bytes() as f64 / 1e6, 2),
+                plan.applied_pages(),
+                plan.per_chunk.iter().map(|s| s.stored_pages + s.stored_zero_pages).sum::<u64>(),
+            );
+            let dead_bytes = plan.skipped_payload_bytes();
+            if dead_bytes > plan.planned_payload_bytes() / 2 {
+                println!(
+                    "  hint: >33% of stored payload is dead — `gc` compaction would \
+                     drop {} MB and cut restore reads",
+                    fnum(dead_bytes as f64 / 1e6, 2)
+                );
+            }
+        } else if !decoded.is_empty() {
+            problems += 1;
+            println!("  !! rank {rank}: newest chain does not reach a full chunk");
+        }
     }
 
     // ---- Summary ----

@@ -25,7 +25,7 @@ use ickpt::apps::synthetic::{SyntheticApp, SyntheticConfig};
 use ickpt::apps::AppModel;
 use ickpt::cluster::{run_fault_tolerant, CheckpointMode, FaultTolerantConfig, StoragePath};
 use ickpt::core::coordinator::CheckpointPolicy;
-use ickpt::core::restore::restore_rank;
+use ickpt::core::restore::{restore_rank, restore_rank_sequential};
 use ickpt::mem::{BackedSpace, DataLayout, LayoutBuilder, PAGE_SIZE};
 use ickpt::net::NetConfig;
 use ickpt::sim::{DevicePreset, SimDuration};
@@ -194,14 +194,19 @@ fn traffic_ablation(comparisons: &mut Vec<Comparison>) {
 /// Ablation 3: chain length vs restore cost, and gc compaction.
 fn chain_ablation(comparisons: &mut Vec<Comparison>) {
     println!("ablation 3: re-base frequency vs restore cost (rank 0)");
+    println!("  planned = latest-wins plan (each page decoded once); seq = chain replay");
     let mut t = TextTable::new("").header(&[
         "full_every",
         "generations",
         "chain length",
         "restore bytes",
-        "restore pages",
+        "planned pages",
+        "seq pages",
+        "dead skipped",
     ]);
     let mut longest_chain = 0usize;
+    let mut longest_planned = 0u64;
+    let mut longest_seq = 0u64;
     for full_every in [0u64, 4, 2, 1] {
         let cfg =
             ft_config(CheckpointPolicy::incremental(SimDuration::from_secs(2), full_every), 30);
@@ -209,16 +214,39 @@ fn chain_ablation(comparisons: &mut Vec<Comparison>) {
         let gen = result.ranks[0].last_committed.expect("checkpoints taken");
         let mut space = BackedSpace::new(layout());
         let report = restore_rank(cfg.store.as_ref(), 0, gen, &mut space).unwrap();
-        longest_chain = longest_chain.max(report.chain_length);
+        let mut seq_space = BackedSpace::new(layout());
+        let seq = restore_rank_sequential(cfg.store.as_ref(), 0, gen, &mut seq_space).unwrap();
+        assert_eq!(
+            space.content_digest(),
+            seq_space.content_digest(),
+            "planned and sequential restores must agree"
+        );
+        if report.chain_length > longest_chain {
+            longest_chain = report.chain_length;
+            longest_planned = report.pages_applied;
+            longest_seq = seq.pages_applied;
+        }
         t.row(vec![
             full_every.to_string(),
             (gen + 1).to_string(),
             report.chain_length.to_string(),
             report.bytes_read.to_string(),
             report.pages_applied.to_string(),
+            seq.pages_applied.to_string(),
+            report.pages_superseded.to_string(),
         ]);
     }
     println!("{}", t.render());
+    println!(
+        "longest chain ({longest_chain} chunks): planned restore applies {longest_planned} pages \
+         where sequential replay writes {longest_seq}"
+    );
+    comparisons.push(Comparison::new(
+        "Ablation / planned restore page writes vs replay (expect <1x)",
+        1.0,
+        longest_planned as f64 / longest_seq.max(1) as f64,
+        "x",
+    ));
 
     // Compaction: merge the unbounded chain and restore again.
     let cfg = ft_config(CheckpointPolicy::incremental(SimDuration::from_secs(2), 0), 30);

@@ -50,6 +50,9 @@ pub use feasibility::{FeasibilityReport, FeasibilityVerdict};
 pub use interval::IntervalModel;
 pub use metrics::{IbStats, IwsSample};
 pub use policy::{detect_bursts, detect_period, BurstReport};
-pub use restore::{latest_committed_generation, restore_rank, RestoreReport};
+pub use restore::{
+    latest_committed_generation, restore_rank, restore_rank_sequential, restore_rank_with,
+    RestoreConfig, RestoreReport,
+};
 pub use tracked_space::{ContentWrite, TrackedSpace};
 pub use tracker::{TrackerConfig, WriteTracker};

@@ -43,4 +43,6 @@ pub use heap::Heap;
 pub use layout::{DataLayout, LayoutBuilder};
 pub use mmap_area::MmapArea;
 pub use page::{pages_for_bytes, PageRange, PAGE_SHIFT, PAGE_SIZE};
-pub use space::{AddressSpace, BackedSpace, PageSink, PageSource, RegionKind, SparseSpace};
+pub use space::{
+    AddressSpace, BackedSpace, PageSink, PageSource, ParallelPageWriter, RegionKind, SparseSpace,
+};

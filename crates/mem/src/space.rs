@@ -273,6 +273,76 @@ impl BackedSpace {
     pub fn arena(&self) -> &[u8] {
         &self.arena
     }
+
+    /// A writer handle that several restore workers can share to fill
+    /// disjoint page spans of the arena concurrently. The `&mut self`
+    /// borrow keeps every safe API of the space frozen while workers
+    /// hold the handle, so the only aliasing left to rule out is
+    /// between the workers themselves — the caller's obligation (see
+    /// [`ParallelPageWriter`]).
+    pub fn parallel_page_writer(&mut self) -> ParallelPageWriter<'_> {
+        ParallelPageWriter {
+            base: self.arena.as_mut_ptr(),
+            len: self.arena.len(),
+            _borrow: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Shared write access to a [`BackedSpace`] arena for plan-driven
+/// parallel restore.
+///
+/// Restore plans partition the image into disjoint page spans, so each
+/// worker thread writes memory no other worker touches; this type
+/// encodes that hand-off. It deliberately bypasses the mapping-state
+/// check of [`PageSink`]: the plan is built against the restored
+/// mapping state, so every planned page is mapped by construction.
+pub struct ParallelPageWriter<'a> {
+    base: *mut u8,
+    len: usize,
+    _borrow: std::marker::PhantomData<&'a mut BackedSpace>,
+}
+
+// SAFETY: the raw pointer is only dereferenced inside the `unsafe`
+// write methods, whose contract requires callers on different threads
+// to target disjoint pages; the lifetime ties the handle to an
+// exclusive borrow of the owning space.
+unsafe impl Send for ParallelPageWriter<'_> {}
+unsafe impl Sync for ParallelPageWriter<'_> {}
+
+impl ParallelPageWriter<'_> {
+    /// Copy whole pages of `data` into the arena starting at
+    /// `start_page`.
+    ///
+    /// # Safety
+    /// Concurrent callers must write disjoint pages (a restore plan's
+    /// segments guarantee this); `data` must be a whole number of
+    /// pages.
+    pub unsafe fn write_pages(&self, start_page: u64, data: &[u8]) {
+        assert_eq!(data.len() % PAGE_SIZE as usize, 0, "write_pages takes whole pages");
+        let base = (start_page * PAGE_SIZE) as usize;
+        assert!(base + data.len() <= self.len, "write beyond arena");
+        // SAFETY: bounds asserted above; disjointness is the caller's
+        // contract.
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), self.base.add(base), data.len());
+        }
+    }
+
+    /// Zero-fill `pages` pages starting at `start_page`.
+    ///
+    /// # Safety
+    /// Concurrent callers must write disjoint pages.
+    pub unsafe fn zero_pages(&self, start_page: u64, pages: u64) {
+        let base = (start_page * PAGE_SIZE) as usize;
+        let bytes = (pages * PAGE_SIZE) as usize;
+        assert!(base + bytes <= self.len, "zero beyond arena");
+        // SAFETY: bounds asserted above; disjointness is the caller's
+        // contract.
+        unsafe {
+            std::ptr::write_bytes(self.base.add(base), 0, bytes);
+        }
+    }
 }
 
 impl BackedSpace {
@@ -449,5 +519,46 @@ mod tests {
         let page = vec![0xAB; PAGE_SIZE as usize];
         b.write_page_data(0, &page).unwrap();
         assert_eq!(b.read_page(0).unwrap(), page.as_slice());
+    }
+
+    #[test]
+    fn parallel_writer_fills_disjoint_spans_from_threads() {
+        let mut b = BackedSpace::new(small_layout());
+        b.heap_grow(8).unwrap();
+        for p in 4..12 {
+            b.fill_page(p, 99).unwrap(); // stale content to overwrite
+        }
+        let writer = b.parallel_page_writer();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let data = vec![0x11; 2 * PAGE_SIZE as usize];
+                // SAFETY: pages 4..6, disjoint from the other worker.
+                unsafe { writer.write_pages(4, &data) };
+            });
+            scope.spawn(|| {
+                let data = vec![0x22; PAGE_SIZE as usize];
+                // SAFETY: pages 6..7 and 7..12, disjoint from above.
+                unsafe {
+                    writer.write_pages(6, &data);
+                    writer.zero_pages(7, 5);
+                }
+            });
+        });
+        assert!(b.read_page(4).unwrap().iter().all(|&x| x == 0x11));
+        assert!(b.read_page(5).unwrap().iter().all(|&x| x == 0x11));
+        assert!(b.read_page(6).unwrap().iter().all(|&x| x == 0x22));
+        for p in 7..12 {
+            assert!(b.read_page(p).unwrap().iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "write beyond arena")]
+    fn parallel_writer_bounds_checked() {
+        let mut b = BackedSpace::new(small_layout());
+        let writer = b.parallel_page_writer();
+        let data = vec![0u8; PAGE_SIZE as usize];
+        // SAFETY: single-threaded; the call must panic on bounds.
+        unsafe { writer.write_pages(1_000_000, &data) };
     }
 }

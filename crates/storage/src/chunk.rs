@@ -181,8 +181,72 @@ impl Chunk {
         out.put_u32_le(crc);
     }
 
-    /// Decode and verify a chunk.
+    /// Decode and verify a chunk, copying page payloads into owned
+    /// records. For read paths that only need *some* pages (the restore
+    /// planner), [`ChunkView::decode`] verifies the same CRC but leaves
+    /// payloads in place.
     pub fn decode(buf: &[u8]) -> Result<Chunk, StorageError> {
+        Ok(ChunkView::decode(buf)?.to_owned())
+    }
+}
+
+/// A record's location within an encoded chunk: the page span plus the
+/// byte offset of its payload, with the payload itself left in the
+/// encoded buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordRef {
+    /// First page index of the run.
+    pub start_page: u64,
+    /// Number of pages in the run.
+    pub pages: u64,
+    /// Byte offset of the run's payload within the encoded chunk.
+    payload_offset: usize,
+}
+
+impl RecordRef {
+    /// Page span of the record as `(start_page, pages)`.
+    pub fn span(&self) -> (u64, u64) {
+        (self.start_page, self.pages)
+    }
+}
+
+/// A CRC-verified, zero-copy view of an encoded chunk.
+///
+/// Decoding a [`Chunk`] copies every page payload into owned records —
+/// O(stored bytes) of memcpy even for pages a restore will never apply.
+/// A `ChunkView` parses the same format and verifies the same CRC, but
+/// keeps payloads in the encoded buffer and exposes them through
+/// [`RecordRef`]s, so the restore planner can read each *live* page
+/// exactly once and never touch superseded ones.
+#[derive(Debug)]
+pub struct ChunkView<'a> {
+    /// Base or delta.
+    pub kind: ChunkKind,
+    /// Owning rank.
+    pub rank: u32,
+    /// Checkpoint generation this chunk belongs to.
+    pub generation: u64,
+    /// Generation this delta applies on top of (`None` for full chunks).
+    pub parent: Option<u64>,
+    /// Virtual time of capture (nanoseconds).
+    pub capture_time_ns: u64,
+    /// Heap size at capture, in pages.
+    pub heap_pages: u64,
+    /// Live mmap blocks at capture (start page, page count).
+    pub mmap_blocks: Vec<(u64, u64)>,
+    /// Elided all-zero page runs.
+    pub zero_ranges: Vec<(u64, u64)>,
+    /// Saved page runs, payloads referenced in place.
+    pub records: Vec<RecordRef>,
+    /// Opaque application/model state.
+    pub app_state: &'a [u8],
+    /// The encoded buffer the record payloads point into.
+    buf: &'a [u8],
+}
+
+impl<'a> ChunkView<'a> {
+    /// Decode and verify a chunk without copying page payloads.
+    pub fn decode(buf: &'a [u8]) -> Result<ChunkView<'a>, StorageError> {
         if buf.len() < 60 {
             return Err(StorageError::Corrupt("chunk shorter than minimal header".into()));
         }
@@ -234,22 +298,25 @@ impl Chunk {
             let len = b.get_u64_le();
             zero_ranges.push((start, len));
         }
-        let mut app_state = vec![0u8; app_state_len];
-        b.copy_to_slice(&mut app_state);
+        let app_offset = body.len() - b.remaining();
+        let app_state = &body[app_offset..app_offset + app_state_len];
+        b.advance(app_state_len);
         let mut records = Vec::with_capacity(n_records);
         for _ in 0..n_records {
             if b.remaining() < 16 {
                 return Err(StorageError::Corrupt("truncated record header".into()));
             }
             let start_page = b.get_u64_le();
-            let pages = b.get_u64_le() as usize;
-            let nbytes = pages * CHUNK_PAGE_SIZE;
+            let pages = b.get_u64_le();
+            let nbytes = (pages as usize).checked_mul(CHUNK_PAGE_SIZE).ok_or_else(|| {
+                StorageError::Corrupt(format!("record page count {pages} overflows"))
+            })?;
             if b.remaining() < nbytes {
                 return Err(StorageError::Corrupt("truncated record payload".into()));
             }
-            let mut data = vec![0u8; nbytes];
-            b.copy_to_slice(&mut data);
-            records.push(PageRecord { start_page, data });
+            let payload_offset = body.len() - b.remaining();
+            b.advance(nbytes);
+            records.push(RecordRef { start_page, pages, payload_offset });
         }
         if b.has_remaining() {
             return Err(StorageError::Corrupt("trailing bytes after records".into()));
@@ -264,7 +331,7 @@ impl Chunk {
             }
             _ => {}
         }
-        Ok(Chunk {
+        Ok(ChunkView {
             kind,
             rank,
             generation,
@@ -275,8 +342,96 @@ impl Chunk {
             zero_ranges,
             records,
             app_state,
+            buf,
         })
     }
+
+    /// Payload bytes of `pages` pages of record `rec`, starting
+    /// `page_offset` pages into the record.
+    pub fn record_pages(&self, rec: usize, page_offset: u64, pages: u64) -> &'a [u8] {
+        let r = &self.records[rec];
+        assert!(page_offset + pages <= r.pages, "page span outside record");
+        let start = r.payload_offset + page_offset as usize * CHUNK_PAGE_SIZE;
+        &self.buf[start..start + pages as usize * CHUNK_PAGE_SIZE]
+    }
+
+    /// Total saved pages (stored content, excluding elided zeros).
+    pub fn payload_pages(&self) -> u64 {
+        self.records.iter().map(|r| r.pages).sum()
+    }
+
+    /// Pages elided because they were all-zero.
+    pub fn zero_pages(&self) -> u64 {
+        self.zero_ranges.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Materialize an owned [`Chunk`], copying payloads.
+    pub fn to_owned(&self) -> Chunk {
+        Chunk {
+            kind: self.kind,
+            rank: self.rank,
+            generation: self.generation,
+            parent: self.parent,
+            capture_time_ns: self.capture_time_ns,
+            heap_pages: self.heap_pages,
+            mmap_blocks: self.mmap_blocks.clone(),
+            zero_ranges: self.zero_ranges.clone(),
+            records: self
+                .records
+                .iter()
+                .enumerate()
+                .map(|(i, r)| PageRecord {
+                    start_page: r.start_page,
+                    data: self.record_pages(i, 0, r.pages).to_vec(),
+                })
+                .collect(),
+            app_state: self.app_state.to_vec(),
+        }
+    }
+}
+
+/// Lineage fields read from an encoded chunk's fixed-offset header.
+///
+/// Produced by [`peek_lineage`] *without* CRC verification, so a chain
+/// walk can follow parent links before the (possibly parallel) verify
+/// pass; any value here must be treated as untrusted until the chunk's
+/// CRC has been checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkLineage {
+    /// Base or delta.
+    pub kind: ChunkKind,
+    /// Owning rank.
+    pub rank: u32,
+    /// Generation of the chunk.
+    pub generation: u64,
+    /// Parent generation for incremental chunks.
+    pub parent: Option<u64>,
+}
+
+/// Read the lineage header of an encoded chunk without verifying its
+/// CRC. Structural problems (short buffer, bad magic/version/kind) are
+/// still reported as corruption.
+pub fn peek_lineage(buf: &[u8]) -> Result<ChunkLineage, StorageError> {
+    if buf.len() < 60 {
+        return Err(StorageError::Corrupt("chunk shorter than minimal header".into()));
+    }
+    if &buf[0..4] != MAGIC {
+        return Err(StorageError::Corrupt("bad magic".into()));
+    }
+    let version = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+    if version != VERSION {
+        return Err(StorageError::Corrupt(format!("unsupported version {version}")));
+    }
+    let kind = match buf[6] {
+        0 => ChunkKind::Full,
+        1 => ChunkKind::Incremental,
+        k => return Err(StorageError::Corrupt(format!("unknown chunk kind {k}"))),
+    };
+    let rank = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    let generation = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+    let parent_raw = u64::from_le_bytes(buf[24..32].try_into().unwrap());
+    let parent = if parent_raw == u64::MAX { None } else { Some(parent_raw) };
+    Ok(ChunkLineage { kind, rank, generation, parent })
 }
 
 #[cfg(test)]
@@ -361,6 +516,63 @@ mod tests {
         let mut c = sample_chunk(ChunkKind::Incremental);
         c.parent = None;
         assert!(Chunk::decode(&c.encode()).is_err(), "incremental chunk needs a parent");
+    }
+
+    #[test]
+    fn view_matches_owned_decode() {
+        for kind in [ChunkKind::Full, ChunkKind::Incremental] {
+            let c = sample_chunk(kind);
+            let enc = c.encode();
+            let v = ChunkView::decode(&enc).unwrap();
+            assert_eq!(v.to_owned(), c);
+            assert_eq!(v.payload_pages(), c.payload_pages());
+            assert_eq!(v.zero_pages(), c.zero_pages());
+            // Record payloads are readable in place, page-addressed.
+            for (i, r) in v.records.iter().enumerate() {
+                assert_eq!(r.span(), (c.records[i].start_page, c.records[i].page_count()));
+                for p in 0..r.pages {
+                    assert_eq!(
+                        v.record_pages(i, p, 1),
+                        &c.records[i].data
+                            [p as usize * CHUNK_PAGE_SIZE..(p as usize + 1) * CHUNK_PAGE_SIZE]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_rejects_corruption_like_decode() {
+        let enc = sample_chunk(ChunkKind::Incremental).encode();
+        for pos in [0usize, 5, 20, 60, enc.len() / 2, enc.len() - 5] {
+            let mut bad = enc.clone();
+            bad[pos] ^= 0x40;
+            assert!(ChunkView::decode(&bad).is_err(), "flip at {pos} undetected");
+        }
+        assert!(ChunkView::decode(&enc[..40]).is_err());
+    }
+
+    #[test]
+    fn peek_lineage_reads_header_without_crc() {
+        let c = sample_chunk(ChunkKind::Incremental);
+        let mut enc = c.encode();
+        let l = peek_lineage(&enc).unwrap();
+        assert_eq!(
+            l,
+            ChunkLineage { kind: c.kind, rank: c.rank, generation: c.generation, parent: c.parent }
+        );
+        // Payload corruption is invisible to the peek (that is the
+        // point: the CRC pass catches it later)...
+        let last = enc.len() - 1;
+        enc[last] ^= 0xFF;
+        assert!(peek_lineage(&enc).is_ok());
+        // ...but structural damage is not.
+        enc[0] ^= 0xFF;
+        assert!(peek_lineage(&enc).is_err(), "bad magic");
+        enc[0] ^= 0xFF;
+        enc[6] = 9;
+        assert!(peek_lineage(&enc).is_err(), "bad kind byte");
+        assert!(peek_lineage(&enc[..10]).is_err(), "short buffer");
     }
 
     #[test]

@@ -8,10 +8,15 @@
 //! leaves this engineering to future systems; we implement it because a
 //! usable library needs it, and the `chain_length` ablation bench
 //! quantifies the restore-cost trade-off.
-
-use std::collections::BTreeMap;
+//!
+//! Compaction executes a [`RestorePlan`]: the chain is walked once,
+//! each live page is copied once from the single newest record that
+//! contains it, and elided zero runs stay elided in the merged base
+//! (they are re-emitted as `zero_ranges`, not materialized as 4 KiB of
+//! zero content).
 
 use crate::chunk::{Chunk, ChunkKind, PageRecord, CHUNK_PAGE_SIZE};
+use crate::plan::{RestorePlan, SegmentSource};
 use crate::store::{ChunkKey, StableStorage, StorageError};
 
 /// Merge an ordered checkpoint chain (base full chunk first, then each
@@ -34,35 +39,30 @@ pub fn merge_chain(chunks: &[Chunk], keep: Option<&dyn Fn(u64) -> bool>) -> Chun
         assert_eq!(w[0].rank, w[1].rank, "chain must belong to one rank");
     }
 
-    // Later records overwrite earlier ones page by page; elided zero
-    // pages count as explicit zero content at their chunk's position
-    // in the chain.
-    let mut pages: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
-    for chunk in chunks {
-        for &(start, len) in &chunk.zero_ranges {
-            for page in start..start + len {
-                pages.insert(page, vec![0u8; CHUNK_PAGE_SIZE]);
-            }
-        }
-        for rec in &chunk.records {
-            for (i, page_bytes) in rec.data.chunks_exact(CHUNK_PAGE_SIZE).enumerate() {
-                let page = rec.start_page + i as u64;
-                pages.insert(page, page_bytes.to_vec());
-            }
-        }
-    }
-    if let Some(keep) = keep {
-        pages.retain(|&p, _| keep(p));
-    }
-
-    // Re-coalesce into maximal contiguous records.
+    // One planning walk assigns each live page to the newest record
+    // that contains it; executing the sorted segments copies each live
+    // page exactly once and emits maximal coalesced records.
+    let plan = RestorePlan::build(chunks, keep);
     let mut records: Vec<PageRecord> = Vec::new();
-    for (page, data) in pages {
-        match records.last_mut() {
-            Some(last) if last.start_page + last.page_count() == page => {
-                last.data.extend_from_slice(&data);
+    let mut zero_ranges: Vec<(u64, u64)> = Vec::new();
+    for seg in &plan.segments {
+        match seg.source {
+            SegmentSource::Zero => match zero_ranges.last_mut() {
+                Some(last) if last.0 + last.1 == seg.start_page => last.1 += seg.pages,
+                _ => zero_ranges.push((seg.start_page, seg.pages)),
+            },
+            SegmentSource::Record { rec, rec_page_offset } => {
+                let bytes = &chunks[seg.chunk].records[rec].data
+                    [rec_page_offset as usize * CHUNK_PAGE_SIZE..]
+                    [..seg.pages as usize * CHUNK_PAGE_SIZE];
+                match records.last_mut() {
+                    Some(last) if last.start_page + last.page_count() == seg.start_page => {
+                        last.data.extend_from_slice(bytes);
+                    }
+                    _ => records
+                        .push(PageRecord { start_page: seg.start_page, data: bytes.to_vec() }),
+                }
             }
-            _ => records.push(PageRecord { start_page: page, data }),
         }
     }
 
@@ -75,7 +75,7 @@ pub fn merge_chain(chunks: &[Chunk], keep: Option<&dyn Fn(u64) -> bool>) -> Chun
         capture_time_ns: newest.capture_time_ns,
         heap_pages: newest.heap_pages,
         mmap_blocks: newest.mmap_blocks.clone(),
-        zero_ranges: Vec::new(), // zeros re-materialized as content
+        zero_ranges,
         records,
         app_state: newest.app_state.clone(),
     }
@@ -172,6 +172,26 @@ mod tests {
         assert_eq!(merged.records.len(), 2, "hole splits the record");
         assert_eq!(merged.records[0].start_page, 0);
         assert_eq!(merged.records[1].start_page, 2);
+    }
+
+    #[test]
+    fn zero_runs_stay_elided_through_merge() {
+        // Base: content at 0..2, elided zeros at 4..7. Increment
+        // overwrites zero page 5 with content and zeroes page 1.
+        let mut base = full(0, 1, vec![(0, [page(1), page(2)].concat())]);
+        base.zero_ranges = vec![(4, 3)];
+        let mut inc = incr(0, 2, 1, vec![(5, page(9))]);
+        inc.zero_ranges = vec![(1, 1)];
+        let merged = merge_chain(&[base, inc], None);
+        assert_eq!(merged.payload_pages(), 2, "only pages 0 and 5 are content");
+        assert_eq!(
+            merged.zero_ranges,
+            vec![(1, 1), (4, 1), (6, 1)],
+            "zeros stay elided, split around the overwritten page"
+        );
+        assert_eq!(merged.records[0].start_page, 0);
+        assert_eq!(merged.records[1].start_page, 5);
+        assert_eq!(merged.records[1].data, page(9));
     }
 
     #[test]

@@ -17,17 +17,27 @@
 //! * [`throttle`] — virtual-time bandwidth accounting used to charge
 //!   checkpoint writes against the paper's device models (900 MB/s
 //!   network, 320 MB/s disk, §3).
+//! * [`plan`] — latest-wins restore planning: walk a checkpoint chain
+//!   once and assign each live page to the single newest record that
+//!   contains it, so restore and compaction touch each page exactly
+//!   once regardless of chain length.
 //! * [`gc`] — checkpoint-chain compaction: bounded-length incremental
-//!   chains by merging old increments into a new base.
+//!   chains by executing the restore plan into a new base in one pass.
 
 pub mod chunk;
 pub mod crc;
 pub mod gc;
 pub mod manifest;
+pub mod plan;
 pub mod store;
 pub mod throttle;
 
-pub use chunk::{Chunk, ChunkKind, PageRecord, CHUNK_PAGE_SIZE};
+pub use chunk::{
+    peek_lineage, Chunk, ChunkKind, ChunkLineage, ChunkView, PageRecord, RecordRef, CHUNK_PAGE_SIZE,
+};
 pub use manifest::{Manifest, RankEntry};
+pub use plan::{
+    shard_segments, ChunkPlanStats, PlanSegment, PlanSource, RestorePlan, SegmentSource,
+};
 pub use store::{ChunkKey, FileStore, MemStore, StableStorage, StorageError};
-pub use throttle::{shared_device, SharedBandwidthDevice, ThrottledStore};
+pub use throttle::{shared_device, SharedBandwidthDevice, ThrottledStore, TimedReads};

@@ -1,0 +1,558 @@
+//! Latest-wins restore planning.
+//!
+//! Sequential rollback recovery replays an incremental chain
+//! base-to-newest, writing every stored page of every generation —
+//! O(chain × pages) work, which penalizes exactly the
+//! frequent-checkpoint regime the paper argues is feasible (short
+//! timeslices ⇒ long increment chains). A [`RestorePlan`] walks the
+//! chain *once*, newest-to-oldest, and assigns each page of the final
+//! image to the single newest record (or elided zero run) that contains
+//! it. Executing the plan reads and decodes each live page exactly once
+//! regardless of chain length; superseded pages (overwritten by a newer
+//! generation) and excluded pages (unmapped in the final mapping state,
+//! the paper's §4.2 memory exclusion at restore time) are never
+//! touched.
+//!
+//! The plan is pure metadata — record indices and page spans — so it
+//! composes with both consumers:
+//!
+//! * `ickpt-core::restore` executes it against zero-copy
+//!   [`ChunkView`](crate::chunk::ChunkView)s, fanning spans out across
+//!   worker threads;
+//! * [`gc`](crate::gc) compaction executes it into a fresh base chunk
+//!   in a single pass instead of a page-by-page merge loop.
+//!
+//! The invariant both rely on: executing a plan produces an image
+//! byte-identical to the sequential chain replay (property-tested in
+//! `tests/restore_props.rs`, which keeps the sequential path as the
+//! executable reference).
+
+use crate::chunk::{Chunk, ChunkView, CHUNK_PAGE_SIZE};
+
+/// Where a planned page span's content comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentSource {
+    /// An elided all-zero run: restore as zero fill.
+    Zero,
+    /// A page record of the owning chunk.
+    Record {
+        /// Record index within the chunk.
+        rec: usize,
+        /// Page offset within that record where the span starts.
+        rec_page_offset: u64,
+    },
+}
+
+/// A contiguous span of pages to restore from one source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanSegment {
+    /// Index of the owning chunk within the chain (0 = base).
+    pub chunk: usize,
+    /// First page of the span.
+    pub start_page: u64,
+    /// Number of pages.
+    pub pages: u64,
+    /// Content source.
+    pub source: SegmentSource,
+}
+
+/// Per-generation accounting of a plan, for chain-bloat inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkPlanStats {
+    /// Generation number of the chunk.
+    pub generation: u64,
+    /// Stored content pages in the chunk.
+    pub stored_pages: u64,
+    /// Elided zero pages in the chunk.
+    pub stored_zero_pages: u64,
+    /// Content pages that survive into the final image.
+    pub live_pages: u64,
+    /// Zero-run pages that survive into the final image.
+    pub live_zero_pages: u64,
+    /// Pages overwritten by a newer generation (dead weight a planned
+    /// restore skips and compaction would reclaim).
+    pub superseded_pages: u64,
+    /// Pages dropped because the final mapping no longer contains them.
+    pub excluded_pages: u64,
+}
+
+impl ChunkPlanStats {
+    /// Stored payload bytes a planned restore skips in this chunk.
+    pub fn skipped_payload_bytes(&self) -> u64 {
+        (self.stored_pages - self.live_pages) * CHUNK_PAGE_SIZE as u64
+    }
+}
+
+/// Chain metadata the planner consumes: implemented by both owned
+/// [`Chunk`]s (gc compaction) and zero-copy
+/// [`ChunkView`](crate::chunk::ChunkView)s (restore).
+pub trait PlanSource {
+    /// Generation number of the chunk.
+    fn generation(&self) -> u64;
+    /// Elided zero runs.
+    fn zero_ranges(&self) -> &[(u64, u64)];
+    /// Number of page records.
+    fn record_count(&self) -> usize;
+    /// Page span of record `i` as `(start_page, pages)`.
+    fn record_span(&self, i: usize) -> (u64, u64);
+}
+
+impl<T: PlanSource + ?Sized> PlanSource for &T {
+    fn generation(&self) -> u64 {
+        (**self).generation()
+    }
+    fn zero_ranges(&self) -> &[(u64, u64)] {
+        (**self).zero_ranges()
+    }
+    fn record_count(&self) -> usize {
+        (**self).record_count()
+    }
+    fn record_span(&self, i: usize) -> (u64, u64) {
+        (**self).record_span(i)
+    }
+}
+
+impl PlanSource for Chunk {
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+    fn zero_ranges(&self) -> &[(u64, u64)] {
+        &self.zero_ranges
+    }
+    fn record_count(&self) -> usize {
+        self.records.len()
+    }
+    fn record_span(&self, i: usize) -> (u64, u64) {
+        (self.records[i].start_page, self.records[i].page_count())
+    }
+}
+
+impl PlanSource for ChunkView<'_> {
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+    fn zero_ranges(&self) -> &[(u64, u64)] {
+        &self.zero_ranges
+    }
+    fn record_count(&self) -> usize {
+        self.records.len()
+    }
+    fn record_span(&self, i: usize) -> (u64, u64) {
+        self.records[i].span()
+    }
+}
+
+/// Word-granular page-claim bitmap used during planning.
+struct ClaimSet {
+    words: Vec<u64>,
+}
+
+impl ClaimSet {
+    fn new(pages: u64) -> Self {
+        Self { words: vec![0u64; (pages as usize).div_ceil(64)] }
+    }
+
+    /// Claim `page`; returns whether it was previously unclaimed.
+    fn claim(&mut self, page: u64) -> bool {
+        let (w, b) = ((page / 64) as usize, page % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+}
+
+/// A latest-wins restore plan over one rank's checkpoint chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestorePlan {
+    /// Disjoint spans covering the final image, ascending by
+    /// `start_page`.
+    pub segments: Vec<PlanSegment>,
+    /// Per-chunk statistics, aligned with the input chain (base first).
+    pub per_chunk: Vec<ChunkPlanStats>,
+    /// Content pages the plan applies.
+    pub live_pages: u64,
+    /// Zero-fill pages the plan applies.
+    pub live_zero_pages: u64,
+    /// Stored pages skipped because a newer generation overwrote them.
+    pub superseded_pages: u64,
+    /// Stored pages skipped because the final mapping excludes them.
+    pub excluded_pages: u64,
+}
+
+impl RestorePlan {
+    /// Build a plan for `chain` (base full chunk first, increments in
+    /// generation order — the order a sequential replay applies them).
+    ///
+    /// `keep` filters pages into the final image: pass the mapped-state
+    /// predicate of the newest generation to apply memory exclusion at
+    /// restore time, or `None` to keep every recorded page (what gc
+    /// compaction without an exclusion filter wants).
+    pub fn build<S: PlanSource>(chain: &[S], keep: Option<&dyn Fn(u64) -> bool>) -> RestorePlan {
+        assert!(!chain.is_empty(), "cannot plan an empty chain");
+        let mut max_end = 0u64;
+        for chunk in chain {
+            for i in 0..chunk.record_count() {
+                let (start, pages) = chunk.record_span(i);
+                max_end = max_end.max(start + pages);
+            }
+            for &(start, len) in chunk.zero_ranges() {
+                max_end = max_end.max(start + len);
+            }
+        }
+        let mut claimed = ClaimSet::new(max_end);
+        let mut segments: Vec<PlanSegment> = Vec::new();
+        let mut per_chunk = vec![ChunkPlanStats::default(); chain.len()];
+
+        // Newest chunk first: the first claim on a page wins, which is
+        // exactly "the newest generation containing the page wins".
+        for (idx, chunk) in chain.iter().enumerate().rev() {
+            let stats = &mut per_chunk[idx];
+            stats.generation = chunk.generation();
+            for i in 0..chunk.record_count() {
+                let (start, pages) = chunk.record_span(i);
+                stats.stored_pages += pages;
+                let mut run: Option<PlanSegment> = None;
+                for k in 0..pages {
+                    let page = start + k;
+                    let live = keep.is_none_or(|f| f(page)) && claimed.claim(page);
+                    if live {
+                        stats.live_pages += 1;
+                        match &mut run {
+                            Some(seg) if seg.start_page + seg.pages == page => seg.pages += 1,
+                            _ => {
+                                if let Some(seg) = run.take() {
+                                    segments.push(seg);
+                                }
+                                run = Some(PlanSegment {
+                                    chunk: idx,
+                                    start_page: page,
+                                    pages: 1,
+                                    source: SegmentSource::Record { rec: i, rec_page_offset: k },
+                                });
+                            }
+                        }
+                    } else {
+                        if keep.is_some_and(|f| !f(page)) {
+                            stats.excluded_pages += 1;
+                        } else {
+                            stats.superseded_pages += 1;
+                        }
+                        if let Some(seg) = run.take() {
+                            segments.push(seg);
+                        }
+                    }
+                }
+                if let Some(seg) = run.take() {
+                    segments.push(seg);
+                }
+            }
+            for &(start, len) in chunk.zero_ranges() {
+                stats.stored_zero_pages += len;
+                let mut run: Option<PlanSegment> = None;
+                for page in start..start + len {
+                    let live = keep.is_none_or(|f| f(page)) && claimed.claim(page);
+                    if live {
+                        stats.live_zero_pages += 1;
+                        match &mut run {
+                            Some(seg) if seg.start_page + seg.pages == page => seg.pages += 1,
+                            _ => {
+                                if let Some(seg) = run.take() {
+                                    segments.push(seg);
+                                }
+                                run = Some(PlanSegment {
+                                    chunk: idx,
+                                    start_page: page,
+                                    pages: 1,
+                                    source: SegmentSource::Zero,
+                                });
+                            }
+                        }
+                    } else {
+                        if keep.is_some_and(|f| !f(page)) {
+                            stats.excluded_pages += 1;
+                        } else {
+                            stats.superseded_pages += 1;
+                        }
+                        if let Some(seg) = run.take() {
+                            segments.push(seg);
+                        }
+                    }
+                }
+                if let Some(seg) = run.take() {
+                    segments.push(seg);
+                }
+            }
+        }
+        // Spans are disjoint; a canonical ascending order makes plan
+        // execution deterministic and lets compaction emit coalesced
+        // records in one forward pass.
+        segments.sort_unstable_by_key(|s| s.start_page);
+        let (live_pages, live_zero_pages, superseded_pages, excluded_pages) =
+            per_chunk.iter().fold((0, 0, 0, 0), |acc, s| {
+                (
+                    acc.0 + s.live_pages,
+                    acc.1 + s.live_zero_pages,
+                    acc.2 + s.superseded_pages,
+                    acc.3 + s.excluded_pages,
+                )
+            });
+        RestorePlan {
+            segments,
+            per_chunk,
+            live_pages,
+            live_zero_pages,
+            superseded_pages,
+            excluded_pages,
+        }
+    }
+
+    /// Total pages the plan applies (content + zero fill).
+    pub fn applied_pages(&self) -> u64 {
+        self.live_pages + self.live_zero_pages
+    }
+
+    /// Payload bytes a planned restore actually decodes.
+    pub fn planned_payload_bytes(&self) -> u64 {
+        self.live_pages * CHUNK_PAGE_SIZE as u64
+    }
+
+    /// Stored payload bytes a planned restore skips (dead chain
+    /// weight; what compaction reclaims).
+    pub fn skipped_payload_bytes(&self) -> u64 {
+        (self.superseded_pages + self.excluded_pages
+            - self.per_chunk.iter().map(|s| s.dead_zero_pages()).sum::<u64>())
+            * CHUNK_PAGE_SIZE as u64
+    }
+}
+
+impl ChunkPlanStats {
+    /// Dead pages of this chunk that were zero runs (cost 16 bytes
+    /// stored, not a page of payload).
+    fn dead_zero_pages(&self) -> u64 {
+        self.stored_zero_pages - self.live_zero_pages
+    }
+}
+
+/// Split a plan's segments into up to `shards` batches of roughly equal
+/// page count, cutting segments mid-span where needed. Batches are in
+/// ascending page order and their concatenation reproduces the plan, so
+/// executing them on separate threads writes disjoint pages.
+pub fn shard_segments(segments: &[PlanSegment], shards: usize) -> Vec<Vec<PlanSegment>> {
+    let total: u64 = segments.iter().map(|s| s.pages).sum();
+    if total == 0 || shards <= 1 {
+        return vec![segments.to_vec()];
+    }
+    let shards = shards.min(total as usize);
+    let per = total.div_ceil(shards as u64);
+    let mut out: Vec<Vec<PlanSegment>> = Vec::with_capacity(shards);
+    let mut current: Vec<PlanSegment> = Vec::new();
+    let mut room = per;
+    for &seg in segments {
+        let mut rest = seg;
+        while rest.pages > 0 {
+            let take = rest.pages.min(room);
+            current.push(PlanSegment { pages: take, ..rest });
+            let advance = take;
+            rest.start_page += advance;
+            rest.pages -= advance;
+            if let SegmentSource::Record { rec, rec_page_offset } = rest.source {
+                rest.source =
+                    SegmentSource::Record { rec, rec_page_offset: rec_page_offset + advance };
+            }
+            room -= take;
+            if room == 0 && out.len() + 1 < shards {
+                out.push(std::mem::take(&mut current));
+                room = per;
+            }
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{ChunkKind, PageRecord};
+
+    fn page(byte: u8) -> Vec<u8> {
+        vec![byte; CHUNK_PAGE_SIZE]
+    }
+
+    fn full(generation: u64, recs: Vec<(u64, Vec<u8>)>, zeros: Vec<(u64, u64)>) -> Chunk {
+        Chunk {
+            kind: ChunkKind::Full,
+            rank: 0,
+            generation,
+            parent: None,
+            capture_time_ns: 0,
+            heap_pages: 8,
+            mmap_blocks: vec![],
+            zero_ranges: zeros,
+            records: recs
+                .into_iter()
+                .map(|(start_page, data)| PageRecord { start_page, data })
+                .collect(),
+            app_state: vec![],
+        }
+    }
+
+    fn incr(generation: u64, recs: Vec<(u64, Vec<u8>)>, zeros: Vec<(u64, u64)>) -> Chunk {
+        Chunk {
+            kind: ChunkKind::Incremental,
+            parent: Some(generation - 1),
+            ..full(generation, recs, zeros)
+        }
+    }
+
+    #[test]
+    fn newest_generation_wins_each_page() {
+        let base = full(0, vec![(0, [page(1), page(2), page(3)].concat())], vec![]);
+        let inc = incr(1, vec![(1, page(9))], vec![]);
+        let plan = RestorePlan::build(&[base, inc], None);
+        // Page 0 and 2 from the base, page 1 from the increment.
+        assert_eq!(plan.live_pages, 3);
+        assert_eq!(plan.superseded_pages, 1, "base's page 1 is dead");
+        assert_eq!(plan.segments.len(), 3);
+        assert_eq!(
+            plan.segments[1],
+            PlanSegment {
+                chunk: 1,
+                start_page: 1,
+                pages: 1,
+                source: SegmentSource::Record { rec: 0, rec_page_offset: 0 }
+            }
+        );
+        assert_eq!(plan.segments[0].chunk, 0);
+        assert_eq!(plan.segments[2].chunk, 0);
+        assert_eq!(
+            plan.segments[2].source,
+            SegmentSource::Record { rec: 0, rec_page_offset: 2 },
+            "tail of the base record survives at an offset"
+        );
+    }
+
+    #[test]
+    fn plan_work_is_chain_length_independent() {
+        // A 3-page live set overwritten by every increment: the planned
+        // work stays 3 pages no matter how long the chain grows.
+        let mut chain = vec![full(0, vec![(0, [page(1), page(2), page(3)].concat())], vec![])];
+        for g in 1..=32 {
+            chain.push(incr(g, vec![(0, [page(g as u8), page(g as u8)].concat())], vec![]));
+        }
+        let plan = RestorePlan::build(&chain, None);
+        assert_eq!(plan.applied_pages(), 3);
+        assert_eq!(plan.planned_payload_bytes(), 3 * CHUNK_PAGE_SIZE as u64);
+        assert_eq!(plan.superseded_pages, 2 * 32, "every superseded increment page counted");
+        // Only the newest increment (one coalesced 2-page segment) and
+        // the base's tail page are live.
+        let live_chunks: Vec<usize> = plan.segments.iter().map(|s| s.chunk).collect();
+        assert_eq!(live_chunks, vec![32, 0]);
+    }
+
+    #[test]
+    fn zero_runs_participate_in_latest_wins() {
+        // Base stores content; a later increment zeroes one page (a
+        // fresh allocation over it) — the zero run must shadow the
+        // base's content, and a dead zero run must cost nothing.
+        let base = full(0, vec![(0, [page(1), page(2)].concat())], vec![(5, 2)]);
+        let inc = incr(1, vec![(5, page(7))], vec![(0, 1)]);
+        let plan = RestorePlan::build(&[base, inc], None);
+        assert_eq!(plan.live_zero_pages, 2, "inc's zero at 0 plus base's surviving zero at 6");
+        assert_eq!(plan.live_pages, 2, "base page 1, inc page 5");
+        assert_eq!(plan.superseded_pages, 2, "base page 0 and base zero page 5");
+        let zero_spans: Vec<(u64, u64)> = plan
+            .segments
+            .iter()
+            .filter(|s| s.source == SegmentSource::Zero)
+            .map(|s| (s.start_page, s.pages))
+            .collect();
+        assert_eq!(zero_spans, vec![(0, 1), (6, 1)]);
+    }
+
+    #[test]
+    fn keep_filter_excludes_pages() {
+        let base = full(0, vec![(0, [page(1), page(2), page(3), page(4)].concat())], vec![]);
+        let keep = |p: u64| p < 2;
+        let plan = RestorePlan::build(&[base], Some(&keep));
+        assert_eq!(plan.live_pages, 2);
+        assert_eq!(plan.excluded_pages, 2);
+        assert_eq!(plan.segments.len(), 1);
+        assert_eq!(plan.segments[0].pages, 2);
+    }
+
+    #[test]
+    fn per_chunk_stats_account_every_stored_page() {
+        let base = full(0, vec![(0, [page(1), page(2)].concat())], vec![(4, 3)]);
+        let inc = incr(1, vec![(1, page(9)), (4, page(8))], vec![]);
+        let plan = RestorePlan::build(&[base, inc], None);
+        for s in &plan.per_chunk {
+            assert_eq!(
+                s.stored_pages + s.stored_zero_pages,
+                s.live_pages + s.live_zero_pages + s.superseded_pages + s.excluded_pages,
+                "generation {}",
+                s.generation
+            );
+        }
+        assert_eq!(plan.per_chunk[0].generation, 0);
+        assert_eq!(plan.per_chunk[1].generation, 1);
+        assert_eq!(plan.per_chunk[1].superseded_pages, 0, "newest chunk is never superseded");
+    }
+
+    #[test]
+    fn segments_are_sorted_and_disjoint() {
+        let base = full(0, vec![(0, [page(1), page(2), page(3)].concat())], vec![(10, 4)]);
+        let i1 = incr(1, vec![(2, [page(5), page(6)].concat())], vec![(11, 1)]);
+        let i2 = incr(2, vec![(1, page(7))], vec![]);
+        let plan = RestorePlan::build(&[base, i1, i2], None);
+        let mut last_end = 0u64;
+        for s in &plan.segments {
+            assert!(s.start_page >= last_end, "overlap or disorder at page {}", s.start_page);
+            last_end = s.start_page + s.pages;
+        }
+        assert_eq!(plan.applied_pages(), plan.segments.iter().map(|s| s.pages).sum::<u64>());
+    }
+
+    #[test]
+    fn shard_segments_partitions_exactly() {
+        let base = full(0, vec![(0, vec![0xAB; 10 * CHUNK_PAGE_SIZE])], vec![(20, 7)]);
+        let inc = incr(1, vec![(4, vec![0xCD; 3 * CHUNK_PAGE_SIZE])], vec![]);
+        let plan = RestorePlan::build(&[base, inc], None);
+        for shards in [1usize, 2, 3, 8, 64] {
+            let parts = shard_segments(&plan.segments, shards);
+            assert!(parts.len() <= shards.max(1));
+            let flat: Vec<u64> =
+                parts.iter().flatten().flat_map(|s| s.start_page..s.start_page + s.pages).collect();
+            let want: Vec<u64> =
+                plan.segments.iter().flat_map(|s| s.start_page..s.start_page + s.pages).collect();
+            assert_eq!(flat, want, "shards={shards}");
+            // Splitting a record span advances the record offset so the
+            // shard reads the right payload bytes.
+            for part in &parts {
+                for s in part {
+                    if let SegmentSource::Record { rec_page_offset, .. } = s.source {
+                        let orig = plan
+                            .segments
+                            .iter()
+                            .find(|o| {
+                                o.chunk == s.chunk
+                                    && o.start_page <= s.start_page
+                                    && s.start_page + s.pages <= o.start_page + o.pages
+                            })
+                            .unwrap();
+                        if let SegmentSource::Record { rec_page_offset: orig_off, .. } = orig.source
+                        {
+                            assert_eq!(
+                                rec_page_offset,
+                                orig_off + (s.start_page - orig.start_page),
+                                "shards={shards}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

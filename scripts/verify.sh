@@ -4,9 +4,12 @@
 # shims under vendor/ — see vendor/README.md).
 #
 # Usage:
-#   scripts/verify.sh            # build + tests + fmt + clippy
-#   scripts/verify.sh --bench    # also run the micro-bench smoke pass
-#                                # and refresh /tmp/ickpt_bench.json
+#   scripts/verify.sh               # build + tests + fmt + clippy + bench smoke
+#   scripts/verify.sh --bench       # also run the micro-bench measurement pass
+#                                   # and refresh /tmp/ickpt_bench.json
+#   scripts/verify.sh --bench-smoke # bench smoke pass only (tiny sizes, no
+#                                   # timing assertions — checks the benches
+#                                   # still run, not how fast)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,10 +18,26 @@ run() {
     "$@"
 }
 
+bench_smoke() {
+    # Tiny footprints and a minimal measurement budget: this asserts the
+    # bench harness still builds chains, restores, and merges without
+    # panicking. It makes no claims about timing.
+    ICKPT_BENCH_CAPTURE_MB=8 ICKPT_BENCH_RESTORE_MB=8 \
+        run cargo bench -q -p ickpt-bench --bench micro -- \
+        --measure-ms 20 --save-json /tmp/ickpt_bench_smoke.json
+}
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+    bench_smoke
+    echo "verify: OK (bench smoke only)"
+    exit 0
+fi
+
 run cargo build --release
 run cargo test -q --workspace
 run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
+bench_smoke
 
 if [[ "${1:-}" == "--bench" ]]; then
     # Short measurement budget: a smoke pass in seconds, not minutes.

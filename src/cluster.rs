@@ -41,7 +41,7 @@ use ickpt_core::checkpoint::{
 };
 use ickpt_core::coordinator::{CheckpointPlanner, CheckpointPolicy, VoteFlags};
 use ickpt_core::metrics::IwsSample;
-use ickpt_core::restore::{latest_committed_generation, restore_rank};
+use ickpt_core::restore::{latest_committed_generation, restore_rank_with, RestoreConfig};
 use ickpt_core::tracked_space::{ContentWrite, TrackedSpace};
 use ickpt_core::tracker::{EpochSample, IterationSample, TrackerConfig, WriteTracker};
 use ickpt_mem::{pages_for_bytes, AddressSpace, BackedSpace, DataLayout, PageRange, SparseSpace};
@@ -474,16 +474,28 @@ where
                     let mut model = build(rank);
                     let mut clock = SimTime::ZERO;
                     let mut planner = CheckpointPlanner::new(policy, SimTime::ZERO);
+                    let tstore = match array {
+                        Some(dev) => ThrottledStore::with_shared_device(store.clone(), dev),
+                        None => ThrottledStore::new(store.clone(), device.build()),
+                    };
                     let mut skip_init = false;
                     if let Some(gen) = resume_from {
                         // Rollback recovery: restore memory, model
                         // state and clock from the committed
-                        // generation.
-                        let restore_report =
-                            restore_rank(store.as_ref(), rank as u32, gen, &mut space)?;
-                        let chunk_data = store.get_chunk(ChunkKey::new(rank as u32, gen))?;
-                        let chunk = Chunk::decode(&chunk_data)?;
-                        let mut blob = ByteReader::new(&chunk.app_state);
+                        // generation. Chain reads go through the same
+                        // bandwidth-modelled path as checkpoint writes
+                        // (and contend on a shared array), so restart
+                        // cost uses the paper's device model.
+                        let reader = tstore.timed_reads(SimTime::ZERO);
+                        let restore_report = restore_rank_with(
+                            &reader,
+                            rank as u32,
+                            gen,
+                            &mut space,
+                            &RestoreConfig::from_env(),
+                        )?;
+                        let read_cost = reader.now().saturating_sub(SimTime::ZERO);
+                        let mut blob = ByteReader::new(&restore_report.app_state);
                         let model_state = blob
                             .get_bytes()
                             .map_err(|_| {
@@ -504,13 +516,7 @@ where
                         model.restore_state(&model_state).map_err(|_| {
                             ickpt_storage::StorageError::Corrupt("bad app state".into())
                         })?;
-                        // Restart cost: reading the chain back over
-                        // the storage path takes real time.
-                        clock = SimTime(chunk.capture_time_ns)
-                            + SimDuration::for_transfer(
-                                restore_report.bytes_read,
-                                device.bandwidth(),
-                            );
+                        clock = SimTime(restore_report.capture_time_ns) + read_cost;
                         planner.resume_after(gen, clock);
                         skip_init = true;
                     }
@@ -518,10 +524,6 @@ where
                         WriteTracker::new(layout.capacity_pages(), space.mapped_pages(), tcfg);
                     // Alarms continue on the absolute virtual clock.
                     tracker.advance_to(clock);
-                    let tstore = match array {
-                        Some(dev) => ThrottledStore::with_shared_device(store.clone(), dev),
-                        None => ThrottledStore::new(store.clone(), device.build()),
-                    };
                     let ckpt = RankCheckpointer {
                         rank,
                         nranks: cfg.nranks,
