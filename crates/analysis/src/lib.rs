@@ -13,9 +13,11 @@
 pub mod compare;
 pub mod csv;
 pub mod plot;
+pub mod report;
 pub mod stats;
 pub mod table;
 
 pub use compare::Comparison;
 pub use plot::{ascii_multi_plot, ascii_plot};
+pub use report::ExperimentReport;
 pub use table::TextTable;

@@ -1,0 +1,26 @@
+//! Rendered experiment output.
+//!
+//! Experiments render into an [`ExperimentReport`] instead of printing,
+//! so the parallel scheduler can run them on worker threads and emit
+//! their output strictly in input order — stdout is byte-identical at
+//! any `ICKPT_BENCH_THREADS`.
+
+use crate::Comparison;
+
+/// Everything an experiment produces: the rendered table/figure text
+/// and the paper-vs-measured rows for EXPERIMENTS.md.
+pub struct ExperimentReport {
+    /// The fully rendered output (printed verbatim, trailing newline
+    /// included).
+    pub body: String,
+    /// Paper-vs-measured comparison rows.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl ExperimentReport {
+    /// Print the body and hand back the comparison rows.
+    pub fn print(self) -> Vec<Comparison> {
+        print!("{}", self.body);
+        self.comparisons
+    }
+}

@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks of the hot paths: the dirty bitmap, the
 //! write-fault path, pattern slicing, the chunk codec, CRC-32, the
-//! collective rendezvous, and the *real* page-fault cost through
-//! `mprotect`/`SIGSEGV`.
+//! trace-engine record/re-bin pair, the collective rendezvous, and the
+//! *real* page-fault cost through `mprotect`/`SIGSEGV`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
@@ -314,6 +314,40 @@ fn bench_restore(c: &mut Criterion) {
     g.finish();
 }
 
+/// Trace-once vs re-bin-many: the cost of recording one fine-grained
+/// (1 s) write trace, and of deriving a coarse-timeslice report from it
+/// afterwards. The whole point of the trace engine is the ratio between
+/// these two rows: every additional timeslice costs one `rebin`, not
+/// one `record`.
+fn bench_trace(c: &mut Criterion) {
+    use ickpt::apps::Workload;
+    use ickpt::cluster::{characterize, CharacterizationConfig};
+    use ickpt_bench::engine::WorkloadTrace;
+
+    let cfg = CharacterizationConfig {
+        nranks: 2,
+        scale: 0.05,
+        run_for: SimDuration::from_secs(60),
+        timeslice: SimDuration::from_secs(1),
+        seed: 0x1DC4_2004,
+        track_iterations: true,
+        trace_ranks: 1,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("trace_engine");
+    g.bench_function("record_sage50_2ranks_60s", |b| {
+        b.iter(|| black_box(characterize(Workload::Sage50, &cfg).ranks[0].samples.len()))
+    });
+    let wt = WorkloadTrace::from_report(characterize(Workload::Sage50, &cfg));
+    g.bench_function("rebin_sage50_60s_to_5s", |b| {
+        b.iter(|| {
+            let report = wt.report_at(SimDuration::from_secs(5), SimDuration::from_secs(60), false);
+            black_box(report.ranks[0].samples.len())
+        })
+    });
+    g.finish();
+}
+
 fn bench_native_fault(c: &mut Criterion) {
     let mut g = c.benchmark_group("native_fault");
     // Cost of one protection fault + handler + mprotect, amortized over
@@ -348,6 +382,7 @@ criterion_group!(
     bench_crc,
     bench_capture,
     bench_restore,
+    bench_trace,
     bench_native_fault
 );
 criterion_main!(benches);

@@ -2,38 +2,61 @@
 //! report.
 //!
 //! ```text
-//! cargo run --release -p ickpt-bench --bin repro [-- --out <path>]
+//! cargo run --release -p ickpt-bench --bin repro [-- --out <path>] [-- --only <substring>]
 //! ```
 //!
+//! * `--out <path>` — also write the markdown report to `path`.
+//! * `--only <substring>` — run only the experiments whose display
+//!   name contains `substring` (case-insensitive); e.g. `--only fig`
+//!   runs the five figures, `--only "Table 3"` just that table.
+//!
 //! Respects the `ICKPT_BENCH_*` environment knobs documented in
-//! `ickpt-bench`.
+//! `ickpt-bench`. Experiments run concurrently on
+//! `ICKPT_BENCH_THREADS` workers, but stdout and the markdown report
+//! are assembled strictly in experiment order from pre-rendered
+//! bodies, so the output is byte-identical at any thread count (timing
+//! lines go to stderr).
 
 use std::fmt::Write as _;
 
 use ickpt_analysis::compare::{comparison_markdown, comparison_table};
-use ickpt_analysis::Comparison;
+use ickpt_analysis::ExperimentReport;
+use ickpt_bench::engine::parallel_map;
 use ickpt_bench::experiments;
 
 /// One experiment: display name + runner.
-type Experiment = (&'static str, fn() -> Vec<Comparison>);
+type Experiment = (&'static str, fn() -> ExperimentReport);
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_path = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
 
     let experiments: Vec<Experiment> = vec![
-        ("Table 2 (memory footprints)", experiments::table2::run_and_print),
-        ("Table 3 (iteration period, % overwritten)", experiments::table3::run_and_print),
-        ("Table 4 (bandwidth requirements @1s)", experiments::table4::run_and_print),
-        ("Figure 1 (Sage-1000MB time series)", experiments::fig1::run_and_print),
-        ("Figure 2 (IB vs timeslice, 6 apps)", experiments::fig2::run_and_print),
-        ("Figure 3 (avg IB vs timeslice, Sage sizes)", experiments::fig3::run_and_print),
-        ("Figure 4 (IWS ratio vs timeslice)", experiments::fig4::run_and_print),
-        ("Figure 5 (weak scaling 8-64 procs)", experiments::fig5::run_and_print),
-        ("Section 6.5 (intrusiveness)", experiments::intrusive::run_and_print),
-        ("Ablations (checkpoint system)", experiments::ablation::run_and_print),
-        ("Availability under failures", experiments::availability::run_and_print),
+        ("Table 2 (memory footprints)", experiments::table2::report),
+        ("Table 3 (iteration period, % overwritten)", experiments::table3::report),
+        ("Table 4 (bandwidth requirements @1s)", experiments::table4::report),
+        ("Figure 1 (Sage-1000MB time series)", experiments::fig1::report),
+        ("Figure 2 (IB vs timeslice, 6 apps)", experiments::fig2::report),
+        ("Figure 3 (avg IB vs timeslice, Sage sizes)", experiments::fig3::report),
+        ("Figure 4 (IWS ratio vs timeslice)", experiments::fig4::report),
+        ("Figure 5 (weak scaling 8-64 procs)", experiments::fig5::report),
+        ("Section 6.5 (intrusiveness)", experiments::intrusive::report),
+        ("Ablations (checkpoint system)", experiments::ablation::report),
+        ("Availability under failures", experiments::availability::report),
     ];
+    let selected: Vec<Experiment> = experiments
+        .into_iter()
+        .filter(|(name, _)| only.as_ref().is_none_or(|o| name.to_lowercase().contains(o)))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("error: --only {:?} matches no experiment", only.unwrap_or_default());
+        std::process::exit(2);
+    }
 
     let mut md = String::new();
     writeln!(md, "## Reproduction results\n").unwrap();
@@ -46,15 +69,25 @@ fn main() {
     )
     .unwrap();
 
+    let t0 = std::time::Instant::now();
+    let reports = parallel_map(&selected, |(name, f)| {
+        let t = std::time::Instant::now();
+        let report = f();
+        eprintln!("    [{name} completed in {:?}]", t.elapsed());
+        report
+    });
+    eprintln!("    [all experiments completed in {:?}]", t0.elapsed());
+
     let mut all_rows = Vec::new();
-    for (name, f) in experiments {
-        let t0 = std::time::Instant::now();
-        let rows = f();
-        println!("{}", comparison_table(&format!("{name}: paper vs measured"), &rows));
-        println!("    [{name} completed in {:?}]", t0.elapsed());
+    for ((name, _), report) in selected.iter().zip(reports) {
+        print!("{}", report.body);
+        println!(
+            "{}",
+            comparison_table(&format!("{name}: paper vs measured"), &report.comparisons)
+        );
         writeln!(md, "### {name}\n").unwrap();
-        writeln!(md, "{}", comparison_markdown(&rows)).unwrap();
-        all_rows.extend(rows);
+        writeln!(md, "{}", comparison_markdown(&report.comparisons)).unwrap();
+        all_rows.extend(report.comparisons);
     }
 
     // Summary: how many cells land within 25 % of the paper.

@@ -19,6 +19,7 @@
 //!    coordinated checkpoint's synchronized writes serialize, so the
 //!    stall grows with the rank count; per-rank paths keep it flat.
 
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 use ickpt::apps::synthetic::{SyntheticApp, SyntheticConfig};
@@ -31,11 +32,14 @@ use ickpt::net::NetConfig;
 use ickpt::sim::{DevicePreset, SimDuration};
 use ickpt::storage::{gc, Chunk, ChunkKey, MemStore};
 use ickpt_analysis::table::fnum;
-use ickpt_analysis::{Comparison, TextTable};
+use ickpt_analysis::{Comparison, ExperimentReport, TextTable};
 
-use crate::banner;
+use crate::banner_string;
+use crate::engine::parallel_map;
 
 const NRANKS: usize = 4;
+
+type Section = (String, Vec<Comparison>);
 
 fn layout() -> DataLayout {
     LayoutBuilder::new()
@@ -73,8 +77,11 @@ fn ft_config(policy: CheckpointPolicy, iters: u64) -> FaultTolerantConfig {
 }
 
 /// Ablation 4: synchronous vs forked checkpointing stall.
-fn mode_ablation(comparisons: &mut Vec<Comparison>) {
-    println!("ablation 4: stop-and-copy vs forked (background write, deferred commit)");
+fn mode_ablation() -> Section {
+    let mut body = String::new();
+    let mut comparisons = Vec::new();
+    writeln!(body, "ablation 4: stop-and-copy vs forked (background write, deferred commit)")
+        .unwrap();
     let policy = CheckpointPolicy::incremental(SimDuration::from_secs(3), 0);
     let stop = run_fault_tolerant(&ft_config(policy, 30), layout(), build).unwrap();
     let mut fork_cfg = ft_config(policy, 30);
@@ -98,22 +105,27 @@ fn mode_ablation(comparisons: &mut Vec<Comparison>) {
             format!("{}", r.commit_lag / r.checkpoints.max(1)),
         ]);
     }
-    println!("{}", t.render());
+    writeln!(body, "{}", t.render()).unwrap();
     let speedup = s0.checkpoint_stall.as_secs_f64() / f0.checkpoint_stall.as_secs_f64().max(1e-9);
-    println!(
+    writeln!(
+        body,
         "forked mode reduces the application stall {speedup:.1}x (at the cost of deferred commits)"
-    );
+    )
+    .unwrap();
     comparisons.push(Comparison::new(
         "Ablation / forked stall reduction (expect >2x)",
         2.0,
         speedup.min(99.0),
         "x",
     ));
+    (body, comparisons)
 }
 
 /// Ablation 5: the §4.2 memory-exclusion saving on Sage.
-fn exclusion_ablation(comparisons: &mut Vec<Comparison>) {
-    println!("ablation 5: memory exclusion (§4.2) on Sage's dynamic memory");
+fn exclusion_ablation() -> Section {
+    let mut body = String::new();
+    let mut comparisons = Vec::new();
+    writeln!(body, "ablation 5: memory exclusion (§4.2) on Sage's dynamic memory").unwrap();
     let w = ickpt::apps::Workload::Sage50;
     let scale = 0.05;
     let nranks = NRANKS;
@@ -137,26 +149,32 @@ fn exclusion_ablation(comparisons: &mut Vec<Comparison>) {
     let r0 = &report.ranks[0];
     let excluded_bytes = r0.excluded_pages * 4096;
     let saving = excluded_bytes as f64 / (excluded_bytes + r0.checkpoint_bytes) as f64;
-    println!(
+    writeln!(
+        body,
         "rank 0 wrote {} checkpoint bytes; exclusion dropped {} dirty pages ({} bytes)          of freed workspace — a {:.0}% traffic saving vs an exclusion-unaware checkpointer",
         r0.checkpoint_bytes,
         r0.excluded_pages,
         excluded_bytes,
         saving * 100.0
-    );
+    )
+    .unwrap();
     comparisons.push(Comparison::new(
         "Ablation / exclusion saving on Sage (expect >20%)",
         20.0,
         saving * 100.0,
         "%",
     ));
+    (body, comparisons)
 }
 
 /// Ablation 1+2: checkpoint traffic, incremental vs full, across
 /// intervals.
-fn traffic_ablation(comparisons: &mut Vec<Comparison>) {
-    println!("ablation 1+2: checkpoint traffic (rank-0 bytes) over 40 virtual seconds");
-    println!("  synthetic: 4 MiB footprint, 1 MiB working set per 1 s iteration");
+fn traffic_ablation() -> Section {
+    let mut body = String::new();
+    let mut comparisons = Vec::new();
+    writeln!(body, "ablation 1+2: checkpoint traffic (rank-0 bytes) over 40 virtual seconds")
+        .unwrap();
+    writeln!(body, "  synthetic: 4 MiB footprint, 1 MiB working set per 1 s iteration").unwrap();
     let mut t =
         TextTable::new("").header(&["interval (s)", "full bytes", "incremental bytes", "saving"]);
     let mut saving_at_2 = 0.0;
@@ -180,7 +198,7 @@ fn traffic_ablation(comparisons: &mut Vec<Comparison>) {
             format!("{}%", fnum(saving * 100.0, 0)),
         ]);
     }
-    println!("{}", t.render());
+    writeln!(body, "{}", t.render()).unwrap();
     // The synthetic app overwrites 1/4 of its image per iteration, so
     // increments approach a 75 % saving over full checkpoints.
     comparisons.push(Comparison::new(
@@ -189,12 +207,16 @@ fn traffic_ablation(comparisons: &mut Vec<Comparison>) {
         saving_at_2 * 100.0,
         "%",
     ));
+    (body, comparisons)
 }
 
 /// Ablation 3: chain length vs restore cost, and gc compaction.
-fn chain_ablation(comparisons: &mut Vec<Comparison>) {
-    println!("ablation 3: re-base frequency vs restore cost (rank 0)");
-    println!("  planned = latest-wins plan (each page decoded once); seq = chain replay");
+fn chain_ablation() -> Section {
+    let mut body = String::new();
+    let mut comparisons = Vec::new();
+    writeln!(body, "ablation 3: re-base frequency vs restore cost (rank 0)").unwrap();
+    writeln!(body, "  planned = latest-wins plan (each page decoded once); seq = chain replay")
+        .unwrap();
     let mut t = TextTable::new("").header(&[
         "full_every",
         "generations",
@@ -236,11 +258,13 @@ fn chain_ablation(comparisons: &mut Vec<Comparison>) {
             report.pages_superseded.to_string(),
         ]);
     }
-    println!("{}", t.render());
-    println!(
+    writeln!(body, "{}", t.render()).unwrap();
+    writeln!(
+        body,
         "longest chain ({longest_chain} chunks): planned restore applies {longest_planned} pages \
          where sequential replay writes {longest_seq}"
-    );
+    )
+    .unwrap();
     comparisons.push(Comparison::new(
         "Ablation / planned restore page writes vs replay (expect <1x)",
         1.0,
@@ -270,14 +294,16 @@ fn chain_ablation(comparisons: &mut Vec<Comparison>) {
     let digest_before = space.content_digest();
     let mut space2 = BackedSpace::new(layout());
     let after = restore_rank(cfg.store.as_ref(), 0, gen, &mut space2).unwrap();
-    println!(
+    writeln!(
+        body,
         "gc compaction: chain {} → {} chunks, restore bytes {} → {}, image identical: {}",
         before.chain_length,
         after.chain_length,
         before.bytes_read,
         after.bytes_read,
         space2.content_digest() == digest_before
-    );
+    )
+    .unwrap();
     assert_eq!(space2.content_digest(), digest_before, "compaction must not change the image");
     comparisons.push(Comparison::new(
         "Ablation / compacted chain length",
@@ -285,12 +311,15 @@ fn chain_ablation(comparisons: &mut Vec<Comparison>) {
         after.chain_length as f64,
         "chunks",
     ));
+    (body, comparisons)
 }
 
 /// Ablation 6: storage-path topology — per-rank devices vs one shared
 /// array.
-fn storage_path_ablation(comparisons: &mut Vec<Comparison>) {
-    println!("ablation 6: per-rank disks vs one shared storage array");
+fn storage_path_ablation() -> Section {
+    let mut body = String::new();
+    let mut comparisons = Vec::new();
+    writeln!(body, "ablation 6: per-rank disks vs one shared storage array").unwrap();
     let mut t = TextTable::new("").header(&["ranks", "per-rank stall/ckpt", "shared stall/ckpt"]);
     let mut shared_growth = Vec::new();
     for nranks in [2usize, 4, 8] {
@@ -336,29 +365,46 @@ fn storage_path_ablation(comparisons: &mut Vec<Comparison>) {
             format!("{:.1} ms", stalls[1] * 1e3),
         ]);
     }
-    println!("{}", t.render());
+    writeln!(body, "{}", t.render()).unwrap();
     let growth = shared_growth[2] / shared_growth[0].max(1e-9);
-    println!("shared-array stall grows {growth:.1}x from 2 to 8 ranks (per-rank paths stay flat)");
+    writeln!(
+        body,
+        "shared-array stall grows {growth:.1}x from 2 to 8 ranks (per-rank paths stay flat)"
+    )
+    .unwrap();
     comparisons.push(Comparison::new(
         "Ablation / shared-array stall growth 2→8 ranks (expect ~4x)",
         4.0,
         growth,
         "x",
     ));
+    (body, comparisons)
 }
 
-/// Run all ablations.
-pub fn run_and_print() -> Vec<Comparison> {
-    banner("Ablations: incremental vs full, interval sweep, chain length & gc");
+/// Run all ablations (independent sections, scheduled in parallel,
+/// rendered in the fixed order below).
+pub fn report() -> ExperimentReport {
+    let mut body =
+        banner_string("Ablations: incremental vs full, interval sweep, chain length & gc");
+    let sections: [fn() -> Section; 5] = [
+        traffic_ablation,
+        chain_ablation,
+        mode_ablation,
+        exclusion_ablation,
+        storage_path_ablation,
+    ];
     let mut comparisons = Vec::new();
-    traffic_ablation(&mut comparisons);
-    println!();
-    chain_ablation(&mut comparisons);
-    println!();
-    mode_ablation(&mut comparisons);
-    println!();
-    exclusion_ablation(&mut comparisons);
-    println!();
-    storage_path_ablation(&mut comparisons);
-    comparisons
+    for (i, (text, rows)) in parallel_map(&sections, |f| f()).into_iter().enumerate() {
+        if i > 0 {
+            body.push('\n');
+        }
+        body.push_str(&text);
+        comparisons.extend(rows);
+    }
+    ExperimentReport { body, comparisons }
+}
+
+/// Print the ablations and return the comparison rows.
+pub fn run_and_print() -> Vec<Comparison> {
+    report().print()
 }

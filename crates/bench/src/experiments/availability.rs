@@ -10,6 +10,7 @@
 //! measured optimum is compared against Young's analytic interval
 //! `sqrt(2·C·M)` from `ickpt_core::interval`.
 
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 use ickpt::apps::synthetic::{SyntheticApp, SyntheticConfig};
@@ -23,9 +24,10 @@ use ickpt::net::NetConfig;
 use ickpt::sim::{DevicePreset, SimDuration, SimTime, SplitMix64};
 use ickpt::storage::MemStore;
 use ickpt_analysis::table::fnum;
-use ickpt_analysis::{Comparison, TextTable};
+use ickpt_analysis::{Comparison, ExperimentReport, TextTable};
 
-use crate::{banner, BENCH_SEED};
+use crate::engine::parallel_map;
+use crate::{banner_string, BENCH_SEED};
 
 const NRANKS: usize = 4;
 const ITERATIONS: u64 = 120;
@@ -113,12 +115,15 @@ fn run_at_interval(interval_s: u64, failures: Vec<FailureSpec>) -> Outcome {
 }
 
 /// Run the availability study.
-pub fn run_and_print() -> Vec<Comparison> {
-    banner("Availability: measured efficiency under failures vs Young's model");
-    println!(
+pub fn report() -> ExperimentReport {
+    let mut body =
+        banner_string("Availability: measured efficiency under failures vs Young's model");
+    writeln!(
+        body,
         "synthetic workload, {NRANKS} ranks, {ITERATIONS} x 1 s iterations, \
          MTBF {MTBF_S} s (pseudo-Poisson, seeded)"
-    );
+    )
+    .unwrap();
     // Failures regenerated per run over a generous horizon; attempt i
     // consumes failures[i], which approximates a failure process over
     // the (recovery-extended) run.
@@ -133,9 +138,11 @@ pub fn run_and_print() -> Vec<Comparison> {
     let mut best: Option<(u64, f64)> = None;
     let mut ckpt_cost = 0.0f64;
     let mut rows = Vec::new();
-    for interval in [2u64, 4, 8, 16, 32] {
+    let outcomes = parallel_map(&[2u64, 4, 8, 16, 32], |&interval| {
         let failures = failure_schedule(BENCH_SEED ^ interval, MTBF_S, horizon);
-        let out = run_at_interval(interval, failures);
+        (interval, run_at_interval(interval, failures))
+    });
+    for (interval, out) in outcomes {
         ckpt_cost = ckpt_cost.max(out.ckpt_cost_s);
         let model = IntervalModel {
             checkpoint_cost: SimDuration::from_secs_f64(out.ckpt_cost_s.max(1e-3)),
@@ -160,19 +167,26 @@ pub fn run_and_print() -> Vec<Comparison> {
             best = Some((interval, out.efficiency));
         }
     }
-    println!("{}", t.render());
+    writeln!(body, "{}", t.render()).unwrap();
     let model = IntervalModel {
         checkpoint_cost: SimDuration::from_secs_f64(ckpt_cost.max(1e-3)),
         restart_cost: SimDuration::from_secs_f64(ckpt_cost.max(1e-3)),
         mtbf: SimDuration::from_secs_f64(MTBF_S),
     };
     let (best_i, best_e) = best.unwrap();
-    println!(
+    writeln!(
+        body,
         "measured optimum: interval {best_i} s at {:.1}% efficiency; Young's analytic \
          optimum: {:.1} s (Daly: {:.1} s)",
         best_e * 100.0,
         model.young_interval().as_secs_f64(),
         model.daly_interval().as_secs_f64()
-    );
-    rows
+    )
+    .unwrap();
+    ExperimentReport { body, comparisons: rows }
+}
+
+/// Print the availability study and return the comparison rows.
+pub fn run_and_print() -> Vec<Comparison> {
+    report().print()
 }

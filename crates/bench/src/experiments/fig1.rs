@@ -7,38 +7,31 @@
 //! communication bursts of a few MB placed around the processing
 //! bursts.
 
-use ickpt::apps::Workload;
-use ickpt::cluster::{characterize, CharacterizationConfig};
+use std::fmt::Write as _;
+
 use ickpt::core::metrics::{iws_series, received_series};
 use ickpt::core::policy::{detect_bursts, detect_period};
 use ickpt::sim::SimDuration;
-use ickpt_analysis::{ascii_plot, Comparison};
+use ickpt_analysis::{ascii_plot, Comparison, ExperimentReport};
 
-use crate::{banner, bench_ranks, bench_scale, BENCH_SEED};
+use crate::engine::run_fig1;
+use crate::{banner_string, bench_scale};
 
 /// Regenerate Figure 1 (both panels).
-pub fn run_and_print() -> Vec<Comparison> {
-    banner("Figure 1: Sage-1000MB IWS and data received per 1 s timeslice");
-    let w = Workload::Sage1000;
-    let cfg = CharacterizationConfig {
-        nranks: bench_ranks(),
-        scale: bench_scale(),
-        run_for: SimDuration::from_secs(500),
-        timeslice: SimDuration::from_secs(1),
-        seed: BENCH_SEED,
-        ..Default::default()
-    };
-    let report = characterize(w, &cfg);
+pub fn report() -> ExperimentReport {
+    let mut body = banner_string("Figure 1: Sage-1000MB IWS and data received per 1 s timeslice");
+    let report = run_fig1();
     let r0 = &report.ranks[0];
     let rescale = 1.0 / bench_scale();
 
     let iws: Vec<(f64, f64)> =
         iws_series(&r0.samples).into_iter().map(|(t, v)| (t, v * rescale)).collect();
-    println!("{}", ascii_plot("(a) IWS size per timeslice (MB)", &iws, 100, 16));
+    writeln!(body, "{}", ascii_plot("(a) IWS size per timeslice (MB)", &iws, 100, 16)).unwrap();
 
     let recv: Vec<(f64, f64)> =
         received_series(&r0.samples).into_iter().map(|(t, v)| (t, v * rescale)).collect();
-    println!("{}", ascii_plot("(b) data received per timeslice (MB)", &recv, 100, 12));
+    writeln!(body, "{}", ascii_plot("(b) data received per timeslice (MB)", &recv, 100, 12))
+        .unwrap();
 
     // Quantitative shape checks.
     let series: Vec<u64> = r0.samples.iter().map(|s| s.iws_pages).collect();
@@ -47,15 +40,23 @@ pub fn run_and_print() -> Vec<Comparison> {
         .unwrap_or(0.0);
     let init_peak = iws.iter().take(10).map(|&(_, v)| v).fold(0.0, f64::max);
     let bursts = detect_bursts(&r0.samples, 0.5, 10);
-    println!(
+    writeln!(
+        body,
         "shape: init peak {:.0} MB in the first 10 s; {} processing bursts; \
          burst period {:.0} s (paper: 145 s)",
         init_peak,
         bursts.bursts.len(),
         period
-    );
-    vec![
+    )
+    .unwrap();
+    let comparisons = vec![
         Comparison::new("Fig 1a / Sage-1000MB burst period", 145.0, period, "s"),
         Comparison::new("Fig 1a / Sage-1000MB init peak", 400.0, init_peak, "MB"),
-    ]
+    ];
+    ExperimentReport { body, comparisons }
+}
+
+/// Print the regenerated figure and return the comparison rows.
+pub fn run_and_print() -> Vec<Comparison> {
+    report().print()
 }

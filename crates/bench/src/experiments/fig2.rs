@@ -7,14 +7,17 @@
 //! the burst durations; for Sage the maximum at 1 s is ~3.5× the
 //! average.
 
+use std::fmt::Write as _;
+
 use ickpt::apps::Workload;
 use ickpt_analysis::table::fnum;
-use ickpt_analysis::{ascii_multi_plot, Comparison, TextTable};
+use ickpt_analysis::{ascii_multi_plot, Comparison, ExperimentReport, TextTable};
 
-use crate::{banner, ib_stats, run};
+use crate::engine::parallel_map;
+use crate::{banner_string, ib_stats, run};
 
 /// The timeslices swept (seconds), matching the paper's x-axis.
-pub const TIMESLICES: [u64; 6] = [1, 2, 5, 10, 15, 20];
+pub use crate::engine::PAPER_TIMESLICES as TIMESLICES;
 
 /// The six panels of Figure 2.
 pub const PANELS: [Workload; 6] = [
@@ -28,27 +31,24 @@ pub const PANELS: [Workload; 6] = [
 
 /// Sweep one workload; returns (avg, max) per timeslice.
 pub fn sweep(w: Workload) -> Vec<(u64, f64, f64)> {
-    TIMESLICES
-        .iter()
-        .map(|&ts| {
-            let report = run(w, ts);
-            let stats = ib_stats(w, &report, ts);
-            (ts, stats.avg_mbps, stats.max_mbps)
-        })
-        .collect()
+    parallel_map(&TIMESLICES, |&ts| {
+        let report = run(w, ts);
+        let stats = ib_stats(w, &report, ts);
+        (ts, stats.avg_mbps, stats.max_mbps)
+    })
 }
 
 /// Regenerate Figure 2 (all six panels).
-pub fn run_and_print() -> Vec<Comparison> {
-    banner("Figure 2: max and avg IB vs timeslice (1-20 s)");
+pub fn report() -> ExperimentReport {
+    let mut body = banner_string("Figure 2: max and avg IB vs timeslice (1-20 s)");
     let mut comparisons = Vec::new();
-    for w in PANELS {
-        let rows = sweep(w);
+    for (w, rows) in parallel_map(&PANELS, |&w| (w, sweep(w))) {
         let avg_series: Vec<(f64, f64)> =
             rows.iter().map(|&(ts, avg, _)| (ts as f64, avg)).collect();
         let max_series: Vec<(f64, f64)> =
             rows.iter().map(|&(ts, _, max)| (ts as f64, max)).collect();
-        println!(
+        writeln!(
+            body,
             "{}",
             ascii_multi_plot(
                 &format!("IB vs timeslice: {} (MB/s)", w.name()),
@@ -56,16 +56,17 @@ pub fn run_and_print() -> Vec<Comparison> {
                 60,
                 12
             )
-        );
+        )
+        .unwrap();
         let mut t = TextTable::new("").header(&["timeslice (s)", "avg IB", "max IB"]);
         for &(ts, avg, max) in &rows {
             t.row(vec![ts.to_string(), fnum(avg, 1), fnum(max, 1)]);
         }
-        println!("{}", t.render());
+        writeln!(body, "{}", t.render()).unwrap();
         // Shape metric the paper calls out: the decay factor from 1 s
         // to 20 s of the average IB.
         let decay = rows[0].1 / rows.last().unwrap().1.max(1e-9);
-        println!("    avg-IB decay 1s→20s: {decay:.1}x\n");
+        writeln!(body, "    avg-IB decay 1s→20s: {decay:.1}x\n").unwrap();
         comparisons.push(Comparison::new(
             format!("Fig 2 / {} avg IB @1s", w.name()),
             w.calib().avg_ib_mbps,
@@ -82,5 +83,10 @@ pub fn run_and_print() -> Vec<Comparison> {
             ));
         }
     }
-    comparisons
+    ExperimentReport { body, comparisons }
+}
+
+/// Print the regenerated figure and return the comparison rows.
+pub fn run_and_print() -> Vec<Comparison> {
+    report().print()
 }

@@ -5,34 +5,33 @@
 //! 1 s timeslice Sage-1000MB needs ~80 MB/s, not the ~100 MB/s a linear
 //! extrapolation from Sage-500MB (~50 MB/s) would give (§6.4.1).
 
+use std::fmt::Write as _;
+
 use ickpt::apps::Workload;
 use ickpt_analysis::table::fnum;
-use ickpt_analysis::{ascii_multi_plot, Comparison, TextTable};
+use ickpt_analysis::{ascii_multi_plot, Comparison, ExperimentReport, TextTable};
 
-use crate::experiments::fig2::TIMESLICES;
-use crate::{banner, ib_stats, run};
+use crate::engine::{parallel_map, PAPER_TIMESLICES as TIMESLICES};
+use crate::{banner_string, ib_stats, run};
 
 /// Regenerate Figure 3.
-pub fn run_and_print() -> Vec<Comparison> {
-    banner("Figure 3: average IB vs timeslice for the Sage footprints");
-    let mut all_rows: Vec<(Workload, Vec<(u64, f64)>)> = Vec::new();
-    for w in Workload::SAGE {
-        let rows: Vec<(u64, f64)> = TIMESLICES
-            .iter()
-            .map(|&ts| {
-                let report = run(w, ts);
-                (ts, ib_stats(w, &report, ts).avg_mbps)
-            })
-            .collect();
-        all_rows.push((w, rows));
-    }
+pub fn report() -> ExperimentReport {
+    let mut body = banner_string("Figure 3: average IB vs timeslice for the Sage footprints");
+    let all_rows: Vec<(Workload, Vec<(u64, f64)>)> = parallel_map(&Workload::SAGE, |&w| {
+        let rows = parallel_map(&TIMESLICES, |&ts| {
+            let report = run(w, ts);
+            (ts, ib_stats(w, &report, ts).avg_mbps)
+        });
+        (w, rows)
+    });
     let series: Vec<(&str, Vec<(f64, f64)>)> = all_rows
         .iter()
         .map(|(w, rows)| (w.name(), rows.iter().map(|&(ts, v)| (ts as f64, v)).collect::<Vec<_>>()))
         .collect();
     let series_refs: Vec<(&str, &[(f64, f64)])> =
         series.iter().map(|(n, s)| (*n, s.as_slice())).collect();
-    println!("{}", ascii_multi_plot("avg IB (MB/s) vs timeslice (s)", &series_refs, 60, 14));
+    writeln!(body, "{}", ascii_multi_plot("avg IB (MB/s) vs timeslice (s)", &series_refs, 60, 14))
+        .unwrap();
 
     let mut t = TextTable::new("").header(&["timeslice (s)", "1000MB", "500MB", "100MB", "50MB"]);
     for (i, &ts) in TIMESLICES.iter().enumerate() {
@@ -44,20 +43,28 @@ pub fn run_and_print() -> Vec<Comparison> {
             fnum(all_rows[3].1[i].1, 1),
         ]);
     }
-    println!("{}", t.render());
+    writeln!(body, "{}", t.render()).unwrap();
 
     // Sublinearity check at 1 s: IB(1000) / IB(500) < footprint ratio.
     let ib_1000 = all_rows[0].1[0].1;
     let ib_500 = all_rows[1].1[0].1;
     let growth = ib_1000 / ib_500.max(1e-9);
-    println!(
+    writeln!(
+        body,
         "sublinearity (§6.4.1): doubling the footprint 500→1000 MB grows avg IB by \
          {growth:.2}x (< 2.0x: {})",
         if growth < 2.0 { "CONFIRMED" } else { "VIOLATED" }
-    );
-    vec![
+    )
+    .unwrap();
+    let comparisons = vec![
         Comparison::new("Fig 3 / Sage-1000MB avg IB @1s", 78.8, ib_1000, "MB/s"),
         Comparison::new("Fig 3 / Sage-500MB avg IB @1s", 49.9, ib_500, "MB/s"),
         Comparison::new("Fig 3 / IB growth for 2x footprint", 78.8 / 49.9, growth, "x"),
-    ]
+    ];
+    ExperimentReport { body, comparisons }
+}
+
+/// Print the regenerated figure and return the comparison rows.
+pub fn run_and_print() -> Vec<Comparison> {
+    report().print()
 }

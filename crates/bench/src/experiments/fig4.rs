@@ -6,37 +6,37 @@
 //! *larger* footprints have the *smaller* ratio — which is exactly why
 //! IB grows sublinearly with memory (§6.4.1).
 
+use std::fmt::Write as _;
+
 use ickpt::apps::Workload;
 use ickpt_analysis::table::fnum;
-use ickpt_analysis::{ascii_multi_plot, Comparison, TextTable};
+use ickpt_analysis::{ascii_multi_plot, Comparison, ExperimentReport, TextTable};
 
-use crate::experiments::fig2::TIMESLICES;
-use crate::{banner, ib_stats, run};
+use crate::engine::{parallel_map, PAPER_TIMESLICES as TIMESLICES};
+use crate::{banner_string, ib_stats, run};
 
 /// Regenerate Figure 4.
-pub fn run_and_print() -> Vec<Comparison> {
-    banner("Figure 4: IWS size / memory image size (%) vs timeslice");
-    let mut all_rows: Vec<(Workload, Vec<(u64, f64)>)> = Vec::new();
-    for w in Workload::SAGE {
-        let rows: Vec<(u64, f64)> = TIMESLICES
-            .iter()
-            .map(|&ts| {
-                let report = run(w, ts);
-                (ts, ib_stats(w, &report, ts).avg_ratio_percent)
-            })
-            .collect();
-        all_rows.push((w, rows));
-    }
+pub fn report() -> ExperimentReport {
+    let mut body = banner_string("Figure 4: IWS size / memory image size (%) vs timeslice");
+    let all_rows: Vec<(Workload, Vec<(u64, f64)>)> = parallel_map(&Workload::SAGE, |&w| {
+        let rows = parallel_map(&TIMESLICES, |&ts| {
+            let report = run(w, ts);
+            (ts, ib_stats(w, &report, ts).avg_ratio_percent)
+        });
+        (w, rows)
+    });
     let series: Vec<(&str, Vec<(f64, f64)>)> = all_rows
         .iter()
         .map(|(w, rows)| (w.name(), rows.iter().map(|&(ts, v)| (ts as f64, v)).collect::<Vec<_>>()))
         .collect();
     let series_refs: Vec<(&str, &[(f64, f64)])> =
         series.iter().map(|(n, s)| (*n, s.as_slice())).collect();
-    println!(
+    writeln!(
+        body,
         "{}",
         ascii_multi_plot("IWS : footprint ratio (%) vs timeslice (s)", &series_refs, 60, 14)
-    );
+    )
+    .unwrap();
 
     let mut t = TextTable::new("").header(&["timeslice (s)", "1000MB", "500MB", "100MB", "50MB"]);
     for (i, &ts) in TIMESLICES.iter().enumerate() {
@@ -48,20 +48,28 @@ pub fn run_and_print() -> Vec<Comparison> {
             fnum(all_rows[3].1[i].1, 1),
         ]);
     }
-    println!("{}", t.render());
+    writeln!(body, "{}", t.render()).unwrap();
 
     let r1000_1s = all_rows[0].1[0].1;
     let r50_1s = all_rows[3].1[0].1;
     let r1000_20s = all_rows[0].1.last().unwrap().1;
-    println!(
+    writeln!(
+        body,
         "shape: at 1 s the 1000MB ratio ({r1000_1s:.1}%) is below the 50MB ratio \
          ({r50_1s:.1}%): {}; by 20 s the 1000MB ratio reaches {r1000_20s:.1}% \
          (→ ~53% overwrite per iteration)",
         if r1000_1s < r50_1s { "CONFIRMED" } else { "VIOLATED" },
-    );
-    vec![
+    )
+    .unwrap();
+    let comparisons = vec![
         Comparison::new("Fig 4 / Sage-1000MB ratio @1s", 10.0, r1000_1s, "%"),
         Comparison::new("Fig 4 / Sage-50MB ratio @1s", 21.0, r50_1s, "%"),
         Comparison::new("Fig 4 / Sage-1000MB ratio @20s", 31.0, r1000_20s, "%"),
-    ]
+    ];
+    ExperimentReport { body, comparisons }
+}
+
+/// Print the regenerated figure and return the comparison rows.
+pub fn run_and_print() -> Vec<Comparison> {
+    report().print()
 }

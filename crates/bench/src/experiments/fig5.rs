@@ -6,40 +6,31 @@
 //! processors, the per-processor IB is slightly lower" (§6.4.2) — the
 //! key generalization-to-larger-machines claim.
 
-use ickpt::apps::Workload;
-use ickpt::cluster::{characterize, CharacterizationConfig};
-use ickpt::sim::SimDuration;
-use ickpt_analysis::table::fnum;
-use ickpt_analysis::{ascii_multi_plot, Comparison, TextTable};
+use std::fmt::Write as _;
 
-use crate::experiments::fig2::TIMESLICES;
-use crate::{banner, bench_scale, ib_stats, run_length, BENCH_SEED};
+use ickpt::apps::Workload;
+use ickpt_analysis::table::fnum;
+use ickpt_analysis::{ascii_multi_plot, Comparison, ExperimentReport, TextTable};
+
+use crate::engine::{parallel_map, run_cached_at, PAPER_TIMESLICES as TIMESLICES};
+use crate::{banner_string, ib_stats};
 
 /// The processor counts of the paper's scaling study.
 pub const RANK_COUNTS: [usize; 4] = [8, 16, 32, 64];
 
 fn run_at(nranks: usize, ts: u64) -> f64 {
     let w = Workload::Sage1000;
-    let cfg = CharacterizationConfig {
-        nranks,
-        scale: bench_scale(),
-        run_for: run_length(w, ts),
-        timeslice: SimDuration::from_secs(ts),
-        seed: BENCH_SEED,
-        ..Default::default()
-    };
-    let report = characterize(w, &cfg);
+    let report = run_cached_at(nranks, w, ts);
     ib_stats(w, &report, ts).avg_mbps
 }
 
 /// Regenerate Figure 5.
-pub fn run_and_print() -> Vec<Comparison> {
-    banner("Figure 5: avg per-process IB for 8/16/32/64 processors (Sage-1000MB, weak scaling)");
-    let mut per_p: Vec<(usize, Vec<(u64, f64)>)> = Vec::new();
-    for &p in &RANK_COUNTS {
-        let rows: Vec<(u64, f64)> = TIMESLICES.iter().map(|&ts| (ts, run_at(p, ts))).collect();
-        per_p.push((p, rows));
-    }
+pub fn report() -> ExperimentReport {
+    let mut body = banner_string(
+        "Figure 5: avg per-process IB for 8/16/32/64 processors (Sage-1000MB, weak scaling)",
+    );
+    let per_p: Vec<(usize, Vec<(u64, f64)>)> =
+        parallel_map(&RANK_COUNTS, |&p| (p, parallel_map(&TIMESLICES, |&ts| (ts, run_at(p, ts)))));
     let names: Vec<String> = RANK_COUNTS.iter().map(|p| format!("{p} procs")).collect();
     let series: Vec<Vec<(f64, f64)>> = per_p
         .iter()
@@ -47,7 +38,8 @@ pub fn run_and_print() -> Vec<Comparison> {
         .collect();
     let series_refs: Vec<(&str, &[(f64, f64)])> =
         names.iter().zip(&series).map(|(n, s)| (n.as_str(), s.as_slice())).collect();
-    println!("{}", ascii_multi_plot("avg IB (MB/s) vs timeslice (s)", &series_refs, 60, 14));
+    writeln!(body, "{}", ascii_multi_plot("avg IB (MB/s) vs timeslice (s)", &series_refs, 60, 14))
+        .unwrap();
 
     let mut t = TextTable::new("").header(&["timeslice (s)", "8", "16", "32", "64"]);
     for (i, &ts) in TIMESLICES.iter().enumerate() {
@@ -59,20 +51,28 @@ pub fn run_and_print() -> Vec<Comparison> {
             fnum(per_p[3].1[i].1, 1),
         ]);
     }
-    println!("{}", t.render());
+    writeln!(body, "{}", t.render()).unwrap();
 
     let ib8 = per_p[0].1[0].1;
     let ib64 = per_p[3].1[0].1;
-    println!(
+    writeln!(
+        body,
         "weak scaling (§6.4.2): per-process IB at 64 procs ({:.1}) vs 8 procs ({:.1}): \
          {:+.1}% — slightly lower or flat: {}",
         ib64,
         ib8,
         100.0 * (ib64 - ib8) / ib8,
         if ib64 <= ib8 * 1.01 { "CONFIRMED" } else { "VIOLATED" }
-    );
-    vec![
+    )
+    .unwrap();
+    let comparisons = vec![
         Comparison::new("Fig 5 / Sage-1000MB avg IB @1s, 64 procs", 78.8, ib64, "MB/s"),
         Comparison::new("Fig 5 / avg IB ratio 64:8 procs", 0.98, ib64 / ib8, "x"),
-    ]
+    ];
+    ExperimentReport { body, comparisons }
+}
+
+/// Print the regenerated figure and return the comparison rows.
+pub fn run_and_print() -> Vec<Comparison> {
+    report().print()
 }

@@ -1,9 +1,12 @@
 //! Experiment implementations, one module per paper table/figure.
 //!
-//! Each module exposes `run_and_print()` which executes the experiment,
-//! prints the regenerated table/figure, and returns paper-vs-measured
-//! [`ickpt_analysis::Comparison`] rows for `EXPERIMENTS.md`. The bench
-//! targets under `benches/` are thin wrappers; the `repro` binary runs
+//! Each module exposes `report()`, which executes the experiment and
+//! returns the rendered output plus paper-vs-measured
+//! [`ickpt_analysis::Comparison`] rows as an
+//! [`ickpt_analysis::ExperimentReport`] — experiments never print, so
+//! the scheduler can run them concurrently and emit output in a fixed
+//! order. `run_and_print()` is the print-immediately convenience the
+//! bench targets under `benches/` call; the `repro` binary runs
 //! everything.
 
 pub mod ablation;

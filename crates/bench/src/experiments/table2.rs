@@ -5,21 +5,23 @@
 //! Sage-100MB 103.7/86.9, Sage-50MB 55/45.2, Sweep3D 105.5/105.5,
 //! SP 40.1/40.1, LU 16.6/16.6, BT 76.5/76.5, FT 118/118.
 
+use std::fmt::Write as _;
+
 use ickpt::apps::Workload;
 use ickpt_analysis::table::fnum;
-use ickpt_analysis::{Comparison, TextTable};
+use ickpt_analysis::{Comparison, ExperimentReport, TextTable};
 
-use crate::{banner, footprint_mb, run};
+use crate::engine::parallel_map;
+use crate::{banner_string, footprint_mb, run};
 
 /// Regenerate Table 2.
-pub fn run_and_print() -> Vec<Comparison> {
-    banner("Table 2: Memory Footprint Size (MB)");
+pub fn report() -> ExperimentReport {
+    let mut body = banner_string("Table 2: Memory Footprint Size (MB)");
     let mut table =
         TextTable::new("").header(&["Application", "Maximum", "Average", "paper max", "paper avg"]);
     let mut comparisons = Vec::new();
-    for w in Workload::ALL {
-        let report = run(w, 1);
-        let (max, avg) = footprint_mb(&report);
+    let rows = parallel_map(&Workload::ALL, |&w| (w, footprint_mb(&run(w, 1))));
+    for (w, (max, avg)) in rows {
         let c = w.calib();
         table.row(vec![
             w.name().to_string(),
@@ -41,6 +43,11 @@ pub fn run_and_print() -> Vec<Comparison> {
             "MB",
         ));
     }
-    println!("{}", table.render());
-    comparisons
+    writeln!(body, "{}", table.render()).unwrap();
+    ExperimentReport { body, comparisons }
+}
+
+/// Print the regenerated table and return the comparison rows.
+pub fn run_and_print() -> Vec<Comparison> {
+    report().print()
 }

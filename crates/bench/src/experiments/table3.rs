@@ -12,40 +12,20 @@
 //! Sage-100MB 38 / 56, Sage-50MB 20 / 57, Sweep3D 7 / 52,
 //! SP 0.16 / 72, LU 0.7 / 72, BT 0.4 / 92, FT 1.2 / 57.
 
+use std::fmt::Write as _;
+
 use ickpt::apps::Workload;
-use ickpt::cluster::{characterize, CharacterizationConfig};
 use ickpt::core::policy::detect_period;
-use ickpt::sim::SimDuration;
 use ickpt_analysis::table::fnum;
-use ickpt_analysis::{Comparison, TextTable};
+use ickpt_analysis::{Comparison, ExperimentReport, TextTable};
 
-use crate::{banner, bench_ranks, bench_scale, skip_until, BENCH_SEED};
-
-/// Timeslice fine enough to resolve the app's period: ~1/10 of it,
-/// clamped to [20 ms, 1 s].
-fn detection_timeslice(w: Workload) -> SimDuration {
-    let s = (w.calib().period_s / 10.0).clamp(0.02, 1.0);
-    SimDuration::from_secs_f64(s)
-}
+use crate::engine::{detection_timeslice, parallel_map, run_table3};
+use crate::{banner_string, skip_until};
 
 /// Run one workload with fine sampling + iteration tracking.
 fn measure(w: Workload) -> (Option<f64>, f64) {
     let ts = detection_timeslice(w);
-    let cfg = CharacterizationConfig {
-        nranks: bench_ranks().min(16), // period structure is per-process
-        scale: bench_scale(),
-        // Long enough that, after skipping initialization + warm-up,
-        // at least ~8 periods and ~200 windows remain for the
-        // autocorrelation.
-        run_for: SimDuration::from_secs_f64(
-            skip_until(w).as_secs_f64() + (8.0 * w.calib().period_s).max(200.0 * ts.as_secs_f64()),
-        ),
-        timeslice: ts,
-        track_iterations: true,
-        seed: BENCH_SEED,
-        ..Default::default()
-    };
-    let report = characterize(w, &cfg);
+    let report = run_table3(w);
     let r0 = &report.ranks[0];
     // Automatic period detection from the IWS series.
     let skip_windows = (skip_until(w).as_secs_f64() / ts.as_secs_f64()).ceil() as usize;
@@ -69,8 +49,8 @@ fn measure(w: Workload) -> (Option<f64>, f64) {
 }
 
 /// Regenerate Table 3.
-pub fn run_and_print() -> Vec<Comparison> {
-    banner("Table 3: Characteristics of the Main Iteration");
+pub fn report() -> ExperimentReport {
+    let mut body = banner_string("Table 3: Characteristics of the Main Iteration");
     let mut table = TextTable::new("").header(&[
         "Application",
         "Period (s)",
@@ -79,8 +59,8 @@ pub fn run_and_print() -> Vec<Comparison> {
         "paper overwr.",
     ]);
     let mut comparisons = Vec::new();
-    for w in Workload::ALL {
-        let (period, overwrite) = measure(w);
+    let rows = parallel_map(&Workload::ALL, |&w| (w, measure(w)));
+    for (w, (period, overwrite)) in rows {
         let c = w.calib();
         let period_str = period.map_or("n/a".to_string(), |p| fnum(p, 2));
         table.row(vec![
@@ -105,7 +85,12 @@ pub fn run_and_print() -> Vec<Comparison> {
             "%",
         ));
     }
-    println!("{}", table.render());
-    println!("(periods detected at run time by IWS autocorrelation, §6.2)");
-    comparisons
+    writeln!(body, "{}", table.render()).unwrap();
+    writeln!(body, "(periods detected at run time by IWS autocorrelation, §6.2)").unwrap();
+    ExperimentReport { body, comparisons }
+}
+
+/// Print the regenerated table and return the comparison rows.
+pub fn run_and_print() -> Vec<Comparison> {
+    report().print()
 }

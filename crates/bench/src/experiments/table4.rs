@@ -6,16 +6,19 @@
 //! Sage-100MB 42.6/15, Sage-50MB 24.9/9.6, Sweep3D 79.1/49.5,
 //! SP 32.6/32.6, LU 12.5/12.5, BT 72.7/68.6, FT 101/92.1.
 
+use std::fmt::Write as _;
+
 use ickpt::apps::Workload;
 use ickpt::core::feasibility::FeasibilityReport;
 use ickpt_analysis::table::fnum;
-use ickpt_analysis::{Comparison, TextTable};
+use ickpt_analysis::{Comparison, ExperimentReport, TextTable};
 
-use crate::{banner, ib_stats, run};
+use crate::engine::parallel_map;
+use crate::{banner_string, ib_stats, run};
 
-/// Regenerate Table 4 (returns comparisons).
-pub fn run_and_print() -> Vec<Comparison> {
-    banner("Table 4: Bandwidth Requirements (MB/s), timeslice 1 s");
+/// Regenerate Table 4.
+pub fn report() -> ExperimentReport {
+    let mut body = banner_string("Table 4: Bandwidth Requirements (MB/s), timeslice 1 s");
     let mut table = TextTable::new("").header(&[
         "Application",
         "Maximum",
@@ -27,9 +30,8 @@ pub fn run_and_print() -> Vec<Comparison> {
     ]);
     let mut comparisons = Vec::new();
     let mut all_feasible = true;
-    for w in Workload::ALL {
-        let report = run(w, 1);
-        let stats = ib_stats(w, &report, 1);
+    let rows = parallel_map(&Workload::ALL, |&w| (w, ib_stats(w, &run(w, 1), 1)));
+    for (w, stats) in rows {
         let feas = FeasibilityReport::against_paper_devices(stats);
         all_feasible &= feas.feasible_everywhere();
         let c = w.calib();
@@ -55,11 +57,18 @@ pub fn run_and_print() -> Vec<Comparison> {
             "MB/s",
         ));
     }
-    println!("{}", table.render());
-    println!(
+    writeln!(body, "{}", table.render()).unwrap();
+    writeln!(
+        body,
         "feasibility (§6.3): every application fits under the 900 MB/s network \
          and 320 MB/s disk peaks: {}",
         if all_feasible { "CONFIRMED" } else { "VIOLATED" }
-    );
-    comparisons
+    )
+    .unwrap();
+    ExperimentReport { body, comparisons }
+}
+
+/// Print the regenerated table and return the comparison rows.
+pub fn run_and_print() -> Vec<Comparison> {
+    report().print()
 }

@@ -40,6 +40,7 @@ pub mod interval;
 pub mod metrics;
 pub mod policy;
 pub mod restore;
+pub mod trace;
 pub mod tracked_space;
 pub mod tracker;
 
@@ -54,5 +55,6 @@ pub use restore::{
     latest_committed_generation, restore_rank, restore_rank_sequential, restore_rank_with,
     RestoreConfig, RestoreReport,
 };
+pub use trace::{RankTrace, TraceSlice};
 pub use tracked_space::{ContentWrite, TrackedSpace};
 pub use tracker::{TrackerConfig, WriteTracker};

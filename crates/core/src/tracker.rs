@@ -31,6 +31,7 @@ use ickpt_mem::{DirtyBitmap, PageRange};
 use ickpt_sim::{SimDuration, SimTime};
 
 use crate::metrics::IwsSample;
+use crate::trace::{BoundaryResidue, RankTrace, TraceSlice};
 
 /// Tracker configuration.
 #[derive(Debug, Clone)]
@@ -49,6 +50,11 @@ pub struct TrackerConfig {
     pub epoch: Option<SimDuration>,
     /// Accumulate unique pages per application-declared iteration.
     pub track_iterations: bool,
+    /// Record a [`crate::trace::RankTrace`]: snapshot the coalesced
+    /// dirty ranges (and the ranges memory exclusion unmapped) at every
+    /// alarm, so IWS at any multiple of this timeslice can be derived
+    /// later without re-running the application.
+    pub record_trace: bool,
 }
 
 impl Default for TrackerConfig {
@@ -59,6 +65,7 @@ impl Default for TrackerConfig {
             track_checkpoint_set: false,
             epoch: None,
             track_iterations: false,
+            record_trace: false,
         }
     }
 }
@@ -137,6 +144,15 @@ pub struct WriteTracker {
     samples: Vec<IwsSample>,
     epoch_samples: Vec<EpochSample>,
     iteration_samples: Vec<IterationSample>,
+    /// Recorded trace slices (one per fired alarm; `record_trace`).
+    trace_slices: Vec<TraceSlice>,
+    /// Ranges unmapped during the current window, in event order
+    /// (`record_trace`) — flushed into the next slice.
+    pending_unmaps: Vec<PageRange>,
+    /// Fine-window residues snapshot at iteration boundaries
+    /// (`record_trace`).
+    residues: Vec<BoundaryResidue>,
+    capacity_pages: u64,
     finished: bool,
 }
 
@@ -170,6 +186,10 @@ impl WriteTracker {
             samples: Vec::new(),
             epoch_samples: Vec::new(),
             iteration_samples: Vec::new(),
+            trace_slices: Vec::new(),
+            pending_unmaps: Vec::new(),
+            residues: Vec::new(),
+            capacity_pages,
             finished: false,
         }
     }
@@ -199,6 +219,17 @@ impl WriteTracker {
                 faults: self.window_faults,
                 bytes_received: self.window_bytes_received,
             });
+            if self.cfg.record_trace {
+                self.trace_slices.push(TraceSlice {
+                    end_time: end,
+                    dirty: self.window.dirty_ranges(),
+                    unmapped: std::mem::take(&mut self.pending_unmaps),
+                    footprint_pages: self.footprint_pages,
+                    faults: self.window_faults,
+                    bytes_received: self.window_bytes_received,
+                    is_flush: false,
+                });
+            }
             // The alarm handler: reset dirty count and re-protect all
             // data pages (§4.2).
             self.window.clear_all();
@@ -275,6 +306,11 @@ impl WriteTracker {
         debug_assert!(self.footprint_pages >= range.len);
         self.footprint_pages -= range.len;
         self.window.clear_range(range);
+        if self.cfg.record_trace {
+            // Raw, regardless of dirty state: widened windows must drop
+            // contributions from *earlier* fine slices too.
+            self.pending_unmaps.push(range);
+        }
         if let Some(ckpt) = &mut self.ckpt {
             self.excluded_pages += ckpt.clear_range(range);
         }
@@ -330,11 +366,62 @@ impl WriteTracker {
                 faults: self.window_faults,
                 bytes_received: self.window_bytes_received,
             });
+            if self.cfg.record_trace {
+                // A trailing flush slice: ends off the alarm grid (or
+                // on it, if `now` coincides with an alarm that had no
+                // pending activity — impossible here since advance_to
+                // just fired all due alarms), so re-binning ignores it;
+                // kept for completeness of the recorded stream.
+                self.trace_slices.push(TraceSlice {
+                    end_time: now,
+                    dirty: self.window.dirty_ranges(),
+                    unmapped: std::mem::take(&mut self.pending_unmaps),
+                    footprint_pages: self.footprint_pages,
+                    faults: self.window_faults,
+                    bytes_received: self.window_bytes_received,
+                    is_flush: true,
+                });
+            }
             self.window.clear_all();
             self.window_faults = 0;
             self.window_bytes_received = 0;
         }
         self.finished = true;
+    }
+
+    /// Whether this tracker records a write trace.
+    pub fn records_trace(&self) -> bool {
+        self.cfg.record_trace
+    }
+
+    /// Snapshot the fine-window residue at an iteration boundary
+    /// (`record_trace` only; no-op otherwise). The runner calls this
+    /// right after settling the boundary allreduce, so the residue is
+    /// exactly the state a run stopping here would flush on top of the
+    /// completed fine slices.
+    pub fn snapshot_residue(&mut self, now: SimTime) {
+        if !self.cfg.record_trace {
+            return;
+        }
+        self.residues.push(BoundaryResidue {
+            at: now,
+            dirty: self.window.dirty_ranges(),
+            unmapped: self.pending_unmaps.clone(),
+            bytes_received: self.window_bytes_received,
+            footprint_pages: self.footprint_pages,
+        });
+    }
+
+    /// Take the recorded trace (requires `record_trace`); the tracker
+    /// should be [`WriteTracker::finish`]ed first.
+    pub fn take_trace(&mut self) -> RankTrace {
+        assert!(self.cfg.record_trace, "take_trace requires record_trace");
+        RankTrace {
+            resolution: self.cfg.timeslice,
+            capacity_pages: self.capacity_pages,
+            slices: std::mem::take(&mut self.trace_slices),
+            residues: std::mem::take(&mut self.residues),
+        }
     }
 
     /// Per-timeslice IWS samples recorded so far.
@@ -548,5 +635,48 @@ mod tests {
         t.advance_to(SimTime::from_secs(1));
         t.finish(SimTime::from_secs(1));
         assert_eq!(t.samples().len(), 1);
+    }
+
+    #[test]
+    fn recorded_trace_mirrors_samples_and_attributes_unmaps() {
+        let mut t = WriteTracker::new(100, 100, TrackerConfig { record_trace: true, ..cfg_1s() });
+        t.touch_range(PageRange::new(0, 10));
+        t.advance_to(SimTime::from_secs(1));
+        // Unmap lands in the *second* window's slice, raw (clean pages).
+        t.on_unmap(PageRange::new(90, 10));
+        t.touch_range(PageRange::new(20, 5));
+        t.note_received(64);
+        t.finish(SimTime::from_secs(2));
+        let trace = t.take_trace();
+        assert_eq!(trace.resolution, SimDuration::from_secs(1));
+        assert_eq!(trace.capacity_pages, 100);
+        assert_eq!(trace.slices.len(), 2, "no trailing flush at an exact boundary");
+        assert_eq!(trace.slices[0].dirty, vec![PageRange::new(0, 10)]);
+        assert!(trace.slices[0].unmapped.is_empty());
+        assert_eq!(trace.slices[1].dirty, vec![PageRange::new(20, 5)]);
+        assert_eq!(trace.slices[1].unmapped, vec![PageRange::new(90, 10)]);
+        assert_eq!(trace.slices[1].footprint_pages, 90);
+        assert_eq!(trace.slices[1].bytes_received, 64);
+        // The identity re-bin reproduces the direct samples.
+        let rebinned = trace.rebin(SimDuration::from_secs(1), SimTime::from_secs(2));
+        assert_eq!(rebinned.len(), t.samples().len());
+        for (a, b) in rebinned.iter().zip(t.samples()) {
+            assert_eq!(
+                (a.iws_pages, a.end_time, a.footprint_pages),
+                (b.iws_pages, b.end_time, b.footprint_pages)
+            );
+        }
+    }
+
+    #[test]
+    fn finish_flush_appends_partial_trace_slice() {
+        let mut t = WriteTracker::new(50, 50, TrackerConfig { record_trace: true, ..cfg_1s() });
+        t.touch_range(PageRange::new(0, 3));
+        t.finish(SimTime::from_secs_f64(0.5));
+        let trace = t.take_trace();
+        assert_eq!(trace.slices.len(), 1);
+        assert_eq!(trace.slices[0].end_time, SimTime::from_secs_f64(0.5));
+        // Off the alarm grid: re-binning never consumes it.
+        assert!(trace.rebin(SimDuration::from_secs(1), SimTime::from_secs(10)).is_empty());
     }
 }

@@ -25,6 +25,16 @@ bench_smoke() {
     ICKPT_BENCH_CAPTURE_MB=8 ICKPT_BENCH_RESTORE_MB=8 \
         run cargo bench -q -p ickpt-bench --bench micro -- \
         --measure-ms 20 --save-json /tmp/ickpt_bench_smoke.json
+
+    # Trace-engine determinism: the same (small) experiment through the
+    # trace-once path, serial and parallel, must be byte-identical.
+    run cargo build --release -p ickpt-bench --bin repro
+    echo "==> repro --only 'table 4' at 1 and 4 scheduler threads"
+    ICKPT_BENCH_RANKS=4 ICKPT_BENCH_SCALE=0.05 ICKPT_BENCH_THREADS=1 \
+        target/release/repro --only "table 4" >/tmp/ickpt_repro_t1.txt 2>/dev/null
+    ICKPT_BENCH_RANKS=4 ICKPT_BENCH_SCALE=0.05 ICKPT_BENCH_THREADS=4 \
+        target/release/repro --only "table 4" >/tmp/ickpt_repro_t4.txt 2>/dev/null
+    run diff /tmp/ickpt_repro_t1.txt /tmp/ickpt_repro_t4.txt
 }
 
 if [[ "${1:-}" == "--bench-smoke" ]]; then

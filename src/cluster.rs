@@ -42,6 +42,7 @@ use ickpt_core::checkpoint::{
 use ickpt_core::coordinator::{CheckpointPlanner, CheckpointPolicy, VoteFlags};
 use ickpt_core::metrics::IwsSample;
 use ickpt_core::restore::{latest_committed_generation, restore_rank_with, RestoreConfig};
+use ickpt_core::trace::RankTrace;
 use ickpt_core::tracked_space::{ContentWrite, TrackedSpace};
 use ickpt_core::tracker::{EpochSample, IterationSample, TrackerConfig, WriteTracker};
 use ickpt_mem::{pages_for_bytes, AddressSpace, BackedSpace, DataLayout, PageRange, SparseSpace};
@@ -100,6 +101,29 @@ impl From<ickpt_storage::StorageError> for RunError {
     }
 }
 
+/// The clock pair of one iteration-boundary allreduce, with the exact
+/// counter values at that instant — everything a derived (re-binned)
+/// run report needs to reconstruct the end state of a shorter run that
+/// would have stopped at this boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundaryRecord {
+    /// Rank clock entering the boundary (the instant the STOP vote is
+    /// computed against `run_for`).
+    pub pre: SimTime,
+    /// Rank clock after the boundary allreduce completed — the final
+    /// time of a run that stops here.
+    pub post: SimTime,
+    /// Mapped footprint at the boundary, in pages.
+    pub footprint_pages: u64,
+    /// Cumulative page faults up to the boundary.
+    pub total_faults: u64,
+    /// Cumulative fault-handling overhead up to the boundary.
+    pub overhead: SimDuration,
+    /// Cumulative bytes received (messages + collectives, including
+    /// this boundary's allreduce) up to the boundary.
+    pub bytes_received: u64,
+}
+
 /// Per-rank results of a run.
 #[derive(Debug, Clone)]
 pub struct RankReport {
@@ -143,6 +167,12 @@ pub struct RankReport {
     pub excluded_pages: u64,
     /// Last globally committed generation (backed runs).
     pub last_committed: Option<u64>,
+    /// Clock pairs and counter snapshots of every iteration boundary,
+    /// in order — the stop-time oracle for trace re-binning.
+    pub boundaries: Vec<BoundaryRecord>,
+    /// The recorded write trace (ranks `< trace_ranks` of a
+    /// characterization run).
+    pub trace: Option<RankTrace>,
 }
 
 /// How a run ended.
@@ -203,6 +233,11 @@ pub struct CharacterizationConfig {
     pub net: NetConfig,
     /// Workload seed.
     pub seed: u64,
+    /// Record a write trace ([`RankTrace`]) on the first `trace_ranks`
+    /// ranks (0 = off). The paper's workloads are bulk-synchronous and
+    /// rank-symmetric, so rank 0's trace characterizes the cluster;
+    /// property tests trace every rank.
+    pub trace_ranks: usize,
 }
 
 impl Default for CharacterizationConfig {
@@ -218,18 +253,20 @@ impl Default for CharacterizationConfig {
             track_iterations: false,
             net: NetConfig::qsnet(),
             seed: 0x5EED,
+            trace_ranks: 0,
         }
     }
 }
 
 impl CharacterizationConfig {
-    fn tracker_config(&self) -> TrackerConfig {
+    fn tracker_config(&self, rank: usize) -> TrackerConfig {
         TrackerConfig {
             timeslice: self.timeslice,
             fault_cost: self.fault_cost,
             track_checkpoint_set: false,
             epoch: self.epoch,
             track_iterations: self.track_iterations,
+            record_trace: rank < self.trace_ranks,
         }
     }
 }
@@ -267,7 +304,7 @@ where
             .map(|(rank, ep)| {
                 let build = &build;
                 let params = &params;
-                let tcfg = cfg.tracker_config();
+                let tcfg = cfg.tracker_config(rank);
                 scope.spawn(move || -> Result<RankReport, RunError> {
                     let mut space = SparseSpace::new(layout);
                     let tracker =
@@ -469,6 +506,7 @@ where
                         track_checkpoint_set: true,
                         epoch: None,
                         track_iterations: false,
+                        record_trace: false,
                     };
                     let mut space = BackedSpace::new(layout);
                     let mut model = build(rank);
@@ -807,6 +845,7 @@ struct RankRunner<'a, S: AddressSpace + ContentWrite> {
     params: &'a RunParams,
     // Set when the global FAIL vote passed.
     failed: bool,
+    boundaries: Vec<BoundaryRecord>,
 }
 
 impl<'a, S: AddressSpace + ContentWrite + CheckpointCapable> RankRunner<'a, S> {
@@ -834,6 +873,7 @@ impl<'a, S: AddressSpace + ContentWrite + CheckpointCapable> RankRunner<'a, S> {
             ckpt,
             params,
             failed: false,
+            boundaries: Vec::new(),
         }
     }
 
@@ -865,6 +905,7 @@ impl<'a, S: AddressSpace + ContentWrite + CheckpointCapable> RankRunner<'a, S> {
 
     /// Iteration-boundary coordination; returns true when the run ends.
     fn iteration_boundary(&mut self) -> Result<bool, RunError> {
+        let pre = self.clock;
         self.tracker.mark_iteration(self.clock);
         let iterations = self.model.iterations_done();
         let mut votes = VoteFlags::none();
@@ -883,6 +924,18 @@ impl<'a, S: AddressSpace + ContentWrite + CheckpointCapable> RankRunner<'a, S> {
         self.clock = info.new_time;
         self.tracker.advance_to(self.clock);
         self.tracker.note_received(info.bytes_received);
+        // Snapshot the boundary: a shorter run stopping here ends with
+        // exactly these clocks and counters (checkpoint settling below
+        // only happens when the run continues or a checkpoint is due).
+        self.tracker.snapshot_residue(self.clock);
+        self.boundaries.push(BoundaryRecord {
+            pre,
+            post: self.clock,
+            footprint_pages: self.tracker.footprint_pages(),
+            total_faults: self.tracker.total_faults(),
+            overhead: self.tracker.overhead(),
+            bytes_received: self.ep.bytes_received(),
+        });
         let global = VoteFlags(info.value);
         if global.has(VoteFlags::FAIL) {
             self.failed = true;
@@ -1001,7 +1054,8 @@ impl<'a, S: AddressSpace + ContentWrite + CheckpointCapable> RankRunner<'a, S> {
         Ok(())
     }
 
-    fn into_report(self, content_digest: Option<u64>) -> RankReport {
+    fn into_report(mut self, content_digest: Option<u64>) -> RankReport {
+        let trace = self.tracker.records_trace().then(|| self.tracker.take_trace());
         RankReport {
             rank: self.rank,
             samples: self.tracker.samples().to_vec(),
@@ -1021,6 +1075,8 @@ impl<'a, S: AddressSpace + ContentWrite + CheckpointCapable> RankRunner<'a, S> {
             commit_lag: self.ckpt.as_ref().map_or(SimDuration::ZERO, |c| c.commit_lag),
             excluded_pages: self.tracker.excluded_pages(),
             last_committed: self.ckpt.as_ref().and_then(|c| c.planner.last_committed()),
+            boundaries: self.boundaries,
+            trace,
         }
     }
 }
