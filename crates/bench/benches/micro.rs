@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks of the hot paths: the dirty bitmap, the
 //! write-fault path, pattern slicing, the chunk codec, CRC-32, the
-//! trace-engine record/re-bin pair, the collective rendezvous, and the
-//! *real* page-fault cost through `mprotect`/`SIGSEGV`.
+//! trace-engine record/re-bin pair, XOR parity encode/reconstruct, and
+//! the *real* page-fault cost through `mprotect`/`SIGSEGV`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
@@ -16,7 +16,10 @@ use ickpt::mem::{
 use ickpt::native::TrackedRegion;
 use ickpt::sim::{SimDuration, SimTime};
 use ickpt::storage::crc::{crc32, crc32_bytewise};
-use ickpt::storage::{gc, Chunk, ChunkKey, ChunkKind, MemStore, PageRecord, StableStorage};
+use ickpt::storage::{
+    gc, xor_encode, xor_reconstruct, Chunk, ChunkKey, ChunkKind, MemStore, PageRecord,
+    StableStorage,
+};
 
 fn bench_bitmap(c: &mut Criterion) {
     let mut g = c.benchmark_group("dirty_bitmap");
@@ -348,6 +351,33 @@ fn bench_trace(c: &mut Criterion) {
     g.finish();
 }
 
+/// XOR parity of a 4-member redundancy group: the per-generation cost
+/// a holder pays to encode, and the cost of rebuilding a lost member
+/// from the surviving three plus the parity block.
+fn bench_xor_parity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xor_parity");
+    // Uneven member sizes to exercise the zero-padded tail path.
+    let members: Vec<Vec<u8>> = (0u64..4)
+        .map(|r| {
+            let len = (4 << 20) - (r as usize) * 4096;
+            (0..len).map(|i| (i as u64).wrapping_mul(r + 0x9E37).to_le_bytes()[0]).collect()
+        })
+        .collect();
+    let views: Vec<(u32, &[u8])> =
+        members.iter().enumerate().map(|(r, d)| (r as u32, d.as_slice())).collect();
+    let total: u64 = members.iter().map(|m| m.len() as u64).sum();
+    g.throughput(Throughput::Bytes(total));
+    g.bench_function("encode_group4_16mb", |b| {
+        b.iter(|| black_box(xor_encode(0, 7, &views).len()))
+    });
+    let parity = xor_encode(0, 7, &views);
+    let survivors: Vec<(u32, &[u8])> = views.iter().filter(|(r, _)| *r != 2).copied().collect();
+    g.bench_function("reconstruct_group4_16mb", |b| {
+        b.iter(|| black_box(xor_reconstruct(&parity, &survivors, 2).unwrap().len()))
+    });
+    g.finish();
+}
+
 fn bench_native_fault(c: &mut Criterion) {
     let mut g = c.benchmark_group("native_fault");
     // Cost of one protection fault + handler + mprotect, amortized over
@@ -383,6 +413,7 @@ criterion_group!(
     bench_capture,
     bench_restore,
     bench_trace,
+    bench_xor_parity,
     bench_native_fault
 );
 criterion_main!(benches);

@@ -10,10 +10,92 @@
 //! verifies every chunk's CRC by decoding it. Broken parent links and
 //! incomplete manifests are reported. Exit status is nonzero if any
 //! integrity problem is found.
+//!
+//! **Tiered layouts** are detected automatically: a directory holding
+//! `local-<rank>/` subdirectories (node-local tiers) plus `shared/`
+//! (the durable array) gets a per-tier overview — own generations,
+//! partner copies and XOR parity blocks each node holds — before the
+//! shared tier is inspected as usual.
 
-use ickpt::storage::{Chunk, ChunkKey, ChunkKind, FileStore, Manifest, RestorePlan, StableStorage};
+use ickpt::storage::{
+    Chunk, ChunkKey, ChunkKind, FileStore, Manifest, RestorePlan, StableStorage, PARITY_RANK_BASE,
+};
 use ickpt_analysis::table::fnum;
 use ickpt_analysis::TextTable;
+
+/// If `dir` is a tiered layout, print the node-local tier overview and
+/// return the shared tier's path to inspect; otherwise return `dir`.
+fn tiered_overview(dir: &str) -> String {
+    let mut locals: Vec<(u32, std::path::PathBuf)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(rank) = name.strip_prefix("local-").and_then(|r| r.parse().ok()) {
+                if entry.path().is_dir() {
+                    locals.push((rank, entry.path()));
+                }
+            }
+        }
+    }
+    let shared = std::path::Path::new(dir).join("shared");
+    if locals.is_empty() || !shared.is_dir() {
+        return dir.to_string();
+    }
+    locals.sort_unstable_by_key(|(r, _)| *r);
+    let nranks = locals.len() as u32;
+
+    println!("tiered layout: {} node-local tiers + shared array", locals.len());
+    let mut t = TextTable::new("node-local tiers").header(&[
+        "tier",
+        "own gens",
+        "peer copies",
+        "parity blocks",
+        "manifests",
+        "MB",
+    ]);
+    for (rank, path) in &locals {
+        let Ok(local) = FileStore::open(path) else {
+            t.row(vec![
+                format!("local-{rank}"),
+                "?".into(),
+                "?".into(),
+                "?".into(),
+                "?".into(),
+                "unreadable".into(),
+            ]);
+            continue;
+        };
+        let own = local.list_generations(*rank).map(|g| g.len()).unwrap_or(0);
+        let mut peer = 0usize;
+        let mut parity = 0usize;
+        let mut bytes = 0u64;
+        for r in 0..nranks {
+            let gens = |rk| local.list_generations(rk).unwrap_or_default();
+            if r != *rank {
+                peer += gens(r).len();
+            }
+            parity += gens(PARITY_RANK_BASE | r).len();
+            for rk in [r, PARITY_RANK_BASE | r] {
+                for g in gens(rk) {
+                    bytes +=
+                        local.get_chunk(ChunkKey::new(rk, g)).map(|d| d.len() as u64).unwrap_or(0);
+                }
+            }
+        }
+        let manifests = local.list_manifests().map(|m| m.len()).unwrap_or(0);
+        t.row(vec![
+            format!("local-{rank}"),
+            own.to_string(),
+            peer.to_string(),
+            parity.to_string(),
+            manifests.to_string(),
+            fnum(bytes as f64 / 1e6, 2),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("shared durable tier: {}", shared.display());
+    shared.to_string_lossy().into_owned()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -26,6 +108,7 @@ fn main() {
         .position(|a| a == "--rank")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok());
+    let dir = &tiered_overview(dir);
 
     let store = match FileStore::open(dir) {
         Ok(s) => s,

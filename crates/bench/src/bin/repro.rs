@@ -9,6 +9,8 @@
 //! * `--only <substring>` — run only the experiments whose display
 //!   name contains `substring` (case-insensitive); e.g. `--only fig`
 //!   runs the five figures, `--only "Table 3"` just that table.
+//! * `--list` — print every experiment name, one per line, and exit
+//!   without running anything (useful for scripting `--only`).
 //!
 //! Respects the `ICKPT_BENCH_*` environment knobs documented in
 //! `ickpt-bench`. Experiments run concurrently on
@@ -49,6 +51,12 @@ fn main() {
         ("Ablations (checkpoint system)", experiments::ablation::report),
         ("Availability under failures", experiments::availability::report),
     ];
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in &experiments {
+            println!("{name}");
+        }
+        return;
+    }
     let selected: Vec<Experiment> = experiments
         .into_iter()
         .filter(|(name, _)| only.as_ref().is_none_or(|o| name.to_lowercase().contains(o)))

@@ -175,10 +175,18 @@ impl WorkloadTrace {
                     last_committed: None,
                     boundaries: self.boundaries[r][..=stop_i].to_vec(),
                     trace: None,
+                    tier: None,
                 }
             })
             .collect();
-        RunReport { outcome: RunOutcome::Completed, ranks, attempts: 1, wasted: SimDuration::ZERO }
+        RunReport {
+            outcome: RunOutcome::Completed,
+            ranks,
+            attempts: 1,
+            wasted: SimDuration::ZERO,
+            recoveries: Vec::new(),
+            drain: None,
+        }
     }
 }
 

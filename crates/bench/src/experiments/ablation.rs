@@ -18,19 +18,29 @@
 //! 6. **Per-rank vs shared storage** — with one shared array the
 //!    coordinated checkpoint's synchronized writes serialize, so the
 //!    stall grows with the rank count; per-rank paths keep it flat.
+//! 7. **Multilevel redundancy under node loss** — single-tier
+//!    (node-local cache only) vs partner replication vs XOR parity
+//!    when a node dies mid-run: the redundant schemes reconstruct the
+//!    last committed generation over the network and resume there,
+//!    while the single-tier baseline is forced back to the last
+//!    generation fully drained to the shared array. All configurations
+//!    must finish byte-identical to the failure-free run.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 
 use ickpt::apps::synthetic::{SyntheticApp, SyntheticConfig};
 use ickpt::apps::AppModel;
-use ickpt::cluster::{run_fault_tolerant, CheckpointMode, FaultTolerantConfig, StoragePath};
+use ickpt::cluster::{
+    run_fault_tolerant, CheckpointMode, FailureSpec, FaultTolerantConfig, RedundancyConfig,
+    RunOutcome, StoragePath,
+};
 use ickpt::core::coordinator::CheckpointPolicy;
 use ickpt::core::restore::{restore_rank, restore_rank_sequential};
 use ickpt::mem::{BackedSpace, DataLayout, LayoutBuilder, PAGE_SIZE};
 use ickpt::net::NetConfig;
-use ickpt::sim::{DevicePreset, SimDuration};
-use ickpt::storage::{gc, Chunk, ChunkKey, MemStore};
+use ickpt::sim::{DevicePreset, SimDuration, SimTime};
+use ickpt::storage::{gc, Chunk, ChunkKey, MemStore, RecoverySource, SchemeSpec};
 use ickpt_analysis::table::fnum;
 use ickpt_analysis::{Comparison, ExperimentReport, TextTable};
 
@@ -73,6 +83,7 @@ fn ft_config(policy: CheckpointPolicy, iters: u64) -> FaultTolerantConfig {
         failures: vec![],
         net: NetConfig::qsnet(),
         max_attempts: 1,
+        redundancy: None,
     }
 }
 
@@ -141,6 +152,7 @@ fn exclusion_ablation() -> Section {
         failures: vec![],
         net: NetConfig::qsnet(),
         max_attempts: 1,
+        redundancy: None,
     };
     let report = run_fault_tolerant(&cfg, w.layout(scale), move |rank| {
         Box::new(w.build(rank, nranks, scale, 11))
@@ -337,6 +349,7 @@ fn storage_path_ablation() -> Section {
                 failures: vec![],
                 net: NetConfig::qsnet(),
                 max_attempts: 1,
+                redundancy: None,
             };
             let build = move |rank: usize| -> Box<dyn AppModel> {
                 Box::new(SyntheticApp::new(SyntheticConfig {
@@ -381,17 +394,118 @@ fn storage_path_ablation() -> Section {
     (body, comparisons)
 }
 
+/// Ablation 7: multilevel redundancy under node loss — single-tier vs
+/// partner replication vs XOR parity.
+fn redundancy_ablation() -> Section {
+    let mut body = String::new();
+    let mut comparisons = Vec::new();
+    writeln!(body, "ablation 7: multilevel redundancy under node loss (rank 1 dies at t=15 s)")
+        .unwrap();
+    writeln!(
+        body,
+        "  node-local tier + scheme over the NIC, every 4th generation drained to the array"
+    )
+    .unwrap();
+    let iters = 30u64;
+    let policy = CheckpointPolicy::incremental(SimDuration::from_secs(2), 4);
+    // Failure-free reference: the byte-exact application state every
+    // recovered run must reproduce.
+    let reference = run_fault_tolerant(&ft_config(policy, iters), layout(), build).unwrap();
+    let ref_digest = reference.ranks[0].content_digest.expect("backed run has digest");
+
+    let schemes = [
+        SchemeSpec::LocalOnly,
+        SchemeSpec::Partner { offset: 1 },
+        SchemeSpec::XorParity { group_size: 2 },
+    ];
+    let mut t = TextTable::new("").header(&[
+        "scheme",
+        "recovery",
+        "resume gen",
+        "wasted (s)",
+        "local MB",
+        "redund MB",
+        "drained MB",
+        "digest ok",
+    ]);
+    let mut digests_ok = 0u32;
+    let mut resume_gens = Vec::new();
+    let outcomes = parallel_map(&schemes, |&scheme| {
+        let mut cfg = ft_config(policy, iters);
+        cfg.failures = vec![FailureSpec::node_loss(1, SimTime::from_secs(15))];
+        cfg.max_attempts = 4;
+        cfg.redundancy = Some(RedundancyConfig {
+            scheme,
+            local_device: DevicePreset::NodeLocal,
+            drain_every: 4,
+        });
+        run_fault_tolerant(&cfg, layout(), build).unwrap()
+    });
+    for (scheme, report) in schemes.iter().zip(outcomes) {
+        assert_eq!(report.outcome, RunOutcome::Completed, "{scheme:?} must recover");
+        let rec = report.recoveries.first().expect("one failure injected");
+        let digest_ok = report.ranks[0].content_digest == Some(ref_digest);
+        digests_ok += digest_ok as u32;
+        resume_gens.push(rec.generation);
+        let tier = report.ranks[1].tier.expect("tiered run reports usage");
+        let drain = report.drain.expect("tiered run reports drain stats");
+        t.row(vec![
+            scheme.name().to_string(),
+            rec.source.name().to_string(),
+            rec.generation.map_or("-".into(), |g| g.to_string()),
+            fnum(report.wasted.as_secs_f64(), 2),
+            fnum(tier.local_bytes as f64 / 1e6, 2),
+            fnum(tier.redundancy_bytes as f64 / 1e6, 2),
+            fnum(drain.drained_bytes as f64 / 1e6, 2),
+            digest_ok.to_string(),
+        ]);
+        // The redundant schemes must come back over the network at the
+        // last committed generation; the single-tier baseline is forced
+        // back to the durable tier.
+        let expect = match scheme {
+            SchemeSpec::LocalOnly => RecoverySource::Durable,
+            _ => RecoverySource::Reconstructed,
+        };
+        assert_eq!(rec.source, expect, "{scheme:?} recovery source");
+    }
+    writeln!(body, "{}", t.render()).unwrap();
+    let baseline_gen = resume_gens[0].expect("a drained generation exists");
+    let partner_gen = resume_gens[1].expect("partner resumes at a committed generation");
+    writeln!(
+        body,
+        "partner/XOR reconstruct generation {partner_gen} over the interconnect; the \
+         single-tier baseline loses {} generations falling back to the drained generation \
+         {baseline_gen}",
+        partner_gen - baseline_gen
+    )
+    .unwrap();
+    comparisons.push(Comparison::new(
+        "Ablation / node-loss recoveries byte-identical to failure-free (expect 3)",
+        3.0,
+        digests_ok as f64,
+        "runs",
+    ));
+    comparisons.push(Comparison::new(
+        "Ablation / generations saved by redundancy vs single-tier (expect >0)",
+        3.0,
+        (partner_gen - baseline_gen) as f64,
+        "gens",
+    ));
+    (body, comparisons)
+}
+
 /// Run all ablations (independent sections, scheduled in parallel,
 /// rendered in the fixed order below).
 pub fn report() -> ExperimentReport {
     let mut body =
         banner_string("Ablations: incremental vs full, interval sweep, chain length & gc");
-    let sections: [fn() -> Section; 5] = [
+    let sections: [fn() -> Section; 6] = [
         traffic_ablation,
         chain_ablation,
         mode_ablation,
         exclusion_ablation,
         storage_path_ablation,
+        redundancy_ablation,
     ];
     let mut comparisons = Vec::new();
     for (i, (text, rows)) in parallel_map(&sections, |f| f()).into_iter().enumerate() {

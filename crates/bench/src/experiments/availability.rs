@@ -67,10 +67,10 @@ fn failure_schedule(seed: u64, mtbf_s: f64, horizon_s: f64) -> Vec<FailureSpec> 
         if t >= horizon_s {
             return out;
         }
-        out.push(FailureSpec {
-            rank: rng.next_below(NRANKS as u64) as usize,
-            at: SimTime::from_secs_f64(t),
-        });
+        out.push(FailureSpec::process(
+            rng.next_below(NRANKS as u64) as usize,
+            SimTime::from_secs_f64(t),
+        ));
     }
 }
 
@@ -93,6 +93,7 @@ fn run_at_interval(interval_s: u64, failures: Vec<FailureSpec>) -> Outcome {
         failures,
         net: NetConfig::qsnet(),
         max_attempts: 64,
+        redundancy: None,
     };
     let report = run_fault_tolerant(&cfg, layout(), build).expect("run completes");
     assert_eq!(report.outcome, RunOutcome::Completed);

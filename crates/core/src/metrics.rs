@@ -13,6 +13,7 @@
 //! numbers (900 MB/s network, 320 MB/s disk).
 
 use ickpt_sim::{SimDuration, SimTime};
+use ickpt_storage::TierUsage;
 
 const PAGE_BYTES: f64 = 4096.0;
 const MB: f64 = 1_000_000.0;
@@ -123,6 +124,69 @@ pub fn received_series(samples: &[IwsSample]) -> Vec<(f64, f64)> {
     samples.iter().map(|s| (s.end_time.as_secs_f64(), s.bytes_received as f64 / MB)).collect()
 }
 
+/// Cluster-wide roll-up of per-rank multilevel-storage accounting.
+///
+/// Byte counters sum across ranks (total traffic each tier carried);
+/// busy/recovery times take the per-rank **maximum**, because ranks
+/// run concurrently and the slowest device is the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TierSummary {
+    /// Ranks aggregated.
+    pub ranks: usize,
+    /// Checkpoint bytes written to node-local tiers, MB.
+    pub local_mb: f64,
+    /// Redundancy bytes (partner copies / parity shares) sent over the
+    /// interconnect, MB.
+    pub redundancy_mb: f64,
+    /// Longest per-rank node-local device busy time, seconds.
+    pub local_busy_s: f64,
+    /// Longest per-rank NIC busy time charged to redundancy, seconds.
+    pub nic_busy_s: f64,
+    /// Recovery bytes served by the failed rank's own local tier, MB.
+    pub recovery_local_mb: f64,
+    /// Recovery bytes pulled over the network (partner / parity), MB.
+    pub recovery_net_mb: f64,
+    /// Recovery bytes read back from the shared durable tier, MB.
+    pub recovery_durable_mb: f64,
+    /// Longest per-rank restore time, seconds.
+    pub recovery_s: f64,
+}
+
+impl TierSummary {
+    /// Aggregate per-rank usage records into one cluster summary.
+    pub fn from_usage(usage: &[TierUsage]) -> TierSummary {
+        let mut s = TierSummary { ranks: usage.len(), ..TierSummary::default() };
+        for u in usage {
+            s.local_mb += u.local_bytes as f64 / MB;
+            s.redundancy_mb += u.redundancy_bytes as f64 / MB;
+            s.local_busy_s = s.local_busy_s.max(u.local_busy.as_secs_f64());
+            s.nic_busy_s = s.nic_busy_s.max(u.nic_busy.as_secs_f64());
+            s.recovery_local_mb += u.recovery_local_bytes as f64 / MB;
+            s.recovery_net_mb += u.recovery_net_bytes as f64 / MB;
+            s.recovery_durable_mb += u.recovery_durable_bytes as f64 / MB;
+            s.recovery_s = s.recovery_s.max(u.recovery_time.as_secs_f64());
+        }
+        s
+    }
+
+    /// Redundancy traffic as a percentage of local checkpoint volume —
+    /// the storage overhead a scheme pays for its failure coverage
+    /// (≈100% for partner replication, ≈100/(g−1)% for XOR groups of
+    /// size `g`).
+    pub fn redundancy_overhead_percent(&self) -> f64 {
+        if self.local_mb == 0.0 {
+            0.0
+        } else {
+            100.0 * self.redundancy_mb / self.local_mb
+        }
+    }
+
+    /// Total recovery traffic, MB, across all tiers.
+    pub fn recovery_mb(&self) -> f64 {
+        self.recovery_local_mb + self.recovery_net_mb + self.recovery_durable_mb
+    }
+}
+
 /// Footprint statistics over a run: `(max_mb, avg_mb)` — Table 2.
 pub fn footprint_stats(samples: &[IwsSample]) -> (f64, f64) {
     if samples.is_empty() {
@@ -225,5 +289,49 @@ mod tests {
         let (max, avg) = footprint_stats(&samples);
         assert!((max - 12.288).abs() < 1e-9);
         assert!((avg - 8.192).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tier_summary_sums_bytes_and_maxes_times() {
+        let a = TierUsage {
+            local_bytes: 2_000_000,
+            local_busy: SimDuration::from_secs(2),
+            redundancy_bytes: 2_000_000,
+            nic_busy: SimDuration::from_secs(1),
+            recovery_local_bytes: 0,
+            recovery_net_bytes: 1_000_000,
+            recovery_durable_bytes: 0,
+            recovery_time: SimDuration::from_secs(3),
+        };
+        let b = TierUsage {
+            local_bytes: 4_000_000,
+            local_busy: SimDuration::from_secs(5),
+            redundancy_bytes: 4_000_000,
+            nic_busy: SimDuration::from_secs_f64(0.5),
+            recovery_local_bytes: 500_000,
+            recovery_net_bytes: 0,
+            recovery_durable_bytes: 250_000,
+            recovery_time: SimDuration::ZERO,
+        };
+        let s = TierSummary::from_usage(&[a, b]);
+        assert_eq!(s.ranks, 2);
+        assert!((s.local_mb - 6.0).abs() < 1e-9);
+        assert!((s.redundancy_mb - 6.0).abs() < 1e-9);
+        assert!((s.local_busy_s - 5.0).abs() < 1e-12);
+        assert!((s.nic_busy_s - 1.0).abs() < 1e-12);
+        assert!((s.recovery_local_mb - 0.5).abs() < 1e-9);
+        assert!((s.recovery_net_mb - 1.0).abs() < 1e-9);
+        assert!((s.recovery_durable_mb - 0.25).abs() < 1e-9);
+        assert!((s.recovery_s - 3.0).abs() < 1e-12);
+        assert!((s.recovery_mb() - 1.75).abs() < 1e-9);
+        // Partner-style replication: redundancy ≈ 100% of local volume.
+        assert!((s.redundancy_overhead_percent() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tier_summary_empty_is_zero() {
+        let s = TierSummary::from_usage(&[]);
+        assert_eq!(s, TierSummary::default());
+        assert_eq!(s.redundancy_overhead_percent(), 0.0);
     }
 }

@@ -28,6 +28,10 @@ pub enum DevicePreset {
     /// 2004-era local memory copy path (~2 GB/s), used for the bounce
     /// buffer copy cost.
     MemoryCopy,
+    /// Node-local checkpoint cache (RAM-disk / local scratch class,
+    /// ~1 GB/s, ~10 µs): the fast first tier of a multilevel scheme,
+    /// as in SCR's node-local cache.
+    NodeLocal,
 }
 
 impl DevicePreset {
@@ -38,6 +42,7 @@ impl DevicePreset {
             DevicePreset::QsNet => 340_000_000,
             DevicePreset::ScsiDisk => 320_000_000,
             DevicePreset::MemoryCopy => 2_000_000_000,
+            DevicePreset::NodeLocal => 1_000_000_000,
         }
     }
 
@@ -48,6 +53,7 @@ impl DevicePreset {
             DevicePreset::QsNet => SimDuration::from_micros(5),
             DevicePreset::ScsiDisk => SimDuration::from_millis(4),
             DevicePreset::MemoryCopy => SimDuration::ZERO,
+            DevicePreset::NodeLocal => SimDuration::from_micros(10),
         }
     }
 
@@ -114,6 +120,11 @@ impl BandwidthDevice {
     /// Total bytes transferred.
     pub fn bytes_total(&self) -> u64 {
         self.bytes_total
+    }
+
+    /// Total time the device spent busy transferring.
+    pub fn busy_total(&self) -> SimDuration {
+        self.busy_total
     }
 
     /// Mean utilization over `[0, now]`, in `[0, 1]`.

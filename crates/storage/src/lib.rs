@@ -23,12 +23,17 @@
 //!   once regardless of chain length.
 //! * [`gc`] — checkpoint-chain compaction: bounded-length incremental
 //!   chains by executing the restore plan into a new base in one pass.
+//! * [`redundancy`] — multilevel redundant storage: per-rank node-local
+//!   tiers protected by partner replication or XOR parity groups over
+//!   the interconnect, with an asynchronous drain to the shared array
+//!   and tiered recovery (local → reconstruction → durable).
 
 pub mod chunk;
 pub mod crc;
 pub mod gc;
 pub mod manifest;
 pub mod plan;
+pub mod redundancy;
 pub mod store;
 pub mod throttle;
 
@@ -38,6 +43,11 @@ pub use chunk::{
 pub use manifest::{Manifest, RankEntry};
 pub use plan::{
     shard_segments, ChunkPlanStats, PlanSegment, PlanSource, RestorePlan, SegmentSource,
+};
+pub use redundancy::{
+    xor_encode, xor_reconstruct, DrainQueue, DrainStats, Partner, RecoveryPlan, RecoverySource,
+    RedundancyScheme, SchemeSpec, TierReader, TierTopology, TierUsage, TieredStore, XorParity,
+    PARITY_RANK_BASE,
 };
 pub use store::{ChunkKey, FileStore, MemStore, StableStorage, StorageError};
 pub use throttle::{shared_device, SharedBandwidthDevice, ThrottledStore, TimedReads};

@@ -1,0 +1,342 @@
+//! Asynchronous drain of node-local checkpoints to the shared array.
+//!
+//! SCR's `SCR_FLUSH` model: checkpoints live in the node-local tier
+//! and only every `drain_every`-th committed generation is copied to
+//! the shared parallel-filesystem array, together with whatever
+//! earlier undrained generations its incremental lineage needs — the
+//! durable tier always holds complete restore chains. The copy is
+//! asynchronous from the application's point of view: it is charged on
+//! the shared array's FIFO [`BandwidthDevice`](ickpt_sim::BandwidthDevice)
+//! starting at the commit instant, but no rank blocks on it.
+//!
+//! A generation only counts as *durable* once its drain transfer
+//! completed on the device. A failure at virtual time `t` therefore
+//! recovers (at worst) to [`DrainQueue::fully_drained_before`]`(t)`;
+//! generations whose drain was still in flight at `t` are rolled back
+//! out of the shared store.
+//!
+//! ## Determinism
+//!
+//! Every rank enqueues its commit notification at the same
+//! barrier-released instant; the last arrival (under one lock, from
+//! one thread) performs the whole flush in canonical (generation,
+//! rank) order, so device charges and stored bytes are independent of
+//! thread scheduling.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use ickpt_sim::{SimDuration, SimTime};
+
+use crate::store::{ChunkKey, StableStorage, StorageError};
+use crate::throttle::SharedBandwidthDevice;
+
+use super::LocalStores;
+
+/// Cumulative drain accounting for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Bytes copied to the shared array (chunks + manifests).
+    pub drained_bytes: u64,
+    /// Generations whose chunks were copied (targets and lineage).
+    pub drained_generations: u64,
+    /// Newest generation with a manifest on the shared array.
+    pub last_drained: Option<u64>,
+    /// Generations skipped because a local source chunk was already
+    /// gone (wiped by a node loss before the next drain tick).
+    pub abandoned_generations: u64,
+    /// Time the shared array spent busy on drain and durable-recovery
+    /// traffic (filled from the device when the report is assembled).
+    pub array_busy: SimDuration,
+}
+
+/// One flushed batch: the manifest-carrying target generation plus the
+/// lineage generations copied with it.
+struct Batch {
+    completed_at: SimTime,
+    generations: Vec<u64>,
+}
+
+#[derive(Default)]
+struct DrainState {
+    /// Commit notifications per generation (flush fires at `nranks`).
+    arrivals: HashMap<u64, usize>,
+    /// Committed generations not yet on the shared array.
+    undrained: BTreeSet<u64>,
+    /// Flushed batches keyed by target generation.
+    batches: BTreeMap<u64, Batch>,
+    stats: DrainStats,
+}
+
+/// See the module docs.
+pub struct DrainQueue {
+    nranks: usize,
+    drain_every: u64,
+    state: Mutex<DrainState>,
+}
+
+impl DrainQueue {
+    /// Drain every `drain_every`-th committed generation (1 = every
+    /// generation, the synchronous-durable limit).
+    pub fn new(nranks: usize, drain_every: u64) -> Self {
+        assert!(drain_every >= 1);
+        Self { nranks, drain_every, state: Mutex::new(DrainState::default()) }
+    }
+
+    /// The configured drain period.
+    pub fn drain_every(&self) -> u64 {
+        self.drain_every
+    }
+
+    /// A rank's commit notification for `generation` at the (global)
+    /// commit instant. The last notifier flushes if the generation is
+    /// a drain target.
+    pub fn note_committed(
+        &self,
+        generation: u64,
+        commit_time: SimTime,
+        locals: &LocalStores,
+        shared: &Arc<dyn StableStorage>,
+        array: &SharedBandwidthDevice,
+    ) -> Result<(), StorageError> {
+        let mut state = self.state.lock();
+        let arrivals = state.arrivals.entry(generation).or_insert(0);
+        *arrivals += 1;
+        if *arrivals < self.nranks {
+            return Ok(());
+        }
+        state.arrivals.remove(&generation);
+        state.undrained.insert(generation);
+        if (generation + 1).is_multiple_of(self.drain_every) {
+            self.flush(&mut state, generation, commit_time, locals, shared, array)?;
+        }
+        Ok(())
+    }
+
+    /// Copy every undrained generation up to and including `target` to
+    /// the shared array, in canonical (generation, rank) order, then
+    /// the target's manifest. Charges the array device from
+    /// `commit_time`.
+    fn flush(
+        &self,
+        state: &mut DrainState,
+        target: u64,
+        commit_time: SimTime,
+        locals: &LocalStores,
+        shared: &Arc<dyn StableStorage>,
+        array: &SharedBandwidthDevice,
+    ) -> Result<(), StorageError> {
+        let gens: Vec<u64> = state.undrained.range(..=target).copied().collect();
+        let mut flushed = Vec::new();
+        for &gen in &gens {
+            // Gather first: a generation with any missing local chunk
+            // (wiped by a node loss, never re-deposited) is abandoned
+            // whole rather than written torn to the durable tier.
+            let mut chunks = Vec::with_capacity(self.nranks);
+            for (rank, local) in locals.iter().enumerate().take(self.nranks) {
+                match local.get_chunk(ChunkKey::new(rank as u32, gen)) {
+                    Ok(data) => chunks.push(data),
+                    Err(_) => {
+                        chunks.clear();
+                        break;
+                    }
+                }
+            }
+            state.undrained.remove(&gen);
+            if chunks.is_empty() {
+                state.stats.abandoned_generations += 1;
+                continue;
+            }
+            for (rank, data) in chunks.iter().enumerate() {
+                shared.put_chunk(ChunkKey::new(rank as u32, gen), data)?;
+                array.lock().transfer(commit_time, data.len() as u64);
+                state.stats.drained_bytes += data.len() as u64;
+            }
+            state.stats.drained_generations += 1;
+            flushed.push(gen);
+        }
+        if flushed.contains(&target) {
+            // The manifest is replicated on every surviving local
+            // store; take the first copy found.
+            let manifest = (0..self.nranks)
+                .find_map(|r| locals[r].get_manifest(target).ok())
+                .ok_or(StorageError::ManifestNotFound(target))?;
+            shared.put_manifest(target, &manifest)?;
+            // The array is FIFO, so the manifest (charged last)
+            // completes after every chunk of the batch.
+            let done = array.lock().transfer(commit_time, manifest.len() as u64);
+            state.stats.drained_bytes += manifest.len() as u64;
+            state.stats.last_drained = Some(target);
+            state.batches.insert(target, Batch { completed_at: done, generations: flushed });
+        }
+        Ok(())
+    }
+
+    /// Newest generation whose drain had fully completed by `t`.
+    pub fn fully_drained_before(&self, t: SimTime) -> Option<u64> {
+        self.state
+            .lock()
+            .batches
+            .iter()
+            .filter(|(_, b)| b.completed_at <= t)
+            .map(|(&gen, _)| gen)
+            .next_back()
+    }
+
+    /// Roll the drain state back after a failure at `fail_time` with
+    /// resume target `resume_gen`: batches still in flight at the
+    /// failure are deleted from the shared array (their writes never
+    /// finished), and generations newer than the resume target are
+    /// forgotten — re-execution will commit them again.
+    pub fn rollback(
+        &self,
+        resume_gen: Option<u64>,
+        fail_time: SimTime,
+        shared: &Arc<dyn StableStorage>,
+    ) -> Result<(), StorageError> {
+        let mut state = self.state.lock();
+        state.arrivals.clear();
+        let in_flight: Vec<u64> = state
+            .batches
+            .iter()
+            .filter(|(_, b)| b.completed_at > fail_time)
+            .map(|(&gen, _)| gen)
+            .collect();
+        for target in in_flight {
+            let batch = state.batches.remove(&target).unwrap();
+            shared.delete_manifest(target)?;
+            for gen in batch.generations {
+                for rank in 0..self.nranks {
+                    shared.delete_chunk(ChunkKey::new(rank as u32, gen))?;
+                }
+                // Still-committed generations get another chance at
+                // the next drain tick; rolled-back ones are dropped.
+                if resume_gen.is_some_and(|g| gen <= g) {
+                    state.undrained.insert(gen);
+                }
+            }
+            state.stats.last_drained = state.batches.keys().next_back().copied();
+        }
+        let stale: Vec<u64> = match resume_gen {
+            Some(g) => state.undrained.range(g + 1..).copied().collect(),
+            None => state.undrained.iter().copied().collect(),
+        };
+        for gen in stale {
+            state.undrained.remove(&gen);
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the accounting (array-busy time is filled by the
+    /// caller, which owns the device).
+    pub fn stats(&self) -> DrainStats {
+        self.state.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifest;
+    use crate::store::MemStore;
+    use crate::throttle::shared_device;
+    use ickpt_sim::BandwidthDevice;
+
+    fn setup(nranks: usize) -> (Vec<Arc<dyn StableStorage>>, Arc<dyn StableStorage>) {
+        let locals: Vec<Arc<dyn StableStorage>> =
+            (0..nranks).map(|_| Arc::new(MemStore::new()) as Arc<dyn StableStorage>).collect();
+        (locals, Arc::new(MemStore::new()))
+    }
+
+    fn commit_gen(locals: &[Arc<dyn StableStorage>], gen: u64, bytes: usize) {
+        for (r, store) in locals.iter().enumerate() {
+            store.put_chunk(ChunkKey::new(r as u32, gen), &vec![r as u8; bytes]).unwrap();
+            let m = Manifest {
+                generation: gen,
+                commit_time_ns: 0,
+                nranks: locals.len() as u32,
+                entries: vec![],
+            };
+            store.put_manifest(gen, &m.encode()).unwrap();
+        }
+    }
+
+    #[test]
+    fn drains_every_kth_generation_with_lineage() {
+        let (locals, shared) = setup(2);
+        let array = shared_device(BandwidthDevice::new(1_000_000, SimDuration::ZERO));
+        let q = DrainQueue::new(2, 2);
+        for gen in 0..4u64 {
+            commit_gen(&locals, gen, 1000);
+            let t = SimTime::from_secs(gen + 1);
+            for _ in 0..2 {
+                q.note_committed(gen, t, &locals, &shared, &array).unwrap();
+            }
+        }
+        // Targets are gens 1 and 3; gens 0 and 2 ride along as lineage.
+        assert_eq!(shared.list_manifests().unwrap(), vec![1, 3]);
+        assert_eq!(shared.list_generations(0).unwrap(), vec![0, 1, 2, 3]);
+        let stats = q.stats();
+        assert_eq!(stats.drained_generations, 4);
+        assert_eq!(stats.last_drained, Some(3));
+        assert!(stats.drained_bytes > 8000, "chunks plus manifests");
+    }
+
+    #[test]
+    fn durability_is_gated_on_transfer_completion() {
+        let (locals, shared) = setup(2);
+        // 1 kB/s: draining 2 kB takes 2 virtual seconds.
+        let array = shared_device(BandwidthDevice::new(1_000, SimDuration::ZERO));
+        let q = DrainQueue::new(2, 1);
+        commit_gen(&locals, 0, 1000);
+        for _ in 0..2 {
+            q.note_committed(0, SimTime::from_secs(10), &locals, &shared, &array).unwrap();
+        }
+        assert_eq!(q.fully_drained_before(SimTime::from_secs(10)), None, "still in flight");
+        assert_eq!(q.fully_drained_before(SimTime::from_secs(20)), Some(0));
+    }
+
+    #[test]
+    fn rollback_removes_in_flight_batches() {
+        let (locals, shared) = setup(2);
+        let array = shared_device(BandwidthDevice::new(1_000, SimDuration::ZERO));
+        let q = DrainQueue::new(2, 1);
+        commit_gen(&locals, 0, 1000);
+        for _ in 0..2 {
+            q.note_committed(0, SimTime::from_secs(10), &locals, &shared, &array).unwrap();
+        }
+        // Fail at t=11s: the drain (finishing ~12s) was in flight.
+        q.rollback(Some(0), SimTime::from_secs(11), &shared).unwrap();
+        assert!(shared.list_manifests().unwrap().is_empty());
+        assert!(shared.list_generations(0).unwrap().is_empty());
+        // The generation is committed and still local: it drains again
+        // at the next tick.
+        commit_gen(&locals, 1, 500);
+        for _ in 0..2 {
+            q.note_committed(1, SimTime::from_secs(30), &locals, &shared, &array).unwrap();
+        }
+        assert_eq!(shared.list_generations(0).unwrap(), vec![0, 1]);
+        assert_eq!(q.fully_drained_before(SimTime::from_secs(60)), Some(1));
+    }
+
+    #[test]
+    fn abandons_generations_with_wiped_sources() {
+        let (locals, shared) = setup(2);
+        let array = shared_device(BandwidthDevice::new(1_000_000, SimDuration::ZERO));
+        let q = DrainQueue::new(2, 2);
+        commit_gen(&locals, 0, 100);
+        for _ in 0..2 {
+            q.note_committed(0, SimTime::ZERO, &locals, &shared, &array).unwrap();
+        }
+        // Wipe rank 1's chunk of gen 0 before the drain tick at gen 1.
+        locals[1].delete_chunk(ChunkKey::new(1, 0)).unwrap();
+        commit_gen(&locals, 1, 100);
+        for _ in 0..2 {
+            q.note_committed(1, SimTime::ZERO, &locals, &shared, &array).unwrap();
+        }
+        assert_eq!(q.stats().abandoned_generations, 1);
+        assert_eq!(shared.list_generations(0).unwrap(), vec![1]);
+        assert_eq!(shared.list_manifests().unwrap(), vec![1]);
+    }
+}

@@ -333,6 +333,42 @@ mod tests {
     }
 
     #[test]
+    fn filestore_ignores_leftover_tmp_files_on_reopen() {
+        // A crash between `File::create(tmp)` and `rename` leaves a
+        // `*.tmp` behind. On reopen that garbage must be invisible: it
+        // must not shadow the committed generation it was replacing,
+        // must not surface as a phantom generation of its own, and a
+        // retried put must still commit atomically over it.
+        let dir = std::env::temp_dir().join(format!("ickpt_store_crash_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let committed = ChunkKey::new(0, 5);
+        {
+            let s = FileStore::open(&dir).unwrap();
+            s.put_chunk(committed, b"committed bytes").unwrap();
+            s.put_manifest(5, b"mf5").unwrap();
+        }
+        // Interrupted overwrite of the committed generation, an
+        // interrupted write of a never-committed generation 6, and an
+        // interrupted manifest — exactly the paths write_atomic uses.
+        fs::write(dir.join(format!("{committed}.tmp")), b"torn garbage").unwrap();
+        fs::write(dir.join(format!("{}.tmp", ChunkKey::new(0, 6))), b"torn").unwrap();
+        fs::write(dir.join("manifest_g00000006.tmp"), b"torn").unwrap();
+
+        let s = FileStore::open(&dir).unwrap();
+        assert_eq!(s.get_chunk(committed).unwrap(), b"committed bytes", "tmp must not shadow");
+        assert_eq!(s.list_generations(0).unwrap(), vec![5], "no phantom generation 6");
+        assert_eq!(s.list_manifests().unwrap(), vec![5]);
+        assert!(s.get_chunk(ChunkKey::new(0, 6)).is_err());
+        assert!(s.get_manifest(6).is_err());
+
+        // A retried put replaces both the stale tmp and the old data.
+        s.put_chunk(committed, b"retried").unwrap();
+        assert_eq!(s.get_chunk(committed).unwrap(), b"retried");
+        assert!(!dir.join(format!("{committed}.tmp")).exists(), "retry consumed the tmp");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn memstore_is_shareable_across_threads() {
         let s = std::sync::Arc::new(MemStore::new());
         let mut handles = Vec::new();

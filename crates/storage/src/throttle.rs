@@ -86,6 +86,20 @@ impl ThrottledStore {
         Ok((data, done))
     }
 
+    /// Read a manifest at virtual time `now`; returns the data and the
+    /// instant the read completes. Resume paths use this so the
+    /// manifest lookup that picks the restore generation is charged
+    /// device time like every other restore read.
+    pub fn get_manifest_timed(
+        &self,
+        now: SimTime,
+        generation: u64,
+    ) -> Result<(Vec<u8>, SimTime), StorageError> {
+        let data = self.inner.get_manifest(generation)?;
+        let done = self.device.lock().transfer(now, data.len() as u64);
+        Ok((data, done))
+    }
+
     /// Total bytes pushed through this path.
     pub fn bytes_total(&self) -> u64 {
         self.device.lock().bytes_total()
@@ -226,6 +240,19 @@ mod tests {
         assert_eq!(reader.list_generations(0).unwrap(), vec![0]);
         assert_eq!(reader.now(), SimTime::from_secs_f64(1.5));
         assert_eq!(s.bytes_total(), 500_000, "restore reads show up in device totals");
+    }
+
+    #[test]
+    fn manifest_reads_timed_too() {
+        let s = throttled(100);
+        s.inner().put_manifest(5, &[0u8; 50]).unwrap();
+        let (data, done) = s.get_manifest_timed(SimTime::from_secs(2), 5).unwrap();
+        assert_eq!(data.len(), 50);
+        assert_eq!(done, SimTime::from_secs_f64(2.5));
+        assert!(matches!(
+            s.get_manifest_timed(SimTime::ZERO, 99),
+            Err(StorageError::ManifestNotFound(99))
+        ));
     }
 
     #[test]

@@ -48,6 +48,7 @@ fn config(store: Arc<dyn StableStorage>, failures: Vec<FailureSpec>) -> FaultTol
         storage_path: StoragePath::PerRank,
         failures,
         net: NetConfig::qsnet(),
+        redundancy: None,
         max_attempts: 3,
     }
 }
@@ -73,7 +74,7 @@ fn main() {
         // An unrecoverable-within-the-process event at t=11s: with
         // max_attempts=1-style behavior we emulate a whole-job kill by
         // inspecting the outcome of a single attempt.
-        let mut cfg = config(store, vec![FailureSpec { rank: 0, at: SimTime::from_secs(11) }]);
+        let mut cfg = config(store, vec![FailureSpec::process(0, SimTime::from_secs(11))]);
         cfg.max_attempts = 1; // the "machine room loses power" case
         let report = run_fault_tolerant(&cfg, layout(), build).unwrap();
         assert!(matches!(report.outcome, RunOutcome::Failed { .. }));
@@ -105,7 +106,7 @@ fn main() {
     // here we use the recovery path directly via a synthetic failure
     // at t=0 which forces an immediate rollback to generation `gen`.
     let cfg = FaultTolerantConfig {
-        failures: vec![FailureSpec { rank: 0, at: SimTime::ZERO }],
+        failures: vec![FailureSpec::process(0, SimTime::ZERO)],
         max_attempts: 2,
         ..cfg
     };

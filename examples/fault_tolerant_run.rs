@@ -38,6 +38,7 @@ fn config(failures: Vec<FailureSpec>) -> FaultTolerantConfig {
         storage_path: StoragePath::PerRank,
         failures,
         net: NetConfig::qsnet(),
+        redundancy: None,
         max_attempts: 3,
     }
 }
@@ -55,7 +56,7 @@ fn main() {
     );
 
     println!("failure run: rank 2 dies at t=100s...");
-    let cfg = config(vec![FailureSpec { rank: 2, at: SimTime::from_secs(100) }]);
+    let cfg = config(vec![FailureSpec::process(2, SimTime::from_secs(100))]);
     let recovered = run_fault_tolerant(&cfg, layout, build).unwrap();
     assert_eq!(recovered.outcome, RunOutcome::Completed);
     println!("  survived with {} attempts (1 failure + rollback recovery)", recovered.attempts);

@@ -35,6 +35,13 @@ bench_smoke() {
     ICKPT_BENCH_RANKS=4 ICKPT_BENCH_SCALE=0.05 ICKPT_BENCH_THREADS=4 \
         target/release/repro --only "table 4" >/tmp/ickpt_repro_t4.txt 2>/dev/null
     run diff /tmp/ickpt_repro_t1.txt /tmp/ickpt_repro_t4.txt
+
+    # Multilevel redundancy: inject a node loss mid-run, recover the
+    # wiped rank by partner reconstruction, and diff the final
+    # application state against a failure-free run (byte-identical or
+    # the binary exits non-zero).
+    run cargo build --release -p ickpt-bench --bin redundancy_smoke
+    run target/release/redundancy_smoke
 }
 
 if [[ "${1:-}" == "--bench-smoke" ]]; then

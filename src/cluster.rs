@@ -51,7 +51,8 @@ use ickpt_net::{CommWorld, NetConfig};
 use ickpt_sim::rendezvous::Combine;
 use ickpt_sim::{DevicePreset, SimDuration, SimTime};
 use ickpt_storage::{
-    shared_device, Chunk, ChunkKey, ChunkKind, Manifest, RankEntry, StableStorage, ThrottledStore,
+    shared_device, Chunk, ChunkKey, ChunkKind, DrainStats, Manifest, RankEntry, RecoverySource,
+    SchemeSpec, StableStorage, StorageError, ThrottledStore, TierTopology, TierUsage, TieredStore,
 };
 
 /// Error from a cluster run.
@@ -173,6 +174,8 @@ pub struct RankReport {
     /// The recorded write trace (ranks `< trace_ranks` of a
     /// characterization run).
     pub trace: Option<RankTrace>,
+    /// Per-tier byte/time accounting (multilevel-redundancy runs).
+    pub tier: Option<TierUsage>,
 }
 
 /// How a run ended.
@@ -185,6 +188,23 @@ pub enum RunOutcome {
         /// The generation recovery should restore, if any committed.
         recover_from: Option<u64>,
     },
+}
+
+/// One recovery decision taken between attempts of a fault-tolerant
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// The (0-based) attempt that failed.
+    pub attempt: u32,
+    /// The failed rank.
+    pub rank: usize,
+    /// What kind of failure was injected.
+    pub kind: FailureKind,
+    /// Which tier served the failed rank's recovery.
+    pub source: RecoverySource,
+    /// The generation the cluster rolled back to (`None` = cold
+    /// restart).
+    pub generation: Option<u64>,
 }
 
 /// A whole-cluster run result.
@@ -201,6 +221,10 @@ pub struct RunReport {
     /// committed checkpoint that had to be re-executed, plus restore
     /// costs) — the "wasted time" of the availability analysis.
     pub wasted: SimDuration,
+    /// One record per failure the run recovered from.
+    pub recoveries: Vec<RecoveryRecord>,
+    /// Drain accounting of the durable tier (multilevel runs).
+    pub drain: Option<DrainStats>,
 }
 
 // ---------------------------------------------------------------------
@@ -339,6 +363,8 @@ where
         ranks: reports,
         attempts: 1,
         wasted: SimDuration::ZERO,
+        recoveries: Vec::new(),
+        drain: None,
     }
 }
 
@@ -382,6 +408,19 @@ pub enum CheckpointMode {
     },
 }
 
+/// What an injected failure destroys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The process dies but the node survives: its node-local
+    /// checkpoint tier is intact and recovery restores in place.
+    Process,
+    /// The whole node is lost: the rank's node-local tier is wiped and
+    /// recovery must reconstruct from redundancy peers or fall back to
+    /// the durable tier. Without a [`RedundancyConfig`] there is no
+    /// node-local tier, so this behaves like [`FailureKind::Process`].
+    NodeLoss,
+}
+
 /// An injected failure: the given rank votes FAIL at the first
 /// iteration boundary at or past `at`.
 #[derive(Debug, Clone, Copy)]
@@ -390,6 +429,47 @@ pub struct FailureSpec {
     pub rank: usize,
     /// Virtual time of the failure.
     pub at: SimTime,
+    /// What the failure destroys.
+    pub kind: FailureKind,
+}
+
+impl FailureSpec {
+    /// A process failure (node-local storage survives).
+    pub fn process(rank: usize, at: SimTime) -> Self {
+        Self { rank, at, kind: FailureKind::Process }
+    }
+
+    /// A node loss (node-local storage wiped with the node).
+    pub fn node_loss(rank: usize, at: SimTime) -> Self {
+        Self { rank, at, kind: FailureKind::NodeLoss }
+    }
+}
+
+/// Multilevel redundant storage for a fault-tolerant run: checkpoints
+/// land on per-rank node-local stores, are protected across nodes by
+/// `scheme`, and every `drain_every`-th generation is drained to the
+/// shared array ([`FaultTolerantConfig::store`] +
+/// [`FaultTolerantConfig::device`]) in the background.
+#[derive(Debug, Clone, Copy)]
+pub struct RedundancyConfig {
+    /// Cross-node protection of the node-local tier.
+    pub scheme: SchemeSpec,
+    /// Device model of the node-local tier.
+    pub local_device: DevicePreset,
+    /// Drain every k-th committed generation to the shared array.
+    pub drain_every: u64,
+}
+
+impl RedundancyConfig {
+    /// SCR-style defaults: partner replication on the neighbour node
+    /// over a RAM-disk-class local tier, draining every 4th generation.
+    pub fn partner() -> Self {
+        Self {
+            scheme: SchemeSpec::Partner { offset: 1 },
+            local_device: DevicePreset::NodeLocal,
+            drain_every: 4,
+        }
+    }
 }
 
 /// Configuration of a fault-tolerant run.
@@ -417,6 +497,10 @@ pub struct FaultTolerantConfig {
     pub net: NetConfig,
     /// Safety valve on recovery attempts.
     pub max_attempts: u32,
+    /// Multilevel redundant storage; `None` = single-tier writes
+    /// straight to [`FaultTolerantConfig::store`] (the pre-existing
+    /// behaviour).
+    pub redundancy: Option<RedundancyConfig>,
 }
 
 /// Run a model fleet with coordinated checkpointing and recovery on
@@ -431,36 +515,99 @@ where
     F: Fn(usize) -> Box<dyn AppModel> + Sync,
 {
     assert!(cfg.max_attempts >= 1);
+    // The tier topology outlives attempts: node-local data survives a
+    // process restart (that survival is the whole point of the tier),
+    // and NodeLoss wipes exactly one rank's local store below.
+    let topo = cfg.redundancy.as_ref().map(|r| {
+        TierTopology::new(
+            cfg.nranks,
+            r.scheme,
+            r.local_device.build(),
+            cfg.net.build_nic(),
+            cfg.device.build(),
+            cfg.store.clone(),
+            r.drain_every,
+        )
+    });
     let mut attempt = 0u32;
     let mut resume_from: Option<u64> = None;
     let mut wasted = SimDuration::ZERO;
+    let mut recoveries = Vec::new();
     loop {
-        let report = ft_attempt(cfg, layout, &build, resume_from, attempt)?;
+        let report = ft_attempt(cfg, layout, &build, resume_from, attempt, topo.as_ref())?;
         attempt += 1;
         match report.outcome {
             RunOutcome::Completed => {
-                return Ok(RunReport { attempts: attempt, wasted, ..report });
+                let drain = topo.as_ref().map(|t| t.drain_stats());
+                return Ok(RunReport { attempts: attempt, wasted, recoveries, drain, ..report });
             }
             RunOutcome::Failed { recover_from } => {
-                // The rollback throws away everything computed after
-                // the last committed checkpoint's capture instant (the
-                // next attempt also pays the restore read on top, which
-                // lands inside this same window once it resumes).
                 let r0 = &report.ranks[0];
-                let preserved_until = match recover_from {
+                let fail_time = r0.final_time;
+                let failure = cfg.failures.get(attempt as usize - 1).copied();
+                // Tiered recovery: wipe the lost node's local tier,
+                // plan where the failed rank's data comes from, and
+                // roll in-flight drains back out of the shared array.
+                let resume = match (&topo, failure) {
+                    (Some(topo), Some(f)) => {
+                        let wiped = f.kind == FailureKind::NodeLoss;
+                        if wiped {
+                            topo.wipe_local(f.rank)?;
+                        }
+                        let plan = topo.plan_recovery(f.rank, wiped, recover_from, fail_time);
+                        topo.rollback_drain(plan.generation, fail_time)?;
+                        recoveries.push(RecoveryRecord {
+                            attempt: attempt - 1,
+                            rank: f.rank,
+                            kind: f.kind,
+                            source: plan.source,
+                            generation: plan.generation,
+                        });
+                        plan.generation
+                    }
+                    _ => {
+                        if let Some(f) = failure {
+                            // Single-tier: every restore is served by
+                            // the (durable) shared store.
+                            recoveries.push(RecoveryRecord {
+                                attempt: attempt - 1,
+                                rank: f.rank,
+                                kind: f.kind,
+                                source: RecoverySource::Durable,
+                                generation: recover_from,
+                            });
+                        }
+                        recover_from
+                    }
+                };
+                // The rollback throws away everything computed after
+                // the restored checkpoint's capture instant (the next
+                // attempt also pays the restore read on top, which
+                // lands inside this same window once it resumes).
+                let preserved_until = match resume {
                     Some(gen) => {
-                        let chunk_data = cfg.store.get_chunk(ChunkKey::new(0, gen))?;
+                        let chunk_data = match &topo {
+                            Some(t) => t.fetch_chunk_untimed(ChunkKey::new(0, gen))?,
+                            None => cfg.store.get_chunk(ChunkKey::new(0, gen))?,
+                        };
                         SimTime(Chunk::decode(&chunk_data)?.capture_time_ns)
                     }
                     None => SimTime::ZERO,
                 };
                 wasted += r0.final_time.saturating_sub(preserved_until);
                 if attempt >= cfg.max_attempts {
-                    return Ok(RunReport { attempts: attempt, wasted, ..report });
+                    let drain = topo.as_ref().map(|t| t.drain_stats());
+                    return Ok(RunReport {
+                        attempts: attempt,
+                        wasted,
+                        recoveries,
+                        drain,
+                        ..report
+                    });
                 }
-                // No committed generation yet → restart from scratch
+                // No usable generation anywhere → restart from scratch
                 // (the classic cold restart); otherwise roll back.
-                resume_from = recover_from;
+                resume_from = resume;
             }
         }
     }
@@ -472,6 +619,7 @@ fn ft_attempt<F>(
     build: &F,
     resume_from: Option<u64>,
     attempt: u32,
+    topo: Option<&Arc<TierTopology>>,
 ) -> Result<RunReport, RunError>
 where
     F: Fn(usize) -> Box<dyn AppModel> + Sync,
@@ -485,8 +633,9 @@ where
     };
     let failure = cfg.failures.get(attempt as usize).copied();
     // One shared array for every rank, or None for per-rank paths.
-    let array =
-        matches!(cfg.storage_path, StoragePath::Shared).then(|| shared_device(cfg.device.build()));
+    // Tiered runs charge the array through the drain instead.
+    let array = (topo.is_none() && matches!(cfg.storage_path, StoragePath::Shared))
+        .then(|| shared_device(cfg.device.build()));
     let results: Vec<Result<(RankReport, bool), RunError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = endpoints
             .into_iter()
@@ -499,6 +648,7 @@ where
                 let timeslice = cfg.timeslice;
                 let mode = cfg.mode;
                 let array = array.clone();
+                let topo = topo.cloned();
                 scope.spawn(move || -> Result<(RankReport, bool), RunError> {
                     let tcfg = TrackerConfig {
                         timeslice,
@@ -512,27 +662,53 @@ where
                     let mut model = build(rank);
                     let mut clock = SimTime::ZERO;
                     let mut planner = CheckpointPlanner::new(policy, SimTime::ZERO);
-                    let tstore = match array {
-                        Some(dev) => ThrottledStore::with_shared_device(store.clone(), dev),
-                        None => ThrottledStore::new(store.clone(), device.build()),
+                    let tstore = match &topo {
+                        Some(t) => CkptStore::Tiered(t.handle(rank)),
+                        None => CkptStore::Flat(match array {
+                            Some(dev) => ThrottledStore::with_shared_device(store.clone(), dev),
+                            None => ThrottledStore::new(store.clone(), device.build()),
+                        }),
                     };
                     let mut skip_init = false;
                     if let Some(gen) = resume_from {
                         // Rollback recovery: restore memory, model
                         // state and clock from the committed
-                        // generation. Chain reads go through the same
-                        // bandwidth-modelled path as checkpoint writes
-                        // (and contend on a shared array), so restart
-                        // cost uses the paper's device model.
-                        let reader = tstore.timed_reads(SimTime::ZERO);
-                        let restore_report = restore_rank_with(
-                            &reader,
-                            rank as u32,
-                            gen,
-                            &mut space,
-                            &RestoreConfig::from_env(),
-                        )?;
-                        let read_cost = reader.now().saturating_sub(SimTime::ZERO);
+                        // generation. The manifest read and the chain
+                        // reads go through the same bandwidth-modelled
+                        // path as checkpoint writes (tiered recovery:
+                        // local, then peer reconstruction, then the
+                        // shared array), so restart cost uses the
+                        // paper's device model.
+                        let (restore_report, read_cost) = match &tstore {
+                            CkptStore::Tiered(_) => {
+                                let t = topo.as_ref().expect("tiered store implies topology");
+                                let reader = t.reader(rank, SimTime::ZERO);
+                                validate_manifest(&reader.get_manifest(gen)?, gen, cfg.nranks)?;
+                                let report = restore_rank_with(
+                                    &reader,
+                                    rank as u32,
+                                    gen,
+                                    &mut space,
+                                    &RestoreConfig::from_env(),
+                                )?;
+                                let cost = reader.now().saturating_sub(SimTime::ZERO);
+                                t.note_recovery_time(rank, cost);
+                                (report, cost)
+                            }
+                            CkptStore::Flat(ts) => {
+                                let (mdata, t0) = ts.get_manifest_timed(SimTime::ZERO, gen)?;
+                                validate_manifest(&mdata, gen, cfg.nranks)?;
+                                let reader = ts.timed_reads(t0);
+                                let report = restore_rank_with(
+                                    &reader,
+                                    rank as u32,
+                                    gen,
+                                    &mut space,
+                                    &RestoreConfig::from_env(),
+                                )?;
+                                (report, reader.now().saturating_sub(SimTime::ZERO))
+                            }
+                        };
                         let mut blob = ByteReader::new(&restore_report.app_state);
                         let model_state = blob
                             .get_bytes()
@@ -607,18 +783,93 @@ where
         failed |= rank_failed;
         ranks.push(report);
     }
+    if let Some(t) = topo {
+        for (rank, report) in ranks.iter_mut().enumerate() {
+            report.tier = Some(t.usage(rank));
+        }
+    }
     // All ranks agree on the outcome via the vote; use rank 0.
     let outcome = if failed {
         RunOutcome::Failed { recover_from: ranks[0].last_committed }
     } else {
         RunOutcome::Completed
     };
-    Ok(RunReport { outcome, ranks, attempts: 1, wasted: SimDuration::ZERO })
+    Ok(RunReport {
+        outcome,
+        ranks,
+        attempts: 1,
+        wasted: SimDuration::ZERO,
+        recoveries: Vec::new(),
+        drain: None,
+    })
+}
+
+/// Decode a commit manifest and check it covers every rank at the
+/// expected generation before a restore trusts it.
+fn validate_manifest(data: &[u8], generation: u64, nranks: usize) -> Result<(), RunError> {
+    let manifest = Manifest::decode(data)?;
+    if manifest.generation != generation || manifest.nranks as usize != nranks {
+        return Err(StorageError::Corrupt(format!(
+            "manifest mismatch: found generation {} over {} ranks, expected {generation} over {nranks}",
+            manifest.generation, manifest.nranks
+        ))
+        .into());
+    }
+    if !manifest.is_complete() {
+        return Err(StorageError::Corrupt(format!(
+            "manifest of generation {generation} does not cover every rank"
+        ))
+        .into());
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // The per-rank execution engine
 // ---------------------------------------------------------------------
+
+/// A rank's write path to stable storage: either the single-tier
+/// throttled store or a handle into the multilevel [`TierTopology`].
+enum CkptStore {
+    Flat(ThrottledStore),
+    Tiered(TieredStore),
+}
+
+impl CkptStore {
+    fn put_chunk_timed(
+        &self,
+        now: SimTime,
+        key: ChunkKey,
+        data: &[u8],
+    ) -> Result<SimTime, StorageError> {
+        match self {
+            CkptStore::Flat(s) => s.put_chunk_timed(now, key, data),
+            CkptStore::Tiered(s) => s.put_chunk_timed(now, key, data),
+        }
+    }
+
+    fn put_manifest_timed(
+        &self,
+        now: SimTime,
+        generation: u64,
+        data: &[u8],
+    ) -> Result<SimTime, StorageError> {
+        match self {
+            CkptStore::Flat(s) => s.put_manifest_timed(now, generation, data),
+            CkptStore::Tiered(s) => s.put_manifest_timed(now, generation, data),
+        }
+    }
+
+    /// Commit notification at the barrier-released instant: feeds the
+    /// background drain on tiered runs, a no-op on flat ones (their
+    /// writes already went to the durable store).
+    fn note_committed(&self, generation: u64, commit_time: SimTime) -> Result<(), StorageError> {
+        match self {
+            CkptStore::Flat(_) => Ok(()),
+            CkptStore::Tiered(s) => s.note_committed(generation, commit_time),
+        }
+    }
+}
 
 struct RunParams {
     run_for: SimDuration,
@@ -643,7 +894,7 @@ struct RankCheckpointer {
     rank: usize,
     nranks: usize,
     planner: CheckpointPlanner,
-    tstore: ThrottledStore,
+    tstore: CkptStore,
     mode: CheckpointMode,
     pending: Option<PendingCommit>,
     bytes_written: u64,
@@ -786,6 +1037,9 @@ impl RankCheckpointer {
             gathered_at
         };
         let released = ep.barrier(commit_t);
+        // Every rank notifies at the same barrier-released instant; on
+        // tiered runs the last notifier kicks off the background drain.
+        self.tstore.note_committed(pending.generation, released)?;
         self.planner.committed(pending.generation);
         self.commit_lag += released.saturating_sub(SimTime(pending.write_done.0.min(released.0)));
         Ok(released)
@@ -1077,6 +1331,7 @@ impl<'a, S: AddressSpace + ContentWrite + CheckpointCapable> RankRunner<'a, S> {
             last_committed: self.ckpt.as_ref().and_then(|c| c.planner.last_committed()),
             boundaries: self.boundaries,
             trace,
+            tier: None,
         }
     }
 }

@@ -109,9 +109,10 @@ fn fault_tolerant_recovery_is_deterministic_too() {
             device: DevicePreset::ScsiDisk,
             mode: CheckpointMode::StopAndCopy,
             storage_path: StoragePath::PerRank,
-            failures: vec![FailureSpec { rank: 1, at: SimTime::from_secs(6) }],
+            failures: vec![FailureSpec::process(1, SimTime::from_secs(6))],
             net: NetConfig::qsnet(),
             max_attempts: 3,
+            redundancy: None,
         };
         let report = run_fault_tolerant(&cfg, layout, |rank| {
             Box::new(SyntheticApp::new(SyntheticConfig {

@@ -7,13 +7,14 @@ use std::sync::Arc;
 use ickpt::apps::synthetic::{SyntheticApp, SyntheticConfig};
 use ickpt::apps::Workload;
 use ickpt::cluster::{
-    run_fault_tolerant, CheckpointMode, FailureSpec, FaultTolerantConfig, RunOutcome, StoragePath,
+    run_fault_tolerant, CheckpointMode, FailureKind, FailureSpec, FaultTolerantConfig,
+    RedundancyConfig, RunOutcome, StoragePath,
 };
 use ickpt::core::coordinator::CheckpointPolicy;
 use ickpt::mem::{DataLayout, LayoutBuilder, PAGE_SIZE};
 use ickpt::net::NetConfig;
 use ickpt::sim::{DevicePreset, SimDuration, SimTime};
-use ickpt::storage::MemStore;
+use ickpt::storage::{MemStore, RecoverySource, SchemeSpec};
 
 fn synthetic_layout() -> DataLayout {
     LayoutBuilder::new()
@@ -39,6 +40,7 @@ fn synthetic_cfg(
         storage_path: StoragePath::PerRank,
         failures,
         net: NetConfig::qsnet(),
+        redundancy: None,
         max_attempts: 4,
     }
 }
@@ -85,7 +87,7 @@ fn recovery_reproduces_failure_free_final_state() {
     let ref_digests: Vec<_> = reference.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
 
     // Same run, but rank 2 dies ~8 virtual seconds in.
-    let cfg = synthetic_cfg(4, 15, vec![FailureSpec { rank: 2, at: SimTime::from_secs(8) }]);
+    let cfg = synthetic_cfg(4, 15, vec![FailureSpec::process(2, SimTime::from_secs(8))]);
     let recovered = run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(4)).unwrap();
     assert_eq!(recovered.outcome, RunOutcome::Completed);
     assert_eq!(recovered.attempts, 2, "one failure, one recovery");
@@ -109,8 +111,8 @@ fn multiple_failures_multiple_recoveries() {
         2,
         20,
         vec![
-            FailureSpec { rank: 0, at: SimTime::from_secs(6) },
-            FailureSpec { rank: 1, at: SimTime::from_secs(13) },
+            FailureSpec::process(0, SimTime::from_secs(6)),
+            FailureSpec::process(1, SimTime::from_secs(13)),
         ],
     );
     let recovered = run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(2)).unwrap();
@@ -126,7 +128,7 @@ fn failure_before_any_checkpoint_restarts_from_scratch() {
     // commits, so the failure triggers a cold restart from the
     // beginning — and the restarted run must still produce the same
     // final state as an undisturbed one.
-    let mut cfg = synthetic_cfg(2, 10, vec![FailureSpec { rank: 0, at: SimTime::from_secs(2) }]);
+    let mut cfg = synthetic_cfg(2, 10, vec![FailureSpec::process(0, SimTime::from_secs(2))]);
     cfg.policy = CheckpointPolicy::incremental(SimDuration::from_secs(1000), 0);
     let report = run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(2)).unwrap();
     assert_eq!(report.outcome, RunOutcome::Completed);
@@ -192,8 +194,7 @@ fn forked_checkpoints_stall_less_and_still_recover() {
     );
 
     // Recovery still works under forked mode.
-    let mut fail_cfg =
-        synthetic_cfg(4, 15, vec![FailureSpec { rank: 1, at: SimTime::from_secs(8) }]);
+    let mut fail_cfg = synthetic_cfg(4, 15, vec![FailureSpec::process(1, SimTime::from_secs(8))]);
     fail_cfg.mode = CheckpointMode::Forked { fork_cost_per_page_ns: 200, cow_copy_ns: 2_000 };
     let recovered = run_fault_tolerant(&fail_cfg, synthetic_layout(), build_synthetic(4)).unwrap();
     assert_eq!(recovered.outcome, RunOutcome::Completed);
@@ -221,6 +222,7 @@ fn memory_exclusion_is_accounted_for_dynamic_apps() {
         storage_path: StoragePath::PerRank,
         failures: vec![],
         net: NetConfig::qsnet(),
+        redundancy: None,
         max_attempts: 1,
     };
     let report = run_fault_tolerant(&cfg, w.layout(scale), move |rank| {
@@ -263,11 +265,12 @@ fn sage_recovery_from_incremental_chain_is_byte_exact() {
         storage_path: StoragePath::PerRank,
         failures,
         net: NetConfig::qsnet(),
+        redundancy: None,
         max_attempts: 3,
     };
     let reference = run_fault_tolerant(&mk(vec![]), layout, build).unwrap();
     let recovered = run_fault_tolerant(
-        &mk(vec![FailureSpec { rank: 2, at: SimTime::from_secs(90) }]),
+        &mk(vec![FailureSpec::process(2, SimTime::from_secs(90))]),
         layout,
         build,
     )
@@ -302,6 +305,7 @@ fn sage_model_survives_failure_with_dynamic_memory() {
         storage_path: StoragePath::PerRank,
         failures: vec![],
         net: NetConfig::qsnet(),
+        redundancy: None,
         max_attempts: 3,
     };
     let reference = run_fault_tolerant(&cfg_ref, layout, build).unwrap();
@@ -310,7 +314,7 @@ fn sage_model_survives_failure_with_dynamic_memory() {
 
     let cfg = FaultTolerantConfig {
         store: Arc::new(MemStore::new()),
-        failures: vec![FailureSpec { rank: 1, at: SimTime::from_secs(70) }],
+        failures: vec![FailureSpec::process(1, SimTime::from_secs(70))],
         ..cfg_ref
     };
     let recovered = run_fault_tolerant(&cfg, layout, build).unwrap();
@@ -318,4 +322,137 @@ fn sage_model_survives_failure_with_dynamic_memory() {
     assert_eq!(recovered.attempts, 2);
     let rec_digests: Vec<_> = recovered.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
     assert_eq!(ref_digests, rec_digests, "Sage recovery must be byte-exact");
+}
+
+/// Shared config for the tiered-storage tests: node-local tier plus
+/// the given redundancy scheme, draining to the shared array.
+fn tiered_cfg(
+    scheme: SchemeSpec,
+    drain_every: u64,
+    failures: Vec<FailureSpec>,
+) -> FaultTolerantConfig {
+    FaultTolerantConfig {
+        storage_path: StoragePath::Shared,
+        redundancy: Some(RedundancyConfig {
+            scheme,
+            local_device: DevicePreset::NodeLocal,
+            drain_every,
+        }),
+        ..synthetic_cfg(4, 15, failures)
+    }
+}
+
+#[test]
+fn node_loss_recovers_via_redundancy_byte_identical() {
+    // Reference: failure-free tiered run (digests are a pure function
+    // of the application, so any completed run gives the same ones).
+    let cfg_ref = tiered_cfg(SchemeSpec::Partner { offset: 1 }, 4, vec![]);
+    let reference = run_fault_tolerant(&cfg_ref, synthetic_layout(), build_synthetic(4)).unwrap();
+    assert_eq!(reference.outcome, RunOutcome::Completed);
+    let ref_digests: Vec<_> = reference.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+
+    for scheme in [SchemeSpec::Partner { offset: 1 }, SchemeSpec::XorParity { group_size: 2 }] {
+        // Node loss at 8 s wipes rank 1's node-local tier; nothing has
+        // drained yet (drain fires at generation 3), so only the
+        // redundancy scheme can serve the latest generation.
+        let cfg = tiered_cfg(scheme, 4, vec![FailureSpec::node_loss(1, SimTime::from_secs(8))]);
+        let recovered = run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(4)).unwrap();
+        assert_eq!(recovered.outcome, RunOutcome::Completed, "{}", scheme.name());
+        assert_eq!(recovered.attempts, 2, "{}", scheme.name());
+        let rec = recovered.recoveries[0];
+        assert_eq!(rec.kind, FailureKind::NodeLoss);
+        assert_eq!(
+            rec.source,
+            RecoverySource::Reconstructed,
+            "{}: node loss with nothing drained must recover over the network",
+            scheme.name()
+        );
+        assert!(rec.generation.is_some());
+        let rec_digests: Vec<_> =
+            recovered.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+        assert_eq!(ref_digests, rec_digests, "{}: state must be byte-identical", scheme.name());
+        // Per-tier accounting is surfaced on every rank.
+        for r in &recovered.ranks {
+            let tier = r.tier.expect("tiered runs report per-tier usage");
+            assert!(tier.local_bytes > 0, "rank {} wrote to its local tier", r.rank);
+            assert!(tier.redundancy_bytes > 0, "rank {} published redundancy", r.rank);
+        }
+        // The failed rank's restore pulled bytes over the interconnect.
+        let tier = recovered.ranks[1].tier.unwrap();
+        assert!(tier.recovery_net_bytes > 0, "{}: reconstruction uses the network", scheme.name());
+    }
+}
+
+#[test]
+fn node_loss_without_redundancy_falls_back_to_drained_generation() {
+    let cfg_ref = tiered_cfg(SchemeSpec::LocalOnly, 1, vec![]);
+    let reference = run_fault_tolerant(&cfg_ref, synthetic_layout(), build_synthetic(4)).unwrap();
+    assert_eq!(reference.outcome, RunOutcome::Completed);
+    let ref_digests: Vec<_> = reference.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+
+    // drain_every = 1: every generation is flushed to the shared array
+    // as soon as it commits, so losing a node costs no work here — but
+    // the recovery has to come from the durable tier.
+    let cfg = tiered_cfg(
+        SchemeSpec::LocalOnly,
+        1,
+        vec![FailureSpec::node_loss(1, SimTime::from_secs(8))],
+    );
+    let recovered = run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(4)).unwrap();
+    assert_eq!(recovered.outcome, RunOutcome::Completed);
+    let rec = recovered.recoveries[0];
+    assert_eq!(rec.kind, FailureKind::NodeLoss);
+    assert_eq!(
+        rec.source,
+        RecoverySource::Durable,
+        "local-only tier must fall back to the drained shared array"
+    );
+    let rec_digests: Vec<_> = recovered.ranks.iter().map(|r| r.content_digest.unwrap()).collect();
+    assert_eq!(ref_digests, rec_digests);
+    let drain = recovered.drain.expect("tiered runs report drain stats");
+    assert!(drain.drained_generations > 0);
+    assert!(drain.drained_bytes > 0);
+}
+
+#[test]
+fn process_failure_on_tiered_storage_restores_from_local() {
+    // A plain process crash leaves the node-local tier intact: the
+    // restarted rank reads its own fast device, not the network.
+    let cfg = tiered_cfg(
+        SchemeSpec::Partner { offset: 1 },
+        4,
+        vec![FailureSpec::process(2, SimTime::from_secs(8))],
+    );
+    let recovered = run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(4)).unwrap();
+    assert_eq!(recovered.outcome, RunOutcome::Completed);
+    let rec = recovered.recoveries[0];
+    assert_eq!(rec.kind, FailureKind::Process);
+    assert_eq!(rec.source, RecoverySource::Local);
+    let tier = recovered.ranks[2].tier.unwrap();
+    assert!(tier.recovery_local_bytes > 0);
+}
+
+#[test]
+fn tiered_node_loss_recovery_is_deterministic() {
+    let run = || {
+        let cfg = tiered_cfg(
+            SchemeSpec::XorParity { group_size: 2 },
+            4,
+            vec![FailureSpec::node_loss(0, SimTime::from_secs(8))],
+        );
+        let report = run_fault_tolerant(&cfg, synthetic_layout(), build_synthetic(4)).unwrap();
+        assert_eq!(report.outcome, RunOutcome::Completed);
+        (
+            report.attempts,
+            report.wasted,
+            report.recoveries,
+            report.drain,
+            report
+                .ranks
+                .iter()
+                .map(|r| (r.final_time, r.content_digest, r.tier))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
 }
