@@ -19,5 +19,5 @@ pub mod table;
 
 pub use compare::Comparison;
 pub use plot::{ascii_multi_plot, ascii_plot};
-pub use report::ExperimentReport;
+pub use report::{ExperimentReport, TraceArtifacts};
 pub use table::TextTable;

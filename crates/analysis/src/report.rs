@@ -7,6 +7,19 @@
 
 use crate::Comparison;
 
+/// Pre-rendered flight-recorder exports attached to an experiment when
+/// trace capture was requested (`repro --trace-out`). The strings are
+/// final file contents — the harness writes them verbatim, so they are
+/// byte-deterministic wherever the recorder itself is.
+pub struct TraceArtifacts {
+    /// Chrome trace-event JSON (load in Perfetto / `chrome://tracing`).
+    pub chrome_json: String,
+    /// One JSON object per event, one per line.
+    pub jsonl: String,
+    /// Rendered aggregate summary (utilization, stalls, recovery paths).
+    pub summary: String,
+}
+
 /// Everything an experiment produces: the rendered table/figure text
 /// and the paper-vs-measured rows for EXPERIMENTS.md.
 pub struct ExperimentReport {
@@ -15,10 +28,28 @@ pub struct ExperimentReport {
     pub body: String,
     /// Paper-vs-measured comparison rows.
     pub comparisons: Vec<Comparison>,
+    /// Flight-recorder exports, when tracing was enabled.
+    pub trace: Option<TraceArtifacts>,
 }
 
 impl ExperimentReport {
+    /// A report with no trace attachment.
+    pub fn new(body: String, comparisons: Vec<Comparison>) -> Self {
+        Self { body, comparisons, trace: None }
+    }
+
+    /// Attach trace artifacts (`None` leaves the report unchanged, so
+    /// callers can pass a builder's output through unconditionally).
+    pub fn with_trace(mut self, trace: Option<TraceArtifacts>) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Print the body and hand back the comparison rows.
+    // The sanctioned stdout path for bench targets: the body is the
+    // deliverable, and callers invoke this only from terminal-facing
+    // binaries.
+    #[allow(clippy::disallowed_macros)]
     pub fn print(self) -> Vec<Comparison> {
         print!("{}", self.body);
         self.comparisons

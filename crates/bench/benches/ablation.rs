@@ -1,4 +1,7 @@
 //! Ablations: incremental vs full traffic, interval sweep, chain length and gc.
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
 fn main() {
     let rows = ickpt_bench::experiments::ablation::run_and_print();
     println!("{}", ickpt_analysis::compare::comparison_table("expectations vs measured", &rows));

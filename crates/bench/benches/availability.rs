@@ -1,5 +1,8 @@
 //! Availability study: measured efficiency under a failure process vs
 //! Young's analytic checkpoint-interval model.
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
 fn main() {
     let rows = ickpt_bench::experiments::availability::run_and_print();
     println!("{}", ickpt_analysis::compare::comparison_table("model vs measured", &rows));

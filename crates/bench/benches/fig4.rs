@@ -1,4 +1,7 @@
 //! Regenerates the paper's Figure 4 (IWS:footprint ratio vs timeslice).
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
 fn main() {
     let rows = ickpt_bench::experiments::fig4::run_and_print();
     println!("{}", ickpt_analysis::compare::comparison_table("paper vs measured", &rows));

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Figure 5 (weak scaling, 8-64 processors).
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
 fn main() {
     let rows = ickpt_bench::experiments::fig5::run_and_print();
     println!("{}", ickpt_analysis::compare::comparison_table("paper vs measured", &rows));

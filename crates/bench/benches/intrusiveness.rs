@@ -1,4 +1,7 @@
 //! Regenerates the paper's §6.5 intrusiveness experiment (simulated + native).
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
 fn main() {
     let rows = ickpt_bench::experiments::intrusive::run_and_print();
     println!("{}", ickpt_analysis::compare::comparison_table("paper vs measured", &rows));

@@ -1,7 +1,11 @@
 //! Criterion micro-benchmarks of the hot paths: the dirty bitmap, the
 //! write-fault path, pattern slicing, the chunk codec, CRC-32, the
-//! trace-engine record/re-bin pair, XOR parity encode/reconstruct, and
-//! the *real* page-fault cost through `mprotect`/`SIGSEGV`.
+//! trace-engine record/re-bin pair, XOR parity encode/reconstruct, the
+//! *real* page-fault cost through `mprotect`/`SIGSEGV`, and the
+//! flight-recorder overhead (append, export, instrumented capture).
+
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
@@ -204,7 +208,7 @@ fn bench_capture(c: &mut Criterion) {
         } else {
             format!("{mb}mb_{workers}workers")
         };
-        let cfg = CaptureConfig { workers, parallel_threshold_pages: 0 };
+        let cfg = CaptureConfig { workers, parallel_threshold_pages: 0, ..Default::default() };
         let mut scratch = CaptureScratch::new();
         g.bench_function(&id, |b| {
             b.iter(|| {
@@ -403,6 +407,85 @@ fn bench_native_fault(c: &mut Criterion) {
     g.finish();
 }
 
+/// Flight-recorder overhead: event append (enabled vs the disabled
+/// no-op recorder), the two exporters on a populated log, and the
+/// instrumented-vs-disabled delta of a full capture — the observability
+/// claim is "zero cost when disabled, bounded cost when on".
+fn bench_obs(c: &mut Criterion) {
+    use ickpt::obs::{chrome_trace, jsonl, CaptureKind, Event, FlightRecorder, Lane, Recorder};
+
+    let event = |i: u64| Event::Capture {
+        kind: CaptureKind::Incremental,
+        generation: i,
+        pages: 64,
+        payload_bytes: 64 * PAGE_SIZE,
+    };
+
+    let mut g = c.benchmark_group("obs");
+    g.bench_function("event_append_enabled", |b| {
+        let rec = Recorder::new(FlightRecorder::with_default_capacity());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            rec.emit(Lane::Rank(0), SimTime(i), event(i));
+            black_box(i)
+        });
+    });
+    g.bench_function("event_append_disabled", |b| {
+        let rec = Recorder::disabled();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            rec.emit(Lane::Rank(0), SimTime(i), event(i));
+            black_box(i)
+        });
+    });
+
+    // Exporters over a 4-rank, 10k-event log.
+    let fr = FlightRecorder::with_default_capacity();
+    fr.name_group(0, "bench");
+    let rec = Recorder::new(fr.clone());
+    for i in 0..10_000u64 {
+        rec.emit_span(Lane::Rank((i % 4) as u32), SimTime(i * 1_000), SimDuration(500), event(i));
+    }
+    let snap = fr.snapshot();
+    g.bench_function("export_jsonl_10k", |b| b.iter(|| black_box(jsonl(&snap)).len()));
+    g.bench_function("export_chrome_10k", |b| b.iter(|| black_box(chrome_trace(&snap)).len()));
+
+    // Instrumented vs disabled capture of a 16 MB image: the recorder
+    // adds one event per capture, so the delta must sit in the noise.
+    let pages = 16 * (1 << 20) / PAGE_SIZE;
+    let layout = LayoutBuilder::new()
+        .static_bytes(4 * PAGE_SIZE)
+        .heap_capacity_bytes(pages * PAGE_SIZE)
+        .mmap_capacity_bytes(4 * PAGE_SIZE)
+        .build();
+    let mut space = BackedSpace::new(layout);
+    space.heap_grow(pages - 4).unwrap();
+    for r in space.mapped_ranges() {
+        for p in r.iter() {
+            space.fill_page(p, p.wrapping_mul(0x9E37_79B9)).unwrap();
+        }
+    }
+    g.throughput(Throughput::Bytes(space.mapped_pages() * PAGE_SIZE));
+    for (id, obs) in [
+        ("capture_16mb_disabled", Recorder::disabled()),
+        ("capture_16mb_instrumented", Recorder::new(FlightRecorder::with_default_capacity())),
+    ] {
+        let cfg = CaptureConfig { obs, ..Default::default() };
+        let mut scratch = CaptureScratch::new();
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let chunk = capture_full_with(&space, 0, 1, SimTime::ZERO, &cfg, &mut scratch);
+                let pages = chunk.payload_pages();
+                scratch.recycle(chunk);
+                black_box(pages)
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_bitmap,
@@ -414,6 +497,7 @@ criterion_group!(
     bench_restore,
     bench_trace,
     bench_xor_parity,
-    bench_native_fault
+    bench_native_fault,
+    bench_obs
 );
 criterion_main!(benches);

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Table 2 (memory footprints).
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
 fn main() {
     let rows = ickpt_bench::experiments::table2::run_and_print();
     println!("{}", ickpt_analysis::compare::comparison_table("paper vs measured", &rows));

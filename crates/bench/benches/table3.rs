@@ -1,4 +1,7 @@
 //! Regenerates the paper's Table 3 (iteration period, % overwritten).
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
 fn main() {
     let rows = ickpt_bench::experiments::table3::run_and_print();
     println!("{}", ickpt_analysis::compare::comparison_table("paper vs measured", &rows));

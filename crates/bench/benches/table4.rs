@@ -1,4 +1,7 @@
 //! Regenerates the paper's Table 4 (bandwidth requirements at 1 s).
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
 fn main() {
     let rows = ickpt_bench::experiments::table4::run_and_print();
     println!("{}", ickpt_analysis::compare::comparison_table("paper vs measured", &rows));

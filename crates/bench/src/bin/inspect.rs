@@ -3,7 +3,13 @@
 //!
 //! ```text
 //! cargo run --release -p ickpt-bench --bin inspect -- <dir> [--rank N]
+//! cargo run --release -p ickpt-bench --bin inspect -- --trace <file.jsonl>
 //! ```
+//!
+//! `--trace` switches to flight-recorder mode: parse a JSONL trace
+//! written by `repro --trace-out` / `redundancy_smoke --trace-out` and
+//! print per-run, per-track event statistics (event counts, busy span
+//! time, virtual extent) plus an event-type histogram.
 //!
 //! Prints the committed generations (from manifests), each rank's
 //! chunk chain with kinds, payload/zero-page sizes and lineage, and
@@ -16,6 +22,9 @@
 //! (the durable array) gets a per-tier overview — own generations,
 //! partner copies and XOR parity blocks each node holds — before the
 //! shared tier is inspected as usual.
+
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
 
 use ickpt::storage::{
     Chunk, ChunkKey, ChunkKind, FileStore, Manifest, RestorePlan, StableStorage, PARITY_RANK_BASE,
@@ -97,10 +106,66 @@ fn tiered_overview(dir: &str) -> String {
     shared.to_string_lossy().into_owned()
 }
 
+/// `inspect --trace`: summarize a JSONL flight-recorder export.
+fn trace_report(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let events = match ickpt::obs::parse_jsonl(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("{path}: malformed trace: {e}");
+            return 1;
+        }
+    };
+    println!("trace: {path}");
+    // Per (run, track): count, busy (sum of span durations), extent.
+    let mut tracks: std::collections::BTreeMap<(String, String), (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut kinds: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for ev in &events {
+        let e = tracks.entry((ev.run.clone(), ev.track.clone())).or_default();
+        e.0 += 1;
+        e.1 += ev.dur;
+        e.2 = e.2.max(ev.ts + ev.dur);
+        *kinds.entry(ev.name.clone()).or_default() += 1;
+    }
+    let mut t = TextTable::new("tracks").header(&["run", "track", "events", "busy (s)", "end (s)"]);
+    for ((run, track), (count, busy, end)) in &tracks {
+        t.row(vec![
+            run.clone(),
+            track.clone(),
+            count.to_string(),
+            fnum(*busy as f64 / 1e9, 3),
+            fnum(*end as f64 / 1e9, 3),
+        ]);
+    }
+    println!("{}", t.render());
+    let mut k = TextTable::new("event types").header(&["event", "count"]);
+    for (name, count) in &kinds {
+        k.row(vec![name.clone(), count.to_string()]);
+    }
+    println!("{}", k.render());
+    println!(
+        "total: {} events across {} tracks in {} runs",
+        events.len(),
+        tracks.len(),
+        tracks.keys().map(|(r, _)| r.clone()).collect::<std::collections::BTreeSet<_>>().len()
+    );
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)) {
+        std::process::exit(trace_report(path));
+    }
     let Some(dir) = args.get(1).filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: inspect <checkpoint-dir> [--rank N]");
+        eprintln!("usage: inspect <checkpoint-dir> [--rank N] | inspect --trace <file.jsonl>");
         std::process::exit(2);
     };
     let only_rank: Option<u32> = args

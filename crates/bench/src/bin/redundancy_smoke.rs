@@ -8,6 +8,13 @@
 //! partner reconstruction over the interconnect, and the final
 //! application state of every rank must be byte-identical to the
 //! failure-free run. Exits non-zero on any mismatch.
+//!
+//! `--trace-out <dir>` additionally captures a flight-recorder trace
+//! of both runs (groups `failure-free` and `node-loss`) and writes
+//! `redundancy-smoke.trace.json` + `redundancy-smoke.jsonl` there.
+
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -26,7 +33,7 @@ use ickpt::storage::{MemStore, RecoverySource, SchemeSpec};
 
 const NRANKS: usize = 4;
 
-fn run(failures: Vec<FailureSpec>) -> RunReport {
+fn run(failures: Vec<FailureSpec>, obs: ickpt::obs::Recorder) -> RunReport {
     let cfg = FaultTolerantConfig {
         nranks: NRANKS,
         max_iterations: 15,
@@ -44,6 +51,7 @@ fn run(failures: Vec<FailureSpec>) -> RunReport {
             drain_every: 4,
         }),
         max_attempts: 4,
+        obs,
     };
     let layout = LayoutBuilder::new()
         .static_bytes(PAGE_SIZE)
@@ -62,8 +70,16 @@ fn run(failures: Vec<FailureSpec>) -> RunReport {
 }
 
 fn main() -> ExitCode {
-    let reference = run(vec![]);
-    let recovered = run(vec![FailureSpec::node_loss(1, SimTime::from_secs(8))]);
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out =
+        args.iter().position(|a| a == "--trace-out").and_then(|i| args.get(i + 1)).cloned();
+    if trace_out.is_some() {
+        ickpt_bench::set_trace_enabled(true);
+    }
+    let mut tb = ickpt_bench::TraceBuilder::begin();
+    let reference = run(vec![], tb.recorder("failure-free"));
+    let recovered =
+        run(vec![FailureSpec::node_loss(1, SimTime::from_secs(8))], tb.recorder("node-loss"));
     let mut ok = true;
     let mut check = |label: &str, pass: bool| {
         println!("{} {label}", if pass { "ok  " } else { "FAIL" });
@@ -101,6 +117,17 @@ fn main() -> ExitCode {
         summary.recovery_s,
         summary.redundancy_overhead_percent()
     );
+
+    if let (Some(dir), Some(trace)) = (&trace_out, tb.finish()) {
+        let (chrome, jsonl) = ickpt_bench::obs_glue::write_trace_files(
+            std::path::Path::new(dir),
+            "redundancy smoke",
+            &trace,
+        )
+        .expect("write trace files");
+        println!("trace: {} + {}", chrome.display(), jsonl.display());
+        print!("{}", trace.summary);
+    }
 
     if ok {
         println!("redundancy smoke: OK");

@@ -2,7 +2,8 @@
 //! report.
 //!
 //! ```text
-//! cargo run --release -p ickpt-bench --bin repro [-- --out <path>] [-- --only <substring>]
+//! cargo run --release -p ickpt-bench --bin repro \
+//!     [-- --out <path>] [-- --only <substring>] [-- --trace-out <dir>]
 //! ```
 //!
 //! * `--out <path>` — also write the markdown report to `path`.
@@ -11,6 +12,12 @@
 //!   runs the five figures, `--only "Table 3"` just that table.
 //! * `--list` — print every experiment name, one per line, and exit
 //!   without running anything (useful for scripting `--only`).
+//! * `--trace-out <dir>` — capture a virtual-time flight-recorder
+//!   trace per experiment and write `<dir>/<slug>.trace.json` (Chrome
+//!   trace-event JSON, loadable in Perfetto / `chrome://tracing`) plus
+//!   `<dir>/<slug>.jsonl` (one event per line). Traces are
+//!   deterministic: same seed and knobs ⇒ byte-identical files at any
+//!   `ICKPT_BENCH_THREADS`.
 //!
 //! Respects the `ICKPT_BENCH_*` environment knobs documented in
 //! `ickpt-bench`. Experiments run concurrently on
@@ -18,6 +25,9 @@
 //! are assembled strictly in experiment order from pre-rendered
 //! bodies, so the output is byte-identical at any thread count (timing
 //! lines go to stderr).
+
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
 
 use std::fmt::Write as _;
 
@@ -32,6 +42,11 @@ type Experiment = (&'static str, fn() -> ExperimentReport);
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_path = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
+    let trace_out =
+        args.iter().position(|a| a == "--trace-out").and_then(|i| args.get(i + 1)).cloned();
+    if trace_out.is_some() {
+        ickpt_bench::set_trace_enabled(true);
+    }
     let only = args
         .iter()
         .position(|a| a == "--only")
@@ -86,6 +101,9 @@ fn main() {
     });
     eprintln!("    [all experiments completed in {:?}]", t0.elapsed());
 
+    if let Some(dir) = &trace_out {
+        std::fs::create_dir_all(dir).expect("create trace dir");
+    }
     let mut all_rows = Vec::new();
     for ((name, _), report) in selected.iter().zip(reports) {
         print!("{}", report.body);
@@ -95,6 +113,15 @@ fn main() {
         );
         writeln!(md, "### {name}\n").unwrap();
         writeln!(md, "{}", comparison_markdown(&report.comparisons)).unwrap();
+        if let (Some(dir), Some(trace)) = (&trace_out, &report.trace) {
+            let (chrome, jsonl) =
+                ickpt_bench::obs_glue::write_trace_files(dir.as_ref(), name, trace)
+                    .expect("write trace files");
+            println!("trace: {} + {}", chrome.display(), jsonl.display());
+            print!("{}", trace.summary);
+            writeln!(md, "Trace: `{}`, `{}`\n", chrome.display(), jsonl.display()).unwrap();
+            writeln!(md, "```text\n{}```\n", trace.summary).unwrap();
+        }
         all_rows.extend(report.comparisons);
     }
 

@@ -186,6 +186,7 @@ impl WorkloadTrace {
             wasted: SimDuration::ZERO,
             recoveries: Vec::new(),
             drain: None,
+            obs: None,
         }
     }
 }

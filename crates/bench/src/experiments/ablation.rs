@@ -44,12 +44,17 @@ use ickpt::storage::{gc, Chunk, ChunkKey, MemStore, RecoverySource, SchemeSpec};
 use ickpt_analysis::table::fnum;
 use ickpt_analysis::{Comparison, ExperimentReport, TextTable};
 
+use ickpt::obs::Recorder;
+
 use crate::banner_string;
 use crate::engine::parallel_map;
+use crate::obs_glue::TraceBuilder;
 
 const NRANKS: usize = 4;
 
 type Section = (String, Vec<Comparison>);
+/// A section runner: takes its pre-allocated trace recorder.
+type SectionFn = fn(Recorder) -> Section;
 
 fn layout() -> DataLayout {
     LayoutBuilder::new()
@@ -84,11 +89,17 @@ fn ft_config(policy: CheckpointPolicy, iters: u64) -> FaultTolerantConfig {
         net: NetConfig::qsnet(),
         max_attempts: 1,
         redundancy: None,
+        obs: ickpt_obs::Recorder::disabled(),
     }
 }
 
 /// Ablation 4: synchronous vs forked checkpointing stall.
-fn mode_ablation() -> Section {
+///
+/// Each section receives a pre-allocated recorder (one trace group per
+/// section) and attaches it to its most representative run, so the
+/// flight-recorder groups stay deterministic under the parallel
+/// scheduler.
+fn mode_ablation(obs: Recorder) -> Section {
     let mut body = String::new();
     let mut comparisons = Vec::new();
     writeln!(body, "ablation 4: stop-and-copy vs forked (background write, deferred commit)")
@@ -97,6 +108,7 @@ fn mode_ablation() -> Section {
     let stop = run_fault_tolerant(&ft_config(policy, 30), layout(), build).unwrap();
     let mut fork_cfg = ft_config(policy, 30);
     fork_cfg.mode = CheckpointMode::Forked { fork_cost_per_page_ns: 200, cow_copy_ns: 2_000 };
+    fork_cfg.obs = obs;
     let fork = run_fault_tolerant(&fork_cfg, layout(), build).unwrap();
     let s0 = &stop.ranks[0];
     let f0 = &fork.ranks[0];
@@ -133,7 +145,7 @@ fn mode_ablation() -> Section {
 }
 
 /// Ablation 5: the §4.2 memory-exclusion saving on Sage.
-fn exclusion_ablation() -> Section {
+fn exclusion_ablation(obs: Recorder) -> Section {
     let mut body = String::new();
     let mut comparisons = Vec::new();
     writeln!(body, "ablation 5: memory exclusion (§4.2) on Sage's dynamic memory").unwrap();
@@ -153,6 +165,7 @@ fn exclusion_ablation() -> Section {
         net: NetConfig::qsnet(),
         max_attempts: 1,
         redundancy: None,
+        obs,
     };
     let report = run_fault_tolerant(&cfg, w.layout(scale), move |rank| {
         Box::new(w.build(rank, nranks, scale, 11))
@@ -181,7 +194,7 @@ fn exclusion_ablation() -> Section {
 
 /// Ablation 1+2: checkpoint traffic, incremental vs full, across
 /// intervals.
-fn traffic_ablation() -> Section {
+fn traffic_ablation(obs: Recorder) -> Section {
     let mut body = String::new();
     let mut comparisons = Vec::new();
     writeln!(body, "ablation 1+2: checkpoint traffic (rank-0 bytes) over 40 virtual seconds")
@@ -194,8 +207,11 @@ fn traffic_ablation() -> Section {
         let full_cfg =
             ft_config(CheckpointPolicy::always_full(SimDuration::from_secs(interval)), 40);
         let full = run_fault_tolerant(&full_cfg, layout(), build).unwrap();
-        let incr_cfg =
+        let mut incr_cfg =
             ft_config(CheckpointPolicy::incremental(SimDuration::from_secs(interval), 0), 40);
+        if interval == 2 {
+            incr_cfg.obs = obs.clone();
+        }
         let incr = run_fault_tolerant(&incr_cfg, layout(), build).unwrap();
         let fb = full.ranks[0].checkpoint_bytes;
         let ib = incr.ranks[0].checkpoint_bytes;
@@ -223,7 +239,7 @@ fn traffic_ablation() -> Section {
 }
 
 /// Ablation 3: chain length vs restore cost, and gc compaction.
-fn chain_ablation() -> Section {
+fn chain_ablation(obs: Recorder) -> Section {
     let mut body = String::new();
     let mut comparisons = Vec::new();
     writeln!(body, "ablation 3: re-base frequency vs restore cost (rank 0)").unwrap();
@@ -285,7 +301,8 @@ fn chain_ablation() -> Section {
     ));
 
     // Compaction: merge the unbounded chain and restore again.
-    let cfg = ft_config(CheckpointPolicy::incremental(SimDuration::from_secs(2), 0), 30);
+    let mut cfg = ft_config(CheckpointPolicy::incremental(SimDuration::from_secs(2), 0), 30);
+    cfg.obs = obs;
     let result = run_fault_tolerant(&cfg, layout(), build).unwrap();
     let gen = result.ranks[0].last_committed.unwrap();
     let mut space = BackedSpace::new(layout());
@@ -328,7 +345,7 @@ fn chain_ablation() -> Section {
 
 /// Ablation 6: storage-path topology — per-rank devices vs one shared
 /// array.
-fn storage_path_ablation() -> Section {
+fn storage_path_ablation(obs: Recorder) -> Section {
     let mut body = String::new();
     let mut comparisons = Vec::new();
     writeln!(body, "ablation 6: per-rank disks vs one shared storage array").unwrap();
@@ -350,6 +367,14 @@ fn storage_path_ablation() -> Section {
                 net: NetConfig::qsnet(),
                 max_attempts: 1,
                 redundancy: None,
+                // Per-rank device lanes are the interesting view here;
+                // the Shared-flat path stays uninstrumented (see
+                // cluster.rs) so only the largest PerRank run records.
+                obs: if nranks == 8 && path == StoragePath::PerRank {
+                    obs.clone()
+                } else {
+                    Recorder::disabled()
+                },
             };
             let build = move |rank: usize| -> Box<dyn AppModel> {
                 Box::new(SyntheticApp::new(SyntheticConfig {
@@ -396,7 +421,7 @@ fn storage_path_ablation() -> Section {
 
 /// Ablation 7: multilevel redundancy under node loss — single-tier vs
 /// partner replication vs XOR parity.
-fn redundancy_ablation() -> Section {
+fn redundancy_ablation(obs: Recorder) -> Section {
     let mut body = String::new();
     let mut comparisons = Vec::new();
     writeln!(body, "ablation 7: multilevel redundancy under node loss (rank 1 dies at t=15 s)")
@@ -434,6 +459,12 @@ fn redundancy_ablation() -> Section {
         let mut cfg = ft_config(policy, iters);
         cfg.failures = vec![FailureSpec::node_loss(1, SimTime::from_secs(15))];
         cfg.max_attempts = 4;
+        // Only the partner run records, so the section's single trace
+        // group is written by exactly one run regardless of how the
+        // scheme closures are scheduled.
+        if matches!(scheme, SchemeSpec::Partner { .. }) {
+            cfg.obs = obs.clone();
+        }
         cfg.redundancy = Some(RedundancyConfig {
             scheme,
             local_device: DevicePreset::NodeLocal,
@@ -499,23 +530,29 @@ fn redundancy_ablation() -> Section {
 pub fn report() -> ExperimentReport {
     let mut body =
         banner_string("Ablations: incremental vs full, interval sweep, chain length & gc");
-    let sections: [fn() -> Section; 6] = [
-        traffic_ablation,
-        chain_ablation,
-        mode_ablation,
-        exclusion_ablation,
-        storage_path_ablation,
-        redundancy_ablation,
+    let sections: [(&str, SectionFn); 6] = [
+        ("ablation1+2-traffic", traffic_ablation),
+        ("ablation3-chain", chain_ablation),
+        ("ablation4-mode", mode_ablation),
+        ("ablation5-exclusion", exclusion_ablation),
+        ("ablation6-storage-path", storage_path_ablation),
+        ("ablation7-redundancy", redundancy_ablation),
     ];
+    // One trace group per section, allocated here in render order so
+    // group numbering is independent of the parallel schedule.
+    let mut tb = TraceBuilder::begin();
+    let jobs: Vec<(SectionFn, Recorder)> =
+        sections.iter().map(|&(name, f)| (f, tb.recorder(name))).collect();
     let mut comparisons = Vec::new();
-    for (i, (text, rows)) in parallel_map(&sections, |f| f()).into_iter().enumerate() {
+    for (i, (text, rows)) in parallel_map(&jobs, |(f, rec)| f(rec.clone())).into_iter().enumerate()
+    {
         if i > 0 {
             body.push('\n');
         }
         body.push_str(&text);
         comparisons.extend(rows);
     }
-    ExperimentReport { body, comparisons }
+    ExperimentReport::new(body, comparisons).with_trace(tb.finish())
 }
 
 /// Print the ablations and return the comparison rows.

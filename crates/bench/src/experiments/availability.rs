@@ -27,6 +27,7 @@ use ickpt_analysis::table::fnum;
 use ickpt_analysis::{Comparison, ExperimentReport, TextTable};
 
 use crate::engine::parallel_map;
+use crate::obs_glue::TraceBuilder;
 use crate::{banner_string, BENCH_SEED};
 
 const NRANKS: usize = 4;
@@ -80,7 +81,11 @@ struct Outcome {
     ckpt_cost_s: f64,
 }
 
-fn run_at_interval(interval_s: u64, failures: Vec<FailureSpec>) -> Outcome {
+fn run_at_interval(
+    interval_s: u64,
+    failures: Vec<FailureSpec>,
+    obs: ickpt::obs::Recorder,
+) -> Outcome {
     let cfg = FaultTolerantConfig {
         nranks: NRANKS,
         max_iterations: ITERATIONS,
@@ -94,6 +99,7 @@ fn run_at_interval(interval_s: u64, failures: Vec<FailureSpec>) -> Outcome {
         net: NetConfig::qsnet(),
         max_attempts: 64,
         redundancy: None,
+        obs,
     };
     let report = run_fault_tolerant(&cfg, layout(), build).expect("run completes");
     assert_eq!(report.outcome, RunOutcome::Completed);
@@ -139,9 +145,14 @@ pub fn report() -> ExperimentReport {
     let mut best: Option<(u64, f64)> = None;
     let mut ckpt_cost = 0.0f64;
     let mut rows = Vec::new();
-    let outcomes = parallel_map(&[2u64, 4, 8, 16, 32], |&interval| {
+    // Recorders pre-allocated in interval order so trace group
+    // numbering stays deterministic under the parallel scheduler.
+    let mut tb = TraceBuilder::begin();
+    let runs: Vec<(u64, ickpt::obs::Recorder)> =
+        [2u64, 4, 8, 16, 32].iter().map(|&i| (i, tb.recorder(&format!("interval={i}s")))).collect();
+    let outcomes = parallel_map(&runs, |(interval, rec)| {
         let failures = failure_schedule(BENCH_SEED ^ interval, MTBF_S, horizon);
-        (interval, run_at_interval(interval, failures))
+        (*interval, run_at_interval(*interval, failures, rec.clone()))
     });
     for (interval, out) in outcomes {
         ckpt_cost = ckpt_cost.max(out.ckpt_cost_s);
@@ -184,7 +195,7 @@ pub fn report() -> ExperimentReport {
         model.daly_interval().as_secs_f64()
     )
     .unwrap();
-    ExperimentReport { body, comparisons: rows }
+    ExperimentReport::new(body, rows).with_trace(tb.finish())
 }
 
 /// Print the availability study and return the comparison rows.

@@ -15,12 +15,15 @@ use ickpt::sim::SimDuration;
 use ickpt_analysis::{ascii_plot, Comparison, ExperimentReport};
 
 use crate::engine::run_fig1;
+use crate::obs_glue::TraceBuilder;
 use crate::{banner_string, bench_scale};
 
 /// Regenerate Figure 1 (both panels).
 pub fn report() -> ExperimentReport {
     let mut body = banner_string("Figure 1: Sage-1000MB IWS and data received per 1 s timeslice");
     let report = run_fig1();
+    let mut tb = TraceBuilder::begin();
+    tb.synthesize("sage1000/500s", &report);
     let r0 = &report.ranks[0];
     let rescale = 1.0 / bench_scale();
 
@@ -53,7 +56,7 @@ pub fn report() -> ExperimentReport {
         Comparison::new("Fig 1a / Sage-1000MB burst period", 145.0, period, "s"),
         Comparison::new("Fig 1a / Sage-1000MB init peak", 400.0, init_peak, "MB"),
     ];
-    ExperimentReport { body, comparisons }
+    ExperimentReport::new(body, comparisons).with_trace(tb.finish())
 }
 
 /// Print the regenerated figure and return the comparison rows.

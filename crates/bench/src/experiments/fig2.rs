@@ -14,6 +14,7 @@ use ickpt_analysis::table::fnum;
 use ickpt_analysis::{ascii_multi_plot, Comparison, ExperimentReport, TextTable};
 
 use crate::engine::parallel_map;
+use crate::obs_glue::TraceBuilder;
 use crate::{banner_string, ib_stats, run};
 
 /// The timeslices swept (seconds), matching the paper's x-axis.
@@ -42,7 +43,13 @@ pub fn sweep(w: Workload) -> Vec<(u64, f64, f64)> {
 pub fn report() -> ExperimentReport {
     let mut body = banner_string("Figure 2: max and avg IB vs timeslice (1-20 s)");
     let mut comparisons = Vec::new();
+    let mut tb = TraceBuilder::begin();
     for (w, rows) in parallel_map(&PANELS, |&w| (w, sweep(w))) {
+        // One trace group per panel at the 1 s endpoint (served from
+        // the memoized trace engine, so this re-run is a cache hit).
+        if tb.enabled() {
+            tb.synthesize(&format!("{}/ts=1s", w.name()), &run(w, 1));
+        }
         let avg_series: Vec<(f64, f64)> =
             rows.iter().map(|&(ts, avg, _)| (ts as f64, avg)).collect();
         let max_series: Vec<(f64, f64)> =
@@ -83,7 +90,7 @@ pub fn report() -> ExperimentReport {
             ));
         }
     }
-    ExperimentReport { body, comparisons }
+    ExperimentReport::new(body, comparisons).with_trace(tb.finish())
 }
 
 /// Print the regenerated figure and return the comparison rows.

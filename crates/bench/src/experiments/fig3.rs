@@ -12,6 +12,7 @@ use ickpt_analysis::table::fnum;
 use ickpt_analysis::{ascii_multi_plot, Comparison, ExperimentReport, TextTable};
 
 use crate::engine::{parallel_map, PAPER_TIMESLICES as TIMESLICES};
+use crate::obs_glue::TraceBuilder;
 use crate::{banner_string, ib_stats, run};
 
 /// Regenerate Figure 3.
@@ -24,6 +25,12 @@ pub fn report() -> ExperimentReport {
         });
         (w, rows)
     });
+    let mut tb = TraceBuilder::begin();
+    if tb.enabled() {
+        for (w, _) in &all_rows {
+            tb.synthesize(&format!("{}/ts=1s", w.name()), &run(*w, 1));
+        }
+    }
     let series: Vec<(&str, Vec<(f64, f64)>)> = all_rows
         .iter()
         .map(|(w, rows)| (w.name(), rows.iter().map(|&(ts, v)| (ts as f64, v)).collect::<Vec<_>>()))
@@ -61,7 +68,7 @@ pub fn report() -> ExperimentReport {
         Comparison::new("Fig 3 / Sage-500MB avg IB @1s", 49.9, ib_500, "MB/s"),
         Comparison::new("Fig 3 / IB growth for 2x footprint", 78.8 / 49.9, growth, "x"),
     ];
-    ExperimentReport { body, comparisons }
+    ExperimentReport::new(body, comparisons).with_trace(tb.finish())
 }
 
 /// Print the regenerated figure and return the comparison rows.

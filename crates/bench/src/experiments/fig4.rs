@@ -13,6 +13,7 @@ use ickpt_analysis::table::fnum;
 use ickpt_analysis::{ascii_multi_plot, Comparison, ExperimentReport, TextTable};
 
 use crate::engine::{parallel_map, PAPER_TIMESLICES as TIMESLICES};
+use crate::obs_glue::TraceBuilder;
 use crate::{banner_string, ib_stats, run};
 
 /// Regenerate Figure 4.
@@ -25,6 +26,12 @@ pub fn report() -> ExperimentReport {
         });
         (w, rows)
     });
+    let mut tb = TraceBuilder::begin();
+    if tb.enabled() {
+        for (w, _) in &all_rows {
+            tb.synthesize(&format!("{}/ts=1s", w.name()), &run(*w, 1));
+        }
+    }
     let series: Vec<(&str, Vec<(f64, f64)>)> = all_rows
         .iter()
         .map(|(w, rows)| (w.name(), rows.iter().map(|&(ts, v)| (ts as f64, v)).collect::<Vec<_>>()))
@@ -66,7 +73,7 @@ pub fn report() -> ExperimentReport {
         Comparison::new("Fig 4 / Sage-50MB ratio @1s", 21.0, r50_1s, "%"),
         Comparison::new("Fig 4 / Sage-1000MB ratio @20s", 31.0, r1000_20s, "%"),
     ];
-    ExperimentReport { body, comparisons }
+    ExperimentReport::new(body, comparisons).with_trace(tb.finish())
 }
 
 /// Print the regenerated figure and return the comparison rows.

@@ -13,6 +13,7 @@ use ickpt_analysis::table::fnum;
 use ickpt_analysis::{ascii_multi_plot, Comparison, ExperimentReport, TextTable};
 
 use crate::engine::{parallel_map, run_cached_at, PAPER_TIMESLICES as TIMESLICES};
+use crate::obs_glue::TraceBuilder;
 use crate::{banner_string, ib_stats};
 
 /// The processor counts of the paper's scaling study.
@@ -31,6 +32,12 @@ pub fn report() -> ExperimentReport {
     );
     let per_p: Vec<(usize, Vec<(u64, f64)>)> =
         parallel_map(&RANK_COUNTS, |&p| (p, parallel_map(&TIMESLICES, |&ts| (ts, run_at(p, ts)))));
+    let mut tb = TraceBuilder::begin();
+    if tb.enabled() {
+        for &p in &RANK_COUNTS {
+            tb.synthesize(&format!("{p}procs/ts=1s"), &run_cached_at(p, Workload::Sage1000, 1));
+        }
+    }
     let names: Vec<String> = RANK_COUNTS.iter().map(|p| format!("{p} procs")).collect();
     let series: Vec<Vec<(f64, f64)>> = per_p
         .iter()
@@ -69,7 +76,7 @@ pub fn report() -> ExperimentReport {
         Comparison::new("Fig 5 / Sage-1000MB avg IB @1s, 64 procs", 78.8, ib64, "MB/s"),
         Comparison::new("Fig 5 / avg IB ratio 64:8 procs", 0.98, ib64 / ib8, "x"),
     ];
-    ExperimentReport { body, comparisons }
+    ExperimentReport::new(body, comparisons).with_trace(tb.finish())
 }
 
 /// Print the regenerated figure and return the comparison rows.

@@ -29,14 +29,18 @@ use ickpt::sim::SimDuration;
 use ickpt_analysis::table::fnum;
 use ickpt_analysis::{Comparison, ExperimentReport, TextTable};
 
+use ickpt::obs::Recorder;
+
 use crate::engine::parallel_map;
+use crate::obs_glue::TraceBuilder;
 use crate::{banner_string, bench_ranks, bench_scale, run_length, BENCH_SEED};
 
 /// Simulated slowdown of Sage-1000MB at a given timeslice. Stays on
 /// the direct simulation: a nonzero fault cost couples the clock to
 /// the timeslice, which is exactly what the trace engine's exactness
-/// argument excludes.
-fn simulated_slowdown(ts: u64) -> f64 {
+/// argument excludes. These runs are live (not trace-derived), so the
+/// flight recorder instruments them directly when tracing is on.
+fn simulated_slowdown(ts: u64, obs: Recorder) -> f64 {
     let w = Workload::Sage1000;
     let cfg = CharacterizationConfig {
         nranks: bench_ranks().min(8),
@@ -46,6 +50,7 @@ fn simulated_slowdown(ts: u64) -> f64 {
         fault_cost: SimDuration::from_micros(4),
         stretch_overhead: true,
         seed: BENCH_SEED,
+        obs,
         ..Default::default()
     };
     let report = characterize(w, &cfg);
@@ -63,7 +68,12 @@ pub fn report() -> ExperimentReport {
     let mut slow_1s = 0.0;
     let mut prev = f64::MAX;
     let mut monotone = true;
-    let slowdowns = parallel_map(&[1u64, 2, 5, 10, 20], |&ts| (ts, simulated_slowdown(ts)));
+    // Recorders are allocated up front, in timeslice order, so group
+    // numbering stays deterministic under the parallel scheduler.
+    let mut tb = TraceBuilder::begin();
+    let runs: Vec<(u64, Recorder)> =
+        [1u64, 2, 5, 10, 20].iter().map(|&ts| (ts, tb.recorder(&format!("ts={ts}s")))).collect();
+    let slowdowns = parallel_map(&runs, |(ts, rec)| (*ts, simulated_slowdown(*ts, rec.clone())));
     for (ts, s) in slowdowns {
         if ts == 1 {
             slow_1s = s;
@@ -117,7 +127,7 @@ pub fn report() -> ExperimentReport {
         )
         .unwrap();
     }
-    ExperimentReport { body, comparisons }
+    ExperimentReport::new(body, comparisons).with_trace(tb.finish())
 }
 
 /// Print the regenerated experiment and return the comparison rows.

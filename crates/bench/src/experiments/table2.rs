@@ -12,6 +12,7 @@ use ickpt_analysis::table::fnum;
 use ickpt_analysis::{Comparison, ExperimentReport, TextTable};
 
 use crate::engine::parallel_map;
+use crate::obs_glue::TraceBuilder;
 use crate::{banner_string, footprint_mb, run};
 
 /// Regenerate Table 2.
@@ -20,8 +21,12 @@ pub fn report() -> ExperimentReport {
     let mut table =
         TextTable::new("").header(&["Application", "Maximum", "Average", "paper max", "paper avg"]);
     let mut comparisons = Vec::new();
-    let rows = parallel_map(&Workload::ALL, |&w| (w, footprint_mb(&run(w, 1))));
-    for (w, (max, avg)) in rows {
+    let mut tb = TraceBuilder::begin();
+    let rows = parallel_map(&Workload::ALL, |&w| (w, run(w, 1)));
+    for (w, report) in &rows {
+        let w = *w;
+        let (max, avg) = footprint_mb(report);
+        tb.synthesize(w.name(), report);
         let c = w.calib();
         table.row(vec![
             w.name().to_string(),
@@ -44,7 +49,7 @@ pub fn report() -> ExperimentReport {
         ));
     }
     writeln!(body, "{}", table.render()).unwrap();
-    ExperimentReport { body, comparisons }
+    ExperimentReport::new(body, comparisons).with_trace(tb.finish())
 }
 
 /// Print the regenerated table and return the comparison rows.

@@ -19,11 +19,14 @@ use ickpt::core::policy::detect_period;
 use ickpt_analysis::table::fnum;
 use ickpt_analysis::{Comparison, ExperimentReport, TextTable};
 
+use ickpt::cluster::RunReport;
+
 use crate::engine::{detection_timeslice, parallel_map, run_table3};
+use crate::obs_glue::TraceBuilder;
 use crate::{banner_string, skip_until};
 
 /// Run one workload with fine sampling + iteration tracking.
-fn measure(w: Workload) -> (Option<f64>, f64) {
+fn measure(w: Workload) -> (RunReport, Option<f64>, f64) {
     let ts = detection_timeslice(w);
     let report = run_table3(w);
     let r0 = &report.ranks[0];
@@ -45,7 +48,7 @@ fn measure(w: Workload) -> (Option<f64>, f64) {
             .collect();
         ickpt_analysis::stats::mean(&fracs)
     };
-    (period, overwrite)
+    (report, period, overwrite)
 }
 
 /// Regenerate Table 3.
@@ -59,8 +62,10 @@ pub fn report() -> ExperimentReport {
         "paper overwr.",
     ]);
     let mut comparisons = Vec::new();
+    let mut tb = TraceBuilder::begin();
     let rows = parallel_map(&Workload::ALL, |&w| (w, measure(w)));
-    for (w, (period, overwrite)) in rows {
+    for (w, (report, period, overwrite)) in rows {
+        tb.synthesize(w.name(), &report);
         let c = w.calib();
         let period_str = period.map_or("n/a".to_string(), |p| fnum(p, 2));
         table.row(vec![
@@ -87,7 +92,7 @@ pub fn report() -> ExperimentReport {
     }
     writeln!(body, "{}", table.render()).unwrap();
     writeln!(body, "(periods detected at run time by IWS autocorrelation, §6.2)").unwrap();
-    ExperimentReport { body, comparisons }
+    ExperimentReport::new(body, comparisons).with_trace(tb.finish())
 }
 
 /// Print the regenerated table and return the comparison rows.

@@ -14,6 +14,7 @@ use ickpt_analysis::table::fnum;
 use ickpt_analysis::{Comparison, ExperimentReport, TextTable};
 
 use crate::engine::parallel_map;
+use crate::obs_glue::TraceBuilder;
 use crate::{banner_string, ib_stats, run};
 
 /// Regenerate Table 4.
@@ -30,8 +31,12 @@ pub fn report() -> ExperimentReport {
     ]);
     let mut comparisons = Vec::new();
     let mut all_feasible = true;
-    let rows = parallel_map(&Workload::ALL, |&w| (w, ib_stats(w, &run(w, 1), 1)));
-    for (w, stats) in rows {
+    let mut tb = TraceBuilder::begin();
+    let rows = parallel_map(&Workload::ALL, |&w| (w, run(w, 1)));
+    for (w, report) in &rows {
+        let w = *w;
+        let stats = ib_stats(w, report, 1);
+        tb.synthesize(w.name(), report);
         let feas = FeasibilityReport::against_paper_devices(stats);
         all_feasible &= feas.feasible_everywhere();
         let c = w.calib();
@@ -65,7 +70,7 @@ pub fn report() -> ExperimentReport {
         if all_feasible { "CONFIRMED" } else { "VIOLATED" }
     )
     .unwrap();
-    ExperimentReport { body, comparisons }
+    ExperimentReport::new(body, comparisons).with_trace(tb.finish())
 }
 
 /// Print the regenerated table and return the comparison rows.

@@ -27,6 +27,9 @@
 
 pub mod engine;
 pub mod experiments;
+pub mod obs_glue;
+
+pub use obs_glue::{set_trace_enabled, trace_enabled, TraceBuilder};
 
 use ickpt::apps::Workload;
 use ickpt::cluster::{CharacterizationConfig, RunReport};
@@ -52,6 +55,9 @@ fn parse_knob<T: std::str::FromStr>(
 
 /// Read an env knob strictly: unset → default, malformed → exit(2)
 /// with a message naming the variable (never a silent fallback).
+// The one sanctioned stderr write in a library crate: this aborts the
+// process, so there is no report to return the message through.
+#[allow(clippy::disallowed_macros)]
 fn knob<T: std::str::FromStr>(name: &str, default: T, expect: &str, valid: fn(&T) -> bool) -> T {
     match std::env::var(name) {
         Err(_) => default,

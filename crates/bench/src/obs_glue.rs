@@ -1,0 +1,209 @@
+//! Flight-recorder glue for the experiment harness.
+//!
+//! Experiments are pure functions returning rendered reports; trace
+//! capture is opt-in (`repro --trace-out`, `redundancy_smoke
+//! --trace-out`) via a process-wide flag checked by [`TraceBuilder`].
+//! Each experiment owns one [`FlightRecorder`]; every run inside it
+//! gets its own *group* (a Perfetto process), assigned in declaration
+//! order so group numbering — and therefore the exported bytes — is
+//! independent of which worker thread executes the run.
+//!
+//! Two capture styles coexist:
+//!
+//! * **Live** — fault-tolerant runs thread a [`Recorder`] straight into
+//!   [`FaultTolerantConfig::obs`], so capture/stall/commit/drain/
+//!   recovery events come from the instrumented hot paths.
+//! * **Synthesized** — characterization experiments are served from the
+//!   memoized trace engine, which predates any recorder; their reports
+//!   carry everything the timeline needs (per-window samples, boundary
+//!   clock pairs), so [`synthesize_into`] replays them as events. The
+//!   result is indistinguishable in format from a live capture.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ickpt::cluster::{FailureKind, RunReport};
+use ickpt::sim::SimTime;
+use ickpt_analysis::TraceArtifacts;
+use ickpt_obs::{
+    chrome_trace, jsonl, Event, FlightRecorder, Lane, ObsSummary, Recorder, RecoveryTier,
+};
+
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn trace capture on for every experiment in this process. Call
+/// once, before the scheduler starts (the flag is read at
+/// [`TraceBuilder::begin`] time).
+pub fn set_trace_enabled(on: bool) {
+    TRACE_ENABLED.store(on, Ordering::Release);
+}
+
+/// Whether `--trace-out` capture is active.
+pub fn trace_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Acquire)
+}
+
+/// Per-experiment trace capture: one flight recorder, one group per
+/// run. All methods are no-ops when tracing is disabled, so call sites
+/// stay unconditional.
+pub struct TraceBuilder {
+    fr: Option<Arc<FlightRecorder>>,
+    next_group: u32,
+}
+
+impl TraceBuilder {
+    /// Start a builder; records only if [`set_trace_enabled`] was set.
+    pub fn begin() -> Self {
+        let fr = trace_enabled().then(FlightRecorder::with_default_capacity);
+        Self { fr, next_group: 0 }
+    }
+
+    /// True when this builder actually records.
+    pub fn enabled(&self) -> bool {
+        self.fr.is_some()
+    }
+
+    /// A recorder for the next run, its group named `name`. Groups are
+    /// handed out in call order, so allocate recorders *before* any
+    /// parallel section to keep numbering deterministic. Disabled
+    /// builders return a no-op recorder.
+    pub fn recorder(&mut self, name: &str) -> Recorder {
+        let group = self.next_group;
+        self.next_group += 1;
+        match &self.fr {
+            Some(fr) => {
+                fr.name_group(group, name);
+                Recorder::new(fr.clone()).with_group(group)
+            }
+            None => Recorder::disabled(),
+        }
+    }
+
+    /// Replay a finished run's report as trace events under a new
+    /// group named `name` (for trace-engine-derived experiments with
+    /// no live instrumentation).
+    pub fn synthesize(&mut self, name: &str, report: &RunReport) {
+        if !self.enabled() {
+            return;
+        }
+        let rec = self.recorder(name);
+        synthesize_into(&rec, report);
+    }
+
+    /// Snapshot, export and summarize everything recorded.
+    pub fn finish(self) -> Option<TraceArtifacts> {
+        let fr = self.fr?;
+        let snap = fr.snapshot();
+        Some(TraceArtifacts {
+            chrome_json: chrome_trace(&snap),
+            jsonl: jsonl(&snap),
+            summary: ObsSummary::from_snapshot(&snap).render(),
+        })
+    }
+}
+
+/// Replay a [`RunReport`] as flight-recorder events: run start, per-
+/// rank tracker windows (as timeslice spans ending at the sample
+/// instant) and iteration boundaries, plus any recovery records. Used
+/// for runs that executed without live instrumentation.
+pub fn synthesize_into(rec: &Recorder, report: &RunReport) {
+    if !rec.is_enabled() {
+        return;
+    }
+    rec.emit(Lane::Run, SimTime::ZERO, Event::RunStart { ranks: report.ranks.len() as u32 });
+    for rank in &report.ranks {
+        let lane = Lane::Rank(rank.rank as u32);
+        let mut prev_end = SimTime(rank.started_at.0);
+        for s in &rank.samples {
+            rec.emit_span(
+                lane,
+                prev_end,
+                s.end_time.saturating_sub(prev_end),
+                Event::TrackerWindow {
+                    index: s.window,
+                    iws_pages: s.iws_pages,
+                    footprint_pages: s.footprint_pages,
+                    faults: s.faults,
+                },
+            );
+            prev_end = s.end_time;
+        }
+        for (i, b) in rank.boundaries.iter().enumerate() {
+            rec.emit(lane, b.post, Event::IterationBoundary { iteration: i as u64 + 1 });
+        }
+    }
+    for r in &report.recoveries {
+        // Recovery timing is attempt-relative in the report; anchor the
+        // plan at the failed attempt's index on the run lane.
+        let at = SimTime(r.attempt as u64);
+        rec.emit(
+            Lane::Run,
+            at,
+            Event::Failure {
+                rank: r.rank as u32,
+                node_loss: (r.kind == FailureKind::NodeLoss) as u32,
+            },
+        );
+        rec.emit(
+            Lane::Run,
+            at,
+            Event::RecoveryPlan {
+                rank: r.rank as u32,
+                tier: source_tier(r),
+                generation: r.generation.unwrap_or(0),
+            },
+        );
+    }
+}
+
+fn source_tier(r: &ickpt::cluster::RecoveryRecord) -> RecoveryTier {
+    r.source.obs_tier()
+}
+
+/// Slug an experiment display name into a filename stem:
+/// `"Table 2 (memory footprints)"` → `"table-2-memory-footprints"`.
+pub fn trace_slug(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut dash = false;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            dash = false;
+        } else if !dash && !out.is_empty() {
+            out.push('-');
+            dash = true;
+        }
+    }
+    while out.ends_with('-') {
+        out.pop();
+    }
+    out
+}
+
+/// Write one experiment's artifacts into `dir` as `<slug>.trace.json`
+/// and `<slug>.jsonl`. Returns the two paths.
+pub fn write_trace_files(
+    dir: &std::path::Path,
+    name: &str,
+    t: &TraceArtifacts,
+) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let slug = trace_slug(name);
+    let chrome = dir.join(format!("{slug}.trace.json"));
+    let lines = dir.join(format!("{slug}.jsonl"));
+    std::fs::write(&chrome, &t.chrome_json)?;
+    std::fs::write(&lines, &t.jsonl)?;
+    Ok((chrome, lines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugging_is_stable() {
+        assert_eq!(trace_slug("Table 2 (memory footprints)"), "table-2-memory-footprints");
+        assert_eq!(trace_slug("Ablations (checkpoint system)"), "ablations-checkpoint-system");
+        assert_eq!(trace_slug("  §6.5 -- intrusiveness  "), "6-5-intrusiveness");
+    }
+}

@@ -32,6 +32,7 @@
 //!   (property-tested in `tests/checkpoint_props.rs`).
 
 use ickpt_mem::{AddressSpace, PageRange, PageSource};
+use ickpt_obs::{CaptureKind, Event, Lane, Recorder};
 use ickpt_sim::SimTime;
 use ickpt_storage::{Chunk, ChunkKind, PageRecord};
 
@@ -56,11 +57,17 @@ pub struct CaptureConfig {
     /// Below this many total pages, capture stays serial regardless of
     /// `workers` (thread spawn would cost more than the copy).
     pub parallel_threshold_pages: u64,
+    /// Flight recorder; each capture emits one `Event::Capture` on the
+    /// rank lane. Disabled by default — a test-and-return on the hot
+    /// path (the `obs` micro-bench group measures the delta).
+    pub obs: Recorder,
+    /// Rank lane the capture events land on.
+    pub obs_rank: u32,
 }
 
 impl Default for CaptureConfig {
     fn default() -> Self {
-        Self { workers: 1, parallel_threshold_pages: 2048 }
+        Self { workers: 1, parallel_threshold_pages: 2048, obs: Recorder::disabled(), obs_rank: 0 }
     }
 }
 
@@ -330,7 +337,7 @@ pub fn capture_full_with<S: AddressSpace + PageSource + Sync>(
     let (heap_pages, mmap_blocks) = mapping_state(space);
     let ranges = space.mapped_ranges();
     let (records, zero_ranges) = capture_records(space, &ranges, cfg, scratch);
-    Chunk {
+    let chunk = Chunk {
         kind: ChunkKind::Full,
         rank,
         generation,
@@ -341,6 +348,25 @@ pub fn capture_full_with<S: AddressSpace + PageSource + Sync>(
         zero_ranges,
         records,
         app_state: Vec::new(),
+    };
+    record_capture(cfg, CaptureKind::Full, now, &chunk);
+    chunk
+}
+
+/// Emit one `Event::Capture` for a freshly captured chunk.
+#[inline]
+fn record_capture(cfg: &CaptureConfig, kind: CaptureKind, now: SimTime, chunk: &Chunk) {
+    if cfg.obs.is_enabled() {
+        cfg.obs.emit(
+            Lane::Rank(cfg.obs_rank),
+            now,
+            Event::Capture {
+                kind,
+                generation: chunk.generation,
+                pages: chunk.payload_pages(),
+                payload_bytes: chunk.payload_bytes(),
+            },
+        );
     }
 }
 
@@ -381,7 +407,7 @@ pub fn capture_incremental_with<S: AddressSpace + PageSource + Sync>(
 ) -> Chunk {
     let (heap_pages, mmap_blocks) = mapping_state(space);
     let (records, zero_ranges) = capture_records(space, dirty_ranges, cfg, scratch);
-    Chunk {
+    let chunk = Chunk {
         kind: ChunkKind::Incremental,
         rank,
         generation,
@@ -392,7 +418,9 @@ pub fn capture_incremental_with<S: AddressSpace + PageSource + Sync>(
         zero_ranges,
         records,
         app_state: Vec::new(),
-    }
+    };
+    record_capture(cfg, CaptureKind::Incremental, now, &chunk);
+    chunk
 }
 
 #[cfg(test)]
@@ -544,7 +572,7 @@ mod tests {
         }
         let serial = capture_full(&s, 0, 9, SimTime::from_secs(1)).encode();
         for workers in [2usize, 3, 4, 8] {
-            let cfg = CaptureConfig { workers, parallel_threshold_pages: 0 };
+            let cfg = CaptureConfig { workers, parallel_threshold_pages: 0, ..Default::default() };
             let mut scratch = CaptureScratch::new();
             let par = capture_full_with(&s, 0, 9, SimTime::from_secs(1), &cfg, &mut scratch);
             assert_eq!(par.encode(), serial, "workers={workers}");

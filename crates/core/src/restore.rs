@@ -26,6 +26,8 @@
 //!   `tests/restore_props.rs`).
 
 use ickpt_mem::{AddressSpace, BackedSpace, PageRange, PageSink};
+use ickpt_obs::{Event, Lane, Recorder};
+use ickpt_sim::SimTime;
 use ickpt_storage::{
     peek_lineage, shard_segments, Chunk, ChunkKey, ChunkKind, ChunkView, Manifest, PlanSegment,
     RestorePlan, SegmentSource, StableStorage, StorageError, CHUNK_PAGE_SIZE,
@@ -100,6 +102,31 @@ pub struct RestoreReport {
     pub app_state: Vec<u8>,
     /// Capture instant of the restored generation, in virtual ns.
     pub capture_time_ns: u64,
+}
+
+/// Record a finished restore on the flight recorder: one `Restore`
+/// span on the rank lane covering `[started, finished]` in the
+/// restoring process's virtual clock (rollback reads advance it via
+/// the timed storage readers, so the span length is the virtual read
+/// cost of the rollback).
+pub fn record_restore(
+    obs: &Recorder,
+    rank: u32,
+    started: SimTime,
+    finished: SimTime,
+    report: &RestoreReport,
+) {
+    obs.emit_span(
+        Lane::Rank(rank),
+        started,
+        finished.saturating_sub(started),
+        Event::Restore {
+            generation: report.generation,
+            chain: report.chain_length as u64,
+            pages: report.pages_applied,
+            bytes: report.bytes_read,
+        },
+    );
 }
 
 /// The newest generation with a complete committed manifest, if any.

@@ -28,6 +28,7 @@
 //! *iteration set* (ground truth per application-declared iteration).
 
 use ickpt_mem::{DirtyBitmap, PageRange};
+use ickpt_obs::{Event, Lane, Recorder};
 use ickpt_sim::{SimDuration, SimTime};
 
 use crate::metrics::IwsSample;
@@ -55,6 +56,11 @@ pub struct TrackerConfig {
     /// alarm, so IWS at any multiple of this timeslice can be derived
     /// later without re-running the application.
     pub record_trace: bool,
+    /// Flight recorder; every fired alarm emits one `TrackerWindow`
+    /// span covering the closed window. Disabled by default.
+    pub obs: Recorder,
+    /// Rank lane the tracker events land on.
+    pub obs_rank: u32,
 }
 
 impl Default for TrackerConfig {
@@ -66,6 +72,8 @@ impl Default for TrackerConfig {
             epoch: None,
             track_iterations: false,
             record_trace: false,
+            obs: Recorder::disabled(),
+            obs_rank: 0,
         }
     }
 }
@@ -219,6 +227,20 @@ impl WriteTracker {
                 faults: self.window_faults,
                 bytes_received: self.window_bytes_received,
             });
+            if self.cfg.obs.is_enabled() {
+                let start = SimTime(end.0.saturating_sub(self.cfg.timeslice.0));
+                self.cfg.obs.emit_span(
+                    Lane::Rank(self.cfg.obs_rank),
+                    start,
+                    end.saturating_sub(start),
+                    Event::TrackerWindow {
+                        index: self.samples.len() as u64 - 1,
+                        iws_pages: self.window.count(),
+                        footprint_pages: self.footprint_pages,
+                        faults: self.window_faults,
+                    },
+                );
+            }
             if self.cfg.record_trace {
                 self.trace_slices.push(TraceSlice {
                     end_time: end,

@@ -1,0 +1,431 @@
+//! The typed event vocabulary of the flight recorder.
+//!
+//! Every quantity is an integer (virtual nanoseconds, bytes, pages,
+//! counts): integer fields serialize identically on every platform and
+//! thread count, which is what makes the exporters byte-deterministic.
+//! Events never carry heap-allocated payloads — a [`Event`] is a small
+//! `Copy` value so appending one to a ring buffer is a few stores.
+
+use ickpt_sim::{SimDuration, SimTime};
+
+/// Which modeled hardware a device lane belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeviceKind {
+    /// Flat stable storage (per-rank or shared, pre-tiering paths).
+    Storage,
+    /// A rank's node-local checkpoint tier.
+    Local,
+    /// Interconnect NIC used for redundancy publish.
+    Nic,
+    /// The shared durable array behind the drain queue.
+    Array,
+}
+
+impl DeviceKind {
+    /// Stable lowercase token used in track names.
+    pub fn token(&self) -> &'static str {
+        match self {
+            DeviceKind::Storage => "storage",
+            DeviceKind::Local => "local",
+            DeviceKind::Nic => "nic",
+            DeviceKind::Array => "array",
+        }
+    }
+}
+
+/// A horizontal track in the trace: one timeline the UI draws.
+///
+/// The `Ord` impl fixes export order: run lane first, then ranks in
+/// rank order, then devices, then the drain lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lane {
+    /// Whole-run control events (failures, recovery decisions).
+    Run,
+    /// One application rank's timeline.
+    Rank(u32),
+    /// One modeled device's timeline.
+    Device(DeviceKind, u32),
+    /// The asynchronous drain pipeline to durable storage.
+    Drain,
+}
+
+impl Lane {
+    /// Stable track name, e.g. `rank3` or `dev:local:3`.
+    pub fn label(&self) -> String {
+        match self {
+            Lane::Run => "run".to_string(),
+            Lane::Rank(r) => format!("rank{r}"),
+            Lane::Device(kind, idx) => format!("dev:{}:{idx}", kind.token()),
+            Lane::Drain => "drain".to_string(),
+        }
+    }
+
+    /// Deterministic Chrome-trace `tid` for this lane. Chosen so the
+    /// numeric order matches the `Ord` order above.
+    pub fn tid(&self) -> u64 {
+        match self {
+            Lane::Run => 0,
+            Lane::Rank(r) => 1 + *r as u64,
+            Lane::Device(kind, idx) => {
+                let k = match kind {
+                    DeviceKind::Storage => 0,
+                    DeviceKind::Local => 1,
+                    DeviceKind::Nic => 2,
+                    DeviceKind::Array => 3,
+                } as u64;
+                1_000_000 + k * 100_000 + *idx as u64
+            }
+            Lane::Drain => 9_000_000,
+        }
+    }
+}
+
+/// A track is a lane within a group; a group is one simulated run
+/// (an experiment exporting several runs gives each its own group, so
+/// rank 0 of run A never interleaves with rank 0 of run B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackKey {
+    /// Run group (Chrome-trace process).
+    pub group: u32,
+    /// Timeline within the group (Chrome-trace thread).
+    pub lane: Lane,
+}
+
+/// Which storage level ultimately served a recovery, mirroring
+/// `ickpt::cluster::RecoverySource` without depending on it (the
+/// storage crate depends on this crate, not the other way around).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RecoveryTier {
+    /// The rank's own node-local tier survived.
+    Local,
+    /// Rebuilt from partner copies / XOR parity over the interconnect.
+    Reconstructed,
+    /// Read back from the shared durable array.
+    Durable,
+    /// No usable checkpoint: restart from initial state.
+    ColdRestart,
+}
+
+impl RecoveryTier {
+    /// Stable lowercase token used in serialized events.
+    pub fn token(&self) -> &'static str {
+        match self {
+            RecoveryTier::Local => "local",
+            RecoveryTier::Reconstructed => "reconstructed",
+            RecoveryTier::Durable => "durable",
+            RecoveryTier::ColdRestart => "cold_restart",
+        }
+    }
+}
+
+/// Full vs incremental capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CaptureKind {
+    /// Base checkpoint of every live page.
+    Full,
+    /// Dirty pages since the parent generation.
+    Incremental,
+}
+
+impl CaptureKind {
+    /// Stable lowercase token used in serialized events.
+    pub fn token(&self) -> &'static str {
+        match self {
+            CaptureKind::Full => "full",
+            CaptureKind::Incremental => "incremental",
+        }
+    }
+}
+
+/// One recorded occurrence. Duration-less events render as Chrome
+/// instants; events recorded with a span render as complete slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A simulated run began on this group.
+    RunStart {
+        /// Number of ranks in the run.
+        ranks: u32,
+    },
+    /// An application iteration boundary collective completed.
+    IterationBoundary {
+        /// Iteration index (0-based).
+        iteration: u64,
+    },
+    /// One tracker timeslice window closed (the §4.2 alarm fired).
+    TrackerWindow {
+        /// Window index since run start.
+        index: u64,
+        /// Incremental working set of the window, pages.
+        iws_pages: u64,
+        /// Mapped footprint at window close, pages.
+        footprint_pages: u64,
+        /// Protection faults taken inside the window.
+        faults: u64,
+    },
+    /// A checkpoint image was captured from the address space.
+    Capture {
+        /// Full or incremental.
+        kind: CaptureKind,
+        /// Generation number.
+        generation: u64,
+        /// Non-zero pages stored in the chunk.
+        pages: u64,
+        /// Encoded chunk size, bytes.
+        payload_bytes: u64,
+    },
+    /// The rank blocked on an in-flight checkpoint (forced wait or
+    /// copy-on-write drag); the span covers the blocked interval.
+    CheckpointStall {
+        /// Generation being waited on.
+        generation: u64,
+    },
+    /// Commit barrier for a generation released on this rank.
+    CommitBarrier {
+        /// Generation committed.
+        generation: u64,
+    },
+    /// A chunk write reached stable storage.
+    ChunkPut {
+        /// Generation of the chunk.
+        generation: u64,
+        /// Encoded bytes written.
+        bytes: u64,
+        /// Virtual ns spent queued behind earlier transfers.
+        queue_wait_ns: u64,
+        /// Virtual ns of wire/latency service time.
+        service_ns: u64,
+    },
+    /// A chunk read from stable storage (restore path).
+    ChunkGet {
+        /// Generation of the chunk.
+        generation: u64,
+        /// Encoded bytes read.
+        bytes: u64,
+        /// Virtual ns spent queued behind earlier transfers.
+        queue_wait_ns: u64,
+        /// Virtual ns of wire/latency service time.
+        service_ns: u64,
+    },
+    /// A manifest write reached stable storage.
+    ManifestPut {
+        /// Generation of the manifest.
+        generation: u64,
+        /// Encoded bytes written.
+        bytes: u64,
+    },
+    /// A device serviced one transfer (emitted on the device's lane).
+    DeviceTransfer {
+        /// Payload bytes moved.
+        bytes: u64,
+        /// Virtual ns the transfer waited for the device to free up.
+        queue_wait_ns: u64,
+        /// Virtual ns of service (wire + latency).
+        service_ns: u64,
+    },
+    /// Redundancy data (partner copy or parity) published over the
+    /// interconnect at checkpoint time.
+    RedundancyPublish {
+        /// Generation published.
+        generation: u64,
+        /// Bytes pushed to peers.
+        bytes: u64,
+    },
+    /// A lost rank's checkpoint was rebuilt from surviving pieces.
+    RedundancyReconstruct {
+        /// Generation reconstructed.
+        generation: u64,
+        /// Surviving pieces combined.
+        pieces: u32,
+        /// Bytes pulled over the interconnect to rebuild.
+        bytes: u64,
+    },
+    /// One drain batch flushed committed generations to the array;
+    /// the span covers commit-time → drain-completion.
+    DrainBatch {
+        /// Committed generations flushed in this batch.
+        generations: u64,
+        /// Chunks written to the durable array.
+        chunks: u64,
+        /// Bytes written to the durable array.
+        bytes: u64,
+    },
+    /// Drain queue depth (pending generations) after an enqueue or
+    /// flush — sampled, not continuous.
+    DrainQueueDepth {
+        /// Generations waiting to drain.
+        depth: u64,
+    },
+    /// Bytes a recovery read charged against one tier.
+    RecoveryRead {
+        /// Which tier served the read.
+        tier: RecoveryTier,
+        /// Bytes read.
+        bytes: u64,
+    },
+    /// The recovery planner chose a source for a rank.
+    RecoveryPlan {
+        /// Rank being recovered.
+        rank: u32,
+        /// Chosen source tier.
+        tier: RecoveryTier,
+        /// Generation targeted (0 for cold restart).
+        generation: u64,
+    },
+    /// A rank's address space was rebuilt from storage; span covers
+    /// the virtual time the rollback read+apply took.
+    Restore {
+        /// Generation restored to.
+        generation: u64,
+        /// Chunks in the applied chain.
+        chain: u64,
+        /// Pages written into the space.
+        pages: u64,
+        /// Bytes read from storage.
+        bytes: u64,
+    },
+    /// A failure was injected.
+    Failure {
+        /// Rank that failed.
+        rank: u32,
+        /// 1 if the node's local tier was lost too, else 0.
+        node_loss: u32,
+    },
+    /// A named monotone counter sample.
+    Counter {
+        /// Counter name (static so events stay `Copy`).
+        name: &'static str,
+        /// Sampled value.
+        value: u64,
+    },
+}
+
+impl Event {
+    /// Stable event-type token (the `name` field in exports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::IterationBoundary { .. } => "iteration",
+            Event::TrackerWindow { .. } => "tracker_window",
+            Event::Capture { .. } => "capture",
+            Event::CheckpointStall { .. } => "ckpt_stall",
+            Event::CommitBarrier { .. } => "commit",
+            Event::ChunkPut { .. } => "chunk_put",
+            Event::ChunkGet { .. } => "chunk_get",
+            Event::ManifestPut { .. } => "manifest_put",
+            Event::DeviceTransfer { .. } => "transfer",
+            Event::RedundancyPublish { .. } => "publish",
+            Event::RedundancyReconstruct { .. } => "reconstruct",
+            Event::DrainBatch { .. } => "drain_batch",
+            Event::DrainQueueDepth { .. } => "drain_depth",
+            Event::RecoveryRead { .. } => "recovery_read",
+            Event::RecoveryPlan { .. } => "recovery_plan",
+            Event::Restore { .. } => "restore",
+            Event::Failure { .. } => "failure",
+            Event::Counter { .. } => "counter",
+        }
+    }
+
+    /// Append the event's argument object (`{"k":v,...}`) as JSON.
+    /// Field order is fixed by this function, so serialization is
+    /// byte-deterministic.
+    pub fn write_args(&self, out: &mut String) {
+        use std::fmt::Write;
+        out.push('{');
+        match *self {
+            Event::RunStart { ranks } => {
+                let _ = write!(out, "\"ranks\":{ranks}");
+            }
+            Event::IterationBoundary { iteration } => {
+                let _ = write!(out, "\"iteration\":{iteration}");
+            }
+            Event::TrackerWindow { index, iws_pages, footprint_pages, faults } => {
+                let _ = write!(
+                    out,
+                    "\"index\":{index},\"iws_pages\":{iws_pages},\"footprint_pages\":{footprint_pages},\"faults\":{faults}"
+                );
+            }
+            Event::Capture { kind, generation, pages, payload_bytes } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"{}\",\"generation\":{generation},\"pages\":{pages},\"payload_bytes\":{payload_bytes}",
+                    kind.token()
+                );
+            }
+            Event::CheckpointStall { generation } => {
+                let _ = write!(out, "\"generation\":{generation}");
+            }
+            Event::CommitBarrier { generation } => {
+                let _ = write!(out, "\"generation\":{generation}");
+            }
+            Event::ChunkPut { generation, bytes, queue_wait_ns, service_ns }
+            | Event::ChunkGet { generation, bytes, queue_wait_ns, service_ns } => {
+                let _ = write!(
+                    out,
+                    "\"generation\":{generation},\"bytes\":{bytes},\"queue_wait_ns\":{queue_wait_ns},\"service_ns\":{service_ns}"
+                );
+            }
+            Event::ManifestPut { generation, bytes } => {
+                let _ = write!(out, "\"generation\":{generation},\"bytes\":{bytes}");
+            }
+            Event::DeviceTransfer { bytes, queue_wait_ns, service_ns } => {
+                let _ = write!(
+                    out,
+                    "\"bytes\":{bytes},\"queue_wait_ns\":{queue_wait_ns},\"service_ns\":{service_ns}"
+                );
+            }
+            Event::RedundancyPublish { generation, bytes } => {
+                let _ = write!(out, "\"generation\":{generation},\"bytes\":{bytes}");
+            }
+            Event::RedundancyReconstruct { generation, pieces, bytes } => {
+                let _ = write!(
+                    out,
+                    "\"generation\":{generation},\"pieces\":{pieces},\"bytes\":{bytes}"
+                );
+            }
+            Event::DrainBatch { generations, chunks, bytes } => {
+                let _ = write!(
+                    out,
+                    "\"generations\":{generations},\"chunks\":{chunks},\"bytes\":{bytes}"
+                );
+            }
+            Event::DrainQueueDepth { depth } => {
+                let _ = write!(out, "\"depth\":{depth}");
+            }
+            Event::RecoveryRead { tier, bytes } => {
+                let _ = write!(out, "\"tier\":\"{}\",\"bytes\":{bytes}", tier.token());
+            }
+            Event::RecoveryPlan { rank, tier, generation } => {
+                let _ = write!(
+                    out,
+                    "\"rank\":{rank},\"tier\":\"{}\",\"generation\":{generation}",
+                    tier.token()
+                );
+            }
+            Event::Restore { generation, chain, pages, bytes } => {
+                let _ = write!(
+                    out,
+                    "\"generation\":{generation},\"chain\":{chain},\"pages\":{pages},\"bytes\":{bytes}"
+                );
+            }
+            Event::Failure { rank, node_loss } => {
+                let _ = write!(out, "\"rank\":{rank},\"node_loss\":{node_loss}");
+            }
+            Event::Counter { name, value } => {
+                let _ = write!(out, "\"counter\":\"{name}\",\"value\":{value}");
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// An [`Event`] stamped with virtual time. `dur == 0` exports as an
+/// instant; `dur > 0` as a complete slice `[ts, ts+dur]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Virtual start instant.
+    pub ts: SimTime,
+    /// Virtual extent (zero for instants).
+    pub dur: SimDuration,
+    /// What happened.
+    pub event: Event,
+}

@@ -1,0 +1,541 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and
+//! line-delimited JSON for programmatic consumers.
+//!
+//! Both serializers are hand-rolled over integer fields with fixed key
+//! order and iterate a [`TraceSnapshot`] (whose tracks and events are
+//! already canonically sorted), so the output is byte-deterministic
+//! for a given seed regardless of `ICKPT_BENCH_THREADS`.
+
+use std::fmt::Write;
+
+use crate::event::{TimedEvent, TrackKey};
+use crate::log::TraceSnapshot;
+
+/// Append a Chrome-trace timestamp: microseconds with nanosecond
+/// precision, rendered with integer math (`f64` formatting would be a
+/// determinism hazard across platforms).
+fn write_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+/// Escape a string for embedding in a JSON string literal. Track and
+/// group names are ASCII identifiers in practice; this keeps the
+/// exporter correct if a caller names a group creatively.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_chrome_event(out: &mut String, pid: u32, key: &TrackKey, ev: &TimedEvent) {
+    let _ = write!(out, "{{\"name\":\"{}\",\"cat\":\"ickpt\",", ev.event.name());
+    if ev.dur.0 > 0 {
+        out.push_str("\"ph\":\"X\",\"ts\":");
+        write_us(out, ev.ts.0);
+        out.push_str(",\"dur\":");
+        write_us(out, ev.dur.0);
+    } else {
+        out.push_str("\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+        write_us(out, ev.ts.0);
+    }
+    let _ = write!(out, ",\"pid\":{pid},\"tid\":{},\"args\":", key.lane.tid());
+    ev.event.write_args(out);
+    out.push('}');
+}
+
+/// Serialize a snapshot in Chrome trace-event format. Open the result
+/// in <https://ui.perfetto.dev> (or `chrome://tracing`): one process
+/// per run group, one thread track per rank/device/drain lane, with
+/// virtual nanoseconds on the time axis (shown as µs).
+pub fn chrome_trace(snap: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let push_sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str("\n ");
+    };
+
+    // Metadata: name each process (run group) and thread (lane), and
+    // pin the display order to lane order.
+    let mut groups_seen: Vec<u32> = Vec::new();
+    for (key, _, _) in &snap.tracks {
+        if !groups_seen.contains(&key.group) {
+            groups_seen.push(key.group);
+        }
+    }
+    groups_seen.sort_unstable();
+    for group in &groups_seen {
+        let pid = group + 1;
+        push_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\""
+        );
+        escape_into(&mut out, &snap.group_name(*group));
+        out.push_str("\"}}");
+    }
+    for (sort_index, (key, _, _)) in snap.tracks.iter().enumerate() {
+        let pid = key.group + 1;
+        push_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            key.lane.tid(),
+            key.lane.label()
+        );
+        push_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\"args\":{{\"sort_index\":{sort_index}}}}}",
+            key.lane.tid()
+        );
+    }
+
+    for (key, events, _) in &snap.tracks {
+        let pid = key.group + 1;
+        for ev in events {
+            push_sep(&mut out, &mut first);
+            write_chrome_event(&mut out, pid, key, ev);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Serialize a snapshot as JSONL: one event per line with fixed keys
+/// `run`, `track`, `ts`, `dur`, `name`, `args` (virtual nanoseconds).
+/// Tracks appear in canonical order; within a track, events are
+/// time-ordered.
+pub fn jsonl(snap: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    for (key, events, _) in &snap.tracks {
+        let run = snap.group_name(key.group);
+        for ev in events {
+            out.push_str("{\"run\":\"");
+            escape_into(&mut out, &run);
+            out.push_str("\",\"track\":\"");
+            out.push_str(&key.lane.label());
+            let _ = write!(
+                out,
+                "\",\"ts\":{},\"dur\":{},\"name\":\"{}\",\"args\":",
+                ev.ts.0,
+                ev.dur.0,
+                ev.event.name()
+            );
+            ev.event.write_args(&mut out);
+            out.push_str("}\n");
+        }
+    }
+    out
+}
+
+/// One event read back from a JSONL export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedEvent {
+    /// Run group name.
+    pub run: String,
+    /// Track label (`rank0`, `dev:local:3`, `drain`, `run`).
+    pub track: String,
+    /// Virtual start, ns.
+    pub ts: u64,
+    /// Virtual extent, ns (0 = instant).
+    pub dur: u64,
+    /// Event-type token.
+    pub name: String,
+    /// Argument key/value pairs; values kept as raw JSON tokens.
+    pub args: Vec<(String, String)>,
+}
+
+/// Parse the exporter's own JSONL back into events — enough JSON for
+/// `inspect --trace` and the test suite without a serde dependency.
+/// Accepts exactly the flat shape [`jsonl`] writes.
+pub fn parse_jsonl(text: &str) -> Result<Vec<ParsedEvent>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> Result<ParsedEvent, String> {
+    let mut p = Cursor { b: line.as_bytes(), i: 0 };
+    p.expect(b'{')?;
+    let mut run = String::new();
+    let mut track = String::new();
+    let mut ts = 0u64;
+    let mut dur = 0u64;
+    let mut name = String::new();
+    let mut args = Vec::new();
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "run" => run = p.string()?,
+            "track" => track = p.string()?,
+            "ts" => ts = p.integer()?,
+            "dur" => dur = p.integer()?,
+            "name" => name = p.string()?,
+            "args" => {
+                p.expect(b'{')?;
+                if p.peek() == Some(b'}') {
+                    p.i += 1;
+                } else {
+                    loop {
+                        let k = p.string()?;
+                        p.expect(b':')?;
+                        let v = p.raw_value()?;
+                        args.push((k, v));
+                        match p.next()? {
+                            b',' => continue,
+                            b'}' => break,
+                            c => return Err(format!("unexpected byte {:?} in args", c as char)),
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+        match p.next()? {
+            b',' => continue,
+            b'}' => break,
+            c => return Err(format!("unexpected byte {:?}", c as char)),
+        }
+    }
+    Ok(ParsedEvent { run, track, ts, dur, name, args })
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Result<u8, String> {
+        let c = self.peek().ok_or("unexpected end of line")?;
+        self.i += 1;
+        Ok(c)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let got = self.next()?;
+        if got != want {
+            return Err(format!("expected {:?}, got {:?}", want as char, got as char));
+        }
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Ok(s),
+                b'\\' => match self.next()? {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'n' => s.push('\n'),
+                    b'r' => s.push('\r'),
+                    b't' => s.push('\t'),
+                    c => return Err(format!("unsupported escape \\{}", c as char)),
+                },
+                c => s.push(c as char),
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<u64, String> {
+        let start = self.i;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err("expected integer".to_string());
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad integer: {e}"))
+    }
+
+    /// A primitive value (string or integer) as its raw token text.
+    fn raw_value(&mut self) -> Result<String, String> {
+        if self.peek() == Some(b'"') {
+            self.string()
+        } else {
+            Ok(self.integer()?.to_string())
+        }
+    }
+}
+
+/// Check `text` is well-formed JSON (objects, arrays, strings,
+/// numbers, literals). Used by the test suite to validate the Chrome
+/// export against the trace-event schema's base grammar.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let mut v = Validator { b: text.as_bytes(), i: 0 };
+    v.skip_ws();
+    v.value()?;
+    v.skip_ws();
+    if v.i != v.b.len() {
+        return Err(format!("trailing bytes at offset {}", v.i));
+    }
+    Ok(())
+}
+
+struct Validator<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Validator<'_> {
+    fn skip_ws(&mut self) {
+        while self.b.get(self.i).is_some_and(|c| c.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn err<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!("{msg} at offset {}", self.i))
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            _ => self.err("expected value"),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            self.err("bad literal")
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.i += 1; // '{'
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return self.err("expected ':'");
+            }
+            self.i += 1;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.i += 1; // '['
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        if self.peek() != Some(b'"') {
+            return self.err("expected string");
+        }
+        self.i += 1;
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 2;
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let start = self.i;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return self.err("expected digits");
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            let frac = self.i;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+            if self.i == frac {
+                return self.err("expected fraction digits");
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.i += 1;
+            }
+            let exp = self.i;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+            if self.i == exp {
+                return self.err("expected exponent digits");
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DeviceKind, Event, Lane};
+    use crate::log::{FlightRecorder, Recorder};
+    use ickpt_sim::{SimDuration, SimTime};
+
+    fn sample_snapshot() -> TraceSnapshot {
+        let fr = FlightRecorder::new(128);
+        fr.name_group(0, "demo");
+        let rec = Recorder::new(fr.clone());
+        rec.emit(Lane::Run, SimTime(0), Event::RunStart { ranks: 2 });
+        rec.emit_span(
+            Lane::Rank(0),
+            SimTime(1_500),
+            SimDuration(2_250),
+            Event::Capture {
+                kind: crate::event::CaptureKind::Full,
+                generation: 0,
+                pages: 7,
+                payload_bytes: 4096,
+            },
+        );
+        rec.emit(
+            Lane::Device(DeviceKind::Local, 0),
+            SimTime(2_000),
+            Event::DeviceTransfer { bytes: 4096, queue_wait_ns: 0, service_ns: 900 },
+        );
+        rec.emit(Lane::Drain, SimTime(9_000), Event::DrainQueueDepth { depth: 1 });
+        fr.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed_and_stable() {
+        let snap = sample_snapshot();
+        let a = chrome_trace(&snap);
+        let b = chrome_trace(&snap);
+        assert_eq!(a, b);
+        validate_json(&a).expect("chrome export must be valid JSON");
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"ts\":1.500"));
+        assert!(a.contains("\"dur\":2.250"));
+        assert!(a.contains("\"process_name\""));
+        assert!(a.contains("\"demo\""));
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_parse() {
+        let snap = sample_snapshot();
+        let text = jsonl(&snap);
+        let events = parse_jsonl(&text).expect("parse own export");
+        assert_eq!(events.len(), snap.event_count());
+        let cap = events.iter().find(|e| e.name == "capture").unwrap();
+        assert_eq!(cap.run, "demo");
+        assert_eq!(cap.track, "rank0");
+        assert_eq!(cap.ts, 1_500);
+        assert_eq!(cap.dur, 2_250);
+        assert!(cap.args.iter().any(|(k, v)| k == "payload_bytes" && v == "4096"));
+        // Every line is itself valid JSON.
+        for line in text.lines() {
+            validate_json(line).expect("jsonl line must be valid JSON");
+        }
+    }
+
+    #[test]
+    fn per_track_timestamps_are_sorted() {
+        let fr = FlightRecorder::new(128);
+        let rec = Recorder::new(fr.clone());
+        // Inserted out of order on the same track.
+        rec.emit(Lane::Rank(0), SimTime(30), Event::IterationBoundary { iteration: 2 });
+        rec.emit(Lane::Rank(0), SimTime(10), Event::IterationBoundary { iteration: 0 });
+        rec.emit(Lane::Rank(0), SimTime(20), Event::IterationBoundary { iteration: 1 });
+        let events = parse_jsonl(&jsonl(&fr.snapshot())).unwrap();
+        let ts: Vec<u64> = events.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn validate_json_rejects_garbage() {
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("[1,2,]").is_err());
+        assert!(validate_json("{} trailing").is_err());
+        assert!(validate_json("{\"a\":1}").is_ok());
+    }
+}

@@ -63,6 +63,24 @@ impl DevicePreset {
     }
 }
 
+/// Full accounting for one transfer through a [`BandwidthDevice`]:
+/// where the time went, split into FIFO queue wait vs actual service
+/// (wire time + fixed latency). Feeds the flight recorder's
+/// `DeviceTransfer` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// When the device started serving this transfer (≥ issue time).
+    pub start: SimTime,
+    /// When the last byte left the wire (excludes fixed latency).
+    pub done_on_wire: SimTime,
+    /// Completion instant observed by the caller (wire + latency).
+    pub done: SimTime,
+    /// Time spent queued behind earlier transfers (`start - now`).
+    pub queue_wait: SimDuration,
+    /// Time the transfer occupied the device plus fixed latency.
+    pub service: SimDuration,
+}
+
 /// A FIFO bandwidth device.
 #[derive(Debug, Clone)]
 pub struct BandwidthDevice {
@@ -73,6 +91,10 @@ pub struct BandwidthDevice {
     bytes_total: u64,
     /// Total time the device spent busy.
     busy_total: SimDuration,
+    /// Total time transfers waited behind earlier transfers.
+    queue_wait_total: SimDuration,
+    /// Number of transfers issued.
+    transfers: u64,
 }
 
 impl BandwidthDevice {
@@ -86,6 +108,8 @@ impl BandwidthDevice {
             busy_until: SimTime::ZERO,
             bytes_total: 0,
             busy_total: SimDuration::ZERO,
+            queue_wait_total: SimDuration::ZERO,
+            transfers: 0,
         }
     }
 
@@ -103,13 +127,28 @@ impl BandwidthDevice {
     /// instant. The device serializes transfers FIFO: if it is still
     /// busy, the transfer queues.
     pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.transfer_detailed(now, bytes).done
+    }
+
+    /// [`BandwidthDevice::transfer`], returning the full queue-wait vs
+    /// service breakdown for observability.
+    pub fn transfer_detailed(&mut self, now: SimTime, bytes: u64) -> Transfer {
         let start = self.busy_until.max(now);
+        let queue_wait = start.saturating_sub(now);
         let xfer = SimDuration::for_transfer(bytes, self.bytes_per_sec);
         let done_on_wire = start + xfer;
         self.busy_until = done_on_wire;
         self.bytes_total += bytes;
         self.busy_total += xfer;
-        done_on_wire + self.latency
+        self.queue_wait_total += queue_wait;
+        self.transfers += 1;
+        Transfer {
+            start,
+            done_on_wire,
+            done: done_on_wire + self.latency,
+            queue_wait,
+            service: xfer + self.latency,
+        }
     }
 
     /// When the device next becomes free.
@@ -125,6 +164,16 @@ impl BandwidthDevice {
     /// Total time the device spent busy transferring.
     pub fn busy_total(&self) -> SimDuration {
         self.busy_total
+    }
+
+    /// Total time transfers spent queued behind earlier transfers.
+    pub fn queue_wait_total(&self) -> SimDuration {
+        self.queue_wait_total
+    }
+
+    /// Number of transfers issued through the device.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
     }
 
     /// Mean utilization over `[0, now]`, in `[0, 1]`.
@@ -150,6 +199,12 @@ impl SharedDevice {
     /// Issue a transfer; see [`BandwidthDevice::transfer`].
     pub fn transfer(&self, now: SimTime, bytes: u64) -> SimTime {
         self.0.lock().transfer(now, bytes)
+    }
+
+    /// Issue a transfer with the full queue-wait vs service breakdown;
+    /// see [`BandwidthDevice::transfer_detailed`].
+    pub fn transfer_detailed(&self, now: SimTime, bytes: u64) -> Transfer {
+        self.0.lock().transfer_detailed(now, bytes)
     }
 
     /// Snapshot of total bytes transferred.
@@ -204,6 +259,50 @@ mod tests {
         d.transfer(SimTime::ZERO, 500_000);
         assert!((d.utilization(SimTime::from_secs(1)) - 0.5).abs() < 1e-9);
         assert_eq!(d.bytes_total(), 500_000);
+    }
+
+    #[test]
+    fn back_to_back_transfer_accrues_queue_wait() {
+        let mut d = BandwidthDevice::new(1_000_000, SimDuration::from_micros(10));
+        let a = d.transfer_detailed(SimTime::ZERO, 500_000);
+        assert_eq!(a.queue_wait, SimDuration::ZERO);
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(a.service, SimDuration::from_secs_f64(0.5) + SimDuration::from_micros(10));
+        // Issued while the first transfer still owns the wire: waits
+        // the remaining 0.5 s in queue, then gets full service.
+        let b = d.transfer_detailed(SimTime::ZERO, 500_000);
+        assert_eq!(b.queue_wait, SimDuration::from_secs_f64(0.5));
+        assert_eq!(b.start, SimTime::from_secs_f64(0.5));
+        assert_eq!(b.done_on_wire, SimTime::from_secs(1));
+        assert_eq!(b.done, SimTime::from_secs(1) + SimDuration::from_micros(10));
+        assert_eq!(d.queue_wait_total(), SimDuration::from_secs_f64(0.5));
+        assert_eq!(d.transfers(), 2);
+    }
+
+    #[test]
+    fn gapped_transfers_never_queue() {
+        let mut d = BandwidthDevice::new(1_000_000, SimDuration::ZERO);
+        let a = d.transfer_detailed(SimTime::ZERO, 100_000); // busy until 0.1 s
+        let b = d.transfer_detailed(SimTime::from_secs(5), 100_000);
+        assert_eq!(a.queue_wait, SimDuration::ZERO);
+        assert_eq!(b.queue_wait, SimDuration::ZERO);
+        assert_eq!(b.start, SimTime::from_secs(5));
+        assert_eq!(d.queue_wait_total(), SimDuration::ZERO);
+        // Busy time only counts wire occupancy, not the idle gap.
+        assert_eq!(d.busy_total(), SimDuration::from_secs_f64(0.2));
+    }
+
+    #[test]
+    fn transfer_and_detailed_agree() {
+        let mut a = BandwidthDevice::new(2_000_000, SimDuration::from_micros(3));
+        let mut b = a.clone();
+        for (t, bytes) in [(0u64, 100_000u64), (0, 50_000), (7, 250_000)] {
+            let done = a.transfer(SimTime::from_secs(t), bytes);
+            let det = b.transfer_detailed(SimTime::from_secs(t), bytes);
+            assert_eq!(done, det.done);
+        }
+        assert_eq!(a.bytes_total(), b.bytes_total());
+        assert_eq!(a.queue_wait_total(), b.queue_wait_total());
     }
 
     #[test]

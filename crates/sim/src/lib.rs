@@ -28,6 +28,6 @@ pub mod rendezvous;
 pub mod rng;
 
 pub use clock::{SimDuration, SimTime};
-pub use device::{BandwidthDevice, DevicePreset, SharedDevice};
+pub use device::{BandwidthDevice, DevicePreset, SharedDevice, Transfer};
 pub use rendezvous::Rendezvous;
 pub use rng::SplitMix64;

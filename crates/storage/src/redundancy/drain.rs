@@ -27,6 +27,7 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
+use ickpt_obs::{DeviceKind, Event, Lane, Recorder};
 use ickpt_sim::{SimDuration, SimTime};
 
 use crate::store::{ChunkKey, StableStorage, StorageError};
@@ -74,6 +75,11 @@ pub struct DrainQueue {
     nranks: usize,
     drain_every: u64,
     state: Mutex<DrainState>,
+    /// Flight recorder for batch lifecycle / queue-depth events. The
+    /// flush runs on whichever rank thread notified last, but always
+    /// under the state lock in canonical order, so its events are
+    /// deterministic; they land on the dedicated drain lane.
+    obs: Mutex<Recorder>,
 }
 
 impl DrainQueue {
@@ -81,7 +87,17 @@ impl DrainQueue {
     /// generation, the synchronous-durable limit).
     pub fn new(nranks: usize, drain_every: u64) -> Self {
         assert!(drain_every >= 1);
-        Self { nranks, drain_every, state: Mutex::new(DrainState::default()) }
+        Self {
+            nranks,
+            drain_every,
+            state: Mutex::new(DrainState::default()),
+            obs: Mutex::new(Recorder::disabled()),
+        }
+    }
+
+    /// Attach a flight recorder (call before the run starts writing).
+    pub fn attach_obs(&self, obs: Recorder) {
+        *self.obs.lock() = obs;
     }
 
     /// The configured drain period.
@@ -108,8 +124,19 @@ impl DrainQueue {
         }
         state.arrivals.remove(&generation);
         state.undrained.insert(generation);
+        let obs = self.obs.lock().clone();
+        obs.emit(
+            Lane::Drain,
+            commit_time,
+            Event::DrainQueueDepth { depth: state.undrained.len() as u64 },
+        );
         if (generation + 1).is_multiple_of(self.drain_every) {
-            self.flush(&mut state, generation, commit_time, locals, shared, array)?;
+            self.flush(&mut state, generation, commit_time, locals, shared, array, &obs)?;
+            obs.emit(
+                Lane::Drain,
+                commit_time,
+                Event::DrainQueueDepth { depth: state.undrained.len() as u64 },
+            );
         }
         Ok(())
     }
@@ -118,6 +145,7 @@ impl DrainQueue {
     /// the shared array, in canonical (generation, rank) order, then
     /// the target's manifest. Charges the array device from
     /// `commit_time`.
+    #[allow(clippy::too_many_arguments)]
     fn flush(
         &self,
         state: &mut DrainState,
@@ -126,9 +154,12 @@ impl DrainQueue {
         locals: &LocalStores,
         shared: &Arc<dyn StableStorage>,
         array: &SharedBandwidthDevice,
+        obs: &Recorder,
     ) -> Result<(), StorageError> {
         let gens: Vec<u64> = state.undrained.range(..=target).copied().collect();
         let mut flushed = Vec::new();
+        let mut batch_chunks = 0u64;
+        let mut batch_bytes = 0u64;
         for &gen in &gens {
             // Gather first: a generation with any missing local chunk
             // (wiped by a node loss, never re-deposited) is abandoned
@@ -150,8 +181,20 @@ impl DrainQueue {
             }
             for (rank, data) in chunks.iter().enumerate() {
                 shared.put_chunk(ChunkKey::new(rank as u32, gen), data)?;
-                array.lock().transfer(commit_time, data.len() as u64);
+                let t = array.lock().transfer_detailed(commit_time, data.len() as u64);
+                obs.emit_span(
+                    Lane::Device(DeviceKind::Array, 0),
+                    t.start,
+                    t.service,
+                    Event::DeviceTransfer {
+                        bytes: data.len() as u64,
+                        queue_wait_ns: t.queue_wait.0,
+                        service_ns: t.service.0,
+                    },
+                );
                 state.stats.drained_bytes += data.len() as u64;
+                batch_chunks += 1;
+                batch_bytes += data.len() as u64;
             }
             state.stats.drained_generations += 1;
             flushed.push(gen);
@@ -165,9 +208,31 @@ impl DrainQueue {
             shared.put_manifest(target, &manifest)?;
             // The array is FIFO, so the manifest (charged last)
             // completes after every chunk of the batch.
-            let done = array.lock().transfer(commit_time, manifest.len() as u64);
+            let t = array.lock().transfer_detailed(commit_time, manifest.len() as u64);
+            let done = t.done;
+            obs.emit_span(
+                Lane::Device(DeviceKind::Array, 0),
+                t.start,
+                t.service,
+                Event::DeviceTransfer {
+                    bytes: manifest.len() as u64,
+                    queue_wait_ns: t.queue_wait.0,
+                    service_ns: t.service.0,
+                },
+            );
             state.stats.drained_bytes += manifest.len() as u64;
+            batch_bytes += manifest.len() as u64;
             state.stats.last_drained = Some(target);
+            obs.emit_span(
+                Lane::Drain,
+                commit_time,
+                done.saturating_sub(commit_time),
+                Event::DrainBatch {
+                    generations: flushed.len() as u64,
+                    chunks: batch_chunks,
+                    bytes: batch_bytes,
+                },
+            );
             state.batches.insert(target, Batch { completed_at: done, generations: flushed });
         }
         Ok(())

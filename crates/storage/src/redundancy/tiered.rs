@@ -29,6 +29,7 @@
 use parking_lot::Mutex;
 use std::sync::Arc;
 
+use ickpt_obs::{DeviceKind, Event, Lane, Recorder, RecoveryTier};
 use ickpt_sim::{BandwidthDevice, SimDuration, SimTime};
 
 use crate::chunk::{peek_lineage, ChunkKind};
@@ -60,6 +61,16 @@ impl RecoverySource {
             RecoverySource::Reconstructed => "reconstructed",
             RecoverySource::Durable => "durable",
             RecoverySource::ColdRestart => "cold-restart",
+        }
+    }
+
+    /// The flight recorder's view of this source.
+    pub fn obs_tier(&self) -> RecoveryTier {
+        match self {
+            RecoverySource::Local => RecoveryTier::Local,
+            RecoverySource::Reconstructed => RecoveryTier::Reconstructed,
+            RecoverySource::Durable => RecoveryTier::Durable,
+            RecoverySource::ColdRestart => RecoveryTier::ColdRestart,
         }
     }
 }
@@ -110,6 +121,7 @@ pub struct TierTopology {
     array: SharedBandwidthDevice,
     drain: DrainQueue,
     counters: Vec<Mutex<TierUsage>>,
+    obs: Mutex<Recorder>,
 }
 
 impl TierTopology {
@@ -167,7 +179,20 @@ impl TierTopology {
             array: shared_device(array_proto),
             drain: DrainQueue::new(nranks, drain_every),
             counters: (0..nranks).map(|_| Mutex::new(TierUsage::default())).collect(),
+            obs: Mutex::new(Recorder::disabled()),
         })
+    }
+
+    /// Attach a flight recorder to every tier (call before the run
+    /// starts writing): rank handles, the drain queue, and recovery
+    /// readers all record through it.
+    pub fn attach_obs(&self, obs: Recorder) {
+        self.drain.attach_obs(obs.clone());
+        *self.obs.lock() = obs;
+    }
+
+    fn obs(&self) -> Recorder {
+        self.obs.lock().clone()
     }
 
     /// Number of ranks.
@@ -340,14 +365,59 @@ impl TieredStore {
         data: &[u8],
     ) -> Result<SimTime, StorageError> {
         let t = &*self.topo;
+        let obs = t.obs();
+        let rank_lane = Lane::Rank(self.rank as u32);
         t.locals[self.rank].put_chunk(key, data)?;
-        let t_local = t.local_devices[self.rank].lock().transfer(now, data.len() as u64);
+        let local = t.local_devices[self.rank].lock().transfer_detailed(now, data.len() as u64);
+        obs.emit_span(
+            Lane::Device(DeviceKind::Local, self.rank as u32),
+            local.start,
+            local.service,
+            Event::DeviceTransfer {
+                bytes: data.len() as u64,
+                queue_wait_ns: local.queue_wait.0,
+                service_ns: local.service.0,
+            },
+        );
         let sent = t.scheme.publish(&t.locals, self.rank, key, data)?;
-        let t_net = if sent > 0 { t.nics[self.rank].lock().transfer(now, sent) } else { now };
+        let t_net = if sent > 0 {
+            let net = t.nics[self.rank].lock().transfer_detailed(now, sent);
+            obs.emit_span(
+                Lane::Device(DeviceKind::Nic, self.rank as u32),
+                net.start,
+                net.service,
+                Event::DeviceTransfer {
+                    bytes: sent,
+                    queue_wait_ns: net.queue_wait.0,
+                    service_ns: net.service.0,
+                },
+            );
+            obs.emit_span(
+                rank_lane,
+                now,
+                net.done.saturating_sub(now),
+                Event::RedundancyPublish { generation: key.generation, bytes: sent },
+            );
+            net.done
+        } else {
+            now
+        };
+        let done = local.done.max(t_net);
+        obs.emit_span(
+            rank_lane,
+            now,
+            done.saturating_sub(now),
+            Event::ChunkPut {
+                generation: key.generation,
+                bytes: data.len() as u64,
+                queue_wait_ns: local.queue_wait.0,
+                service_ns: local.service.0,
+            },
+        );
         let mut c = t.counters[self.rank].lock();
         c.local_bytes += data.len() as u64;
         c.redundancy_bytes += sent;
-        Ok(t_local.max(t_net))
+        Ok(done)
     }
 
     /// Write the commit manifest at virtual time `now` (called by the
@@ -361,16 +431,49 @@ impl TieredStore {
         data: &[u8],
     ) -> Result<SimTime, StorageError> {
         let t = &*self.topo;
+        let obs = t.obs();
         for local in &t.locals {
             local.put_manifest(generation, data)?;
         }
-        let t_local = t.local_devices[self.rank].lock().transfer(now, data.len() as u64);
+        let local = t.local_devices[self.rank].lock().transfer_detailed(now, data.len() as u64);
+        obs.emit_span(
+            Lane::Device(DeviceKind::Local, self.rank as u32),
+            local.start,
+            local.service,
+            Event::DeviceTransfer {
+                bytes: data.len() as u64,
+                queue_wait_ns: local.queue_wait.0,
+                service_ns: local.service.0,
+            },
+        );
         let push = data.len() as u64 * (t.nranks as u64 - 1);
-        let t_net = if push > 0 { t.nics[self.rank].lock().transfer(now, push) } else { now };
+        let t_net = if push > 0 {
+            let net = t.nics[self.rank].lock().transfer_detailed(now, push);
+            obs.emit_span(
+                Lane::Device(DeviceKind::Nic, self.rank as u32),
+                net.start,
+                net.service,
+                Event::DeviceTransfer {
+                    bytes: push,
+                    queue_wait_ns: net.queue_wait.0,
+                    service_ns: net.service.0,
+                },
+            );
+            net.done
+        } else {
+            now
+        };
+        let done = local.done.max(t_net);
+        obs.emit_span(
+            Lane::Rank(self.rank as u32),
+            now,
+            done.saturating_sub(now),
+            Event::ManifestPut { generation, bytes: data.len() as u64 },
+        );
         let mut c = t.counters[self.rank].lock();
         c.local_bytes += data.len() as u64;
         c.redundancy_bytes += push;
-        Ok(t_local.max(t_net))
+        Ok(done)
     }
 
     /// A rank's commit notification: feeds the drain (the last
@@ -412,12 +515,29 @@ impl TierReader {
 
     fn charge(&self, tier: ServedBy, bytes: u64) {
         let mut clock = self.clock.lock();
+        let now = *clock;
         let dev = match tier {
             ServedBy::Local => &self.local_dev,
             ServedBy::Net => &self.nic_dev,
             ServedBy::Durable => &self.array_dev,
         };
-        *clock = dev.lock().transfer(*clock, bytes);
+        let t = dev.lock().transfer_detailed(now, bytes);
+        *clock = t.done;
+        drop(clock);
+        let obs_tier = match tier {
+            ServedBy::Local => RecoveryTier::Local,
+            ServedBy::Net => RecoveryTier::Reconstructed,
+            ServedBy::Durable => RecoveryTier::Durable,
+        };
+        // Spans land on the rank lane with the reader's own clock —
+        // the fresh per-reader devices keep them deterministic even
+        // when the live run devices were mid-transfer at the failure.
+        self.topo.obs().emit_span(
+            Lane::Rank(self.rank as u32),
+            now,
+            t.done.saturating_sub(now),
+            Event::RecoveryRead { tier: obs_tier, bytes },
+        );
         let mut c = self.topo.counters[self.rank].lock();
         match tier {
             ServedBy::Local => c.recovery_local_bytes += bytes,
@@ -442,6 +562,15 @@ impl StableStorage for TierReader {
         }
         if let Ok((data, pulled)) = t.scheme.reconstruct(&t.locals, key) {
             self.charge(ServedBy::Net, pulled);
+            t.obs().emit(
+                Lane::Rank(self.rank as u32),
+                self.now(),
+                Event::RedundancyReconstruct {
+                    generation: key.generation,
+                    pieces: t.nranks as u32 - 1,
+                    bytes: pulled,
+                },
+            );
             // Re-populate the local tier: later incrementals, drains
             // and a second failure all need the chain back in place.
             t.locals[self.rank].put_chunk(key, &data)?;

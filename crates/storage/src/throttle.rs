@@ -10,7 +10,8 @@
 
 use std::sync::Arc;
 
-use ickpt_sim::{BandwidthDevice, SimTime};
+use ickpt_obs::{Event, Lane, Recorder};
+use ickpt_sim::{BandwidthDevice, SimTime, Transfer};
 use parking_lot::Mutex;
 
 use crate::store::{ChunkKey, StableStorage, StorageError};
@@ -35,12 +36,21 @@ pub fn shared_device(device: BandwidthDevice) -> SharedBandwidthDevice {
 pub struct ThrottledStore {
     inner: Arc<dyn StableStorage>,
     device: SharedBandwidthDevice,
+    obs: Recorder,
+    rank_lane: Lane,
+    dev_lane: Lane,
 }
 
 impl ThrottledStore {
     /// Wrap `inner` behind a private `device`.
     pub fn new(inner: Arc<dyn StableStorage>, device: BandwidthDevice) -> Self {
-        Self { inner, device: Arc::new(Mutex::new(device)) }
+        Self {
+            inner,
+            device: Arc::new(Mutex::new(device)),
+            obs: Recorder::disabled(),
+            rank_lane: Lane::Run,
+            dev_lane: Lane::Run,
+        }
     }
 
     /// Wrap `inner` behind a device shared with other ranks.
@@ -48,7 +58,30 @@ impl ThrottledStore {
         inner: Arc<dyn StableStorage>,
         device: SharedBandwidthDevice,
     ) -> Self {
-        Self { inner, device }
+        Self { inner, device, obs: Recorder::disabled(), rank_lane: Lane::Run, dev_lane: Lane::Run }
+    }
+
+    /// Attach a flight recorder: chunk/manifest traffic is recorded on
+    /// `rank_lane`, device occupancy on `dev_lane`.
+    pub fn observed(mut self, obs: Recorder, rank_lane: Lane, dev_lane: Lane) -> Self {
+        self.obs = obs;
+        self.rank_lane = rank_lane;
+        self.dev_lane = dev_lane;
+        self
+    }
+
+    /// Record one device transfer on the device lane (occupancy span)
+    /// and return the breakdown for the caller's traffic event.
+    #[inline]
+    fn charge_device(&self, now: SimTime, bytes: u64) -> Transfer {
+        let t = self.device.lock().transfer_detailed(now, bytes);
+        self.obs.emit_span(
+            self.dev_lane,
+            t.start,
+            t.service,
+            Event::DeviceTransfer { bytes, queue_wait_ns: t.queue_wait.0, service_ns: t.service.0 },
+        );
+        t
     }
 
     /// Write a chunk at virtual time `now`; returns the instant the
@@ -60,7 +93,19 @@ impl ThrottledStore {
         data: &[u8],
     ) -> Result<SimTime, StorageError> {
         self.inner.put_chunk(key, data)?;
-        Ok(self.device.lock().transfer(now, data.len() as u64))
+        let t = self.charge_device(now, data.len() as u64);
+        self.obs.emit_span(
+            self.rank_lane,
+            now,
+            t.done.saturating_sub(now),
+            Event::ChunkPut {
+                generation: key.generation,
+                bytes: data.len() as u64,
+                queue_wait_ns: t.queue_wait.0,
+                service_ns: t.service.0,
+            },
+        );
+        Ok(t.done)
     }
 
     /// Write a manifest at virtual time `now`; returns completion time.
@@ -71,7 +116,14 @@ impl ThrottledStore {
         data: &[u8],
     ) -> Result<SimTime, StorageError> {
         self.inner.put_manifest(generation, data)?;
-        Ok(self.device.lock().transfer(now, data.len() as u64))
+        let t = self.charge_device(now, data.len() as u64);
+        self.obs.emit_span(
+            self.rank_lane,
+            now,
+            t.done.saturating_sub(now),
+            Event::ManifestPut { generation, bytes: data.len() as u64 },
+        );
+        Ok(t.done)
     }
 
     /// Read a chunk at virtual time `now`; returns the data and the
@@ -82,8 +134,19 @@ impl ThrottledStore {
         key: ChunkKey,
     ) -> Result<(Vec<u8>, SimTime), StorageError> {
         let data = self.inner.get_chunk(key)?;
-        let done = self.device.lock().transfer(now, data.len() as u64);
-        Ok((data, done))
+        let t = self.charge_device(now, data.len() as u64);
+        self.obs.emit_span(
+            self.rank_lane,
+            now,
+            t.done.saturating_sub(now),
+            Event::ChunkGet {
+                generation: key.generation,
+                bytes: data.len() as u64,
+                queue_wait_ns: t.queue_wait.0,
+                service_ns: t.service.0,
+            },
+        );
+        Ok((data, t.done))
     }
 
     /// Read a manifest at virtual time `now`; returns the data and the
@@ -96,8 +159,8 @@ impl ThrottledStore {
         generation: u64,
     ) -> Result<(Vec<u8>, SimTime), StorageError> {
         let data = self.inner.get_manifest(generation)?;
-        let done = self.device.lock().transfer(now, data.len() as u64);
-        Ok((data, done))
+        let t = self.charge_device(now, data.len() as u64);
+        Ok((data, t.done))
     }
 
     /// Total bytes pushed through this path.
@@ -133,22 +196,47 @@ impl TimedReads<'_> {
         *self.clock.lock()
     }
 
-    fn charge(&self, bytes: u64) {
+    fn charge(&self, bytes: u64) -> (SimTime, Transfer) {
         let mut clock = self.clock.lock();
-        *clock = self.store.device.lock().transfer(*clock, bytes);
+        let now = *clock;
+        let t = self.store.charge_device(now, bytes);
+        *clock = t.done;
+        (now, t)
     }
 }
 
 impl StableStorage for TimedReads<'_> {
     fn put_chunk(&self, key: ChunkKey, data: &[u8]) -> Result<(), StorageError> {
         self.store.inner.put_chunk(key, data)?;
-        self.charge(data.len() as u64);
+        let (now, t) = self.charge(data.len() as u64);
+        self.store.obs.emit_span(
+            self.store.rank_lane,
+            now,
+            t.done.saturating_sub(now),
+            Event::ChunkPut {
+                generation: key.generation,
+                bytes: data.len() as u64,
+                queue_wait_ns: t.queue_wait.0,
+                service_ns: t.service.0,
+            },
+        );
         Ok(())
     }
 
     fn get_chunk(&self, key: ChunkKey) -> Result<Vec<u8>, StorageError> {
         let data = self.store.inner.get_chunk(key)?;
-        self.charge(data.len() as u64);
+        let (now, t) = self.charge(data.len() as u64);
+        self.store.obs.emit_span(
+            self.store.rank_lane,
+            now,
+            t.done.saturating_sub(now),
+            Event::ChunkGet {
+                generation: key.generation,
+                bytes: data.len() as u64,
+                queue_wait_ns: t.queue_wait.0,
+                service_ns: t.service.0,
+            },
+        );
         Ok(data)
     }
 
@@ -162,7 +250,13 @@ impl StableStorage for TimedReads<'_> {
 
     fn put_manifest(&self, generation: u64, data: &[u8]) -> Result<(), StorageError> {
         self.store.inner.put_manifest(generation, data)?;
-        self.charge(data.len() as u64);
+        let (now, t) = self.charge(data.len() as u64);
+        self.store.obs.emit_span(
+            self.store.rank_lane,
+            now,
+            t.done.saturating_sub(now),
+            Event::ManifestPut { generation, bytes: data.len() as u64 },
+        );
         Ok(())
     }
 

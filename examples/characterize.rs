@@ -10,6 +10,9 @@
 //! where `workload` is one of: sage1000 sage500 sage100 sage50 sweep3d
 //! sp lu bt ft (default sage100).
 
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
 use ickpt::analysis::ascii_plot;
 use ickpt::apps::Workload;
 use ickpt::cluster::{characterize, CharacterizationConfig};

@@ -8,6 +8,9 @@
 //! cargo run --release --example durable_restart [dir]
 //! ```
 
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
 use std::sync::Arc;
 
 use ickpt::apps::synthetic::{SyntheticApp, SyntheticConfig};
@@ -49,6 +52,7 @@ fn config(store: Arc<dyn StableStorage>, failures: Vec<FailureSpec>) -> FaultTol
         failures,
         net: NetConfig::qsnet(),
         redundancy: None,
+        obs: ickpt::obs::Recorder::disabled(),
         max_attempts: 3,
     }
 }

@@ -7,6 +7,9 @@
 //! cargo run --release --example fault_tolerant_run
 //! ```
 
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
 use std::sync::Arc;
 
 use ickpt::apps::{AppModel, Workload};
@@ -39,6 +42,7 @@ fn config(failures: Vec<FailureSpec>) -> FaultTolerantConfig {
         failures,
         net: NetConfig::qsnet(),
         redundancy: None,
+        obs: ickpt::obs::Recorder::disabled(),
         max_attempts: 3,
     }
 }

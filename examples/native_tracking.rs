@@ -6,6 +6,9 @@
 //! cargo run --release --example native_tracking
 //! ```
 
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -5,6 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
 use ickpt::apps::Workload;
 use ickpt::cluster::{characterize, CharacterizationConfig};
 use ickpt::core::feasibility::FeasibilityReport;

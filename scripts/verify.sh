@@ -36,6 +36,22 @@ bench_smoke() {
         target/release/repro --only "table 4" >/tmp/ickpt_repro_t4.txt 2>/dev/null
     run diff /tmp/ickpt_repro_t1.txt /tmp/ickpt_repro_t4.txt
 
+    # Flight-recorder determinism: the exported trace files (Chrome
+    # JSON + JSONL) for a live-instrumented experiment must be
+    # byte-identical at 1 and 4 scheduler threads.
+    echo "==> repro --trace-out at 1 and 4 scheduler threads"
+    rm -rf /tmp/ickpt_trace_t1 /tmp/ickpt_trace_t4
+    ICKPT_BENCH_RANKS=4 ICKPT_BENCH_SCALE=0.05 ICKPT_BENCH_PERIODS=4 ICKPT_BENCH_THREADS=1 \
+        target/release/repro --only "Ablations" --trace-out /tmp/ickpt_trace_t1 \
+        >/dev/null 2>/dev/null
+    ICKPT_BENCH_RANKS=4 ICKPT_BENCH_SCALE=0.05 ICKPT_BENCH_PERIODS=4 ICKPT_BENCH_THREADS=4 \
+        target/release/repro --only "Ablations" --trace-out /tmp/ickpt_trace_t4 \
+        >/dev/null 2>/dev/null
+    run diff -r /tmp/ickpt_trace_t1 /tmp/ickpt_trace_t4
+    run cargo build --release -p ickpt-bench --bin inspect
+    run target/release/inspect --trace \
+        /tmp/ickpt_trace_t1/ablations-checkpoint-system.jsonl >/dev/null
+
     # Multilevel redundancy: inject a node loss mid-run, recover the
     # wiped rank by partner reconstruction, and diff the final
     # application state against a failure-free run (byte-identical or

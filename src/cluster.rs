@@ -41,13 +41,16 @@ use ickpt_core::checkpoint::{
 };
 use ickpt_core::coordinator::{CheckpointPlanner, CheckpointPolicy, VoteFlags};
 use ickpt_core::metrics::IwsSample;
-use ickpt_core::restore::{latest_committed_generation, restore_rank_with, RestoreConfig};
+use ickpt_core::restore::{
+    latest_committed_generation, record_restore, restore_rank_with, RestoreConfig,
+};
 use ickpt_core::trace::RankTrace;
 use ickpt_core::tracked_space::{ContentWrite, TrackedSpace};
 use ickpt_core::tracker::{EpochSample, IterationSample, TrackerConfig, WriteTracker};
 use ickpt_mem::{pages_for_bytes, AddressSpace, BackedSpace, DataLayout, PageRange, SparseSpace};
 use ickpt_net::comm::Endpoint;
 use ickpt_net::{CommWorld, NetConfig};
+use ickpt_obs::{DeviceKind, Event, Lane, ObsSummary, Recorder, RecoveryTier};
 use ickpt_sim::rendezvous::Combine;
 use ickpt_sim::{DevicePreset, SimDuration, SimTime};
 use ickpt_storage::{
@@ -225,6 +228,15 @@ pub struct RunReport {
     pub recoveries: Vec<RecoveryRecord>,
     /// Drain accounting of the durable tier (multilevel runs).
     pub drain: Option<DrainStats>,
+    /// Flight-recorder aggregates, when the run carried an enabled
+    /// [`Recorder`] (utilization, stalls, drain depth, recovery paths).
+    pub obs: Option<ObsSummary>,
+}
+
+/// Summarize the run's flight-recorder contents (all groups the
+/// recorder's sink has seen), or `None` when observability is off.
+fn summarize_obs(obs: &Recorder) -> Option<ObsSummary> {
+    obs.flight_recorder().map(|fr| ObsSummary::from_snapshot(&fr.snapshot()))
 }
 
 // ---------------------------------------------------------------------
@@ -262,6 +274,8 @@ pub struct CharacterizationConfig {
     /// rank-symmetric, so rank 0's trace characterizes the cluster;
     /// property tests trace every rank.
     pub trace_ranks: usize,
+    /// Flight recorder; disabled by default (zero-cost no-op).
+    pub obs: Recorder,
 }
 
 impl Default for CharacterizationConfig {
@@ -278,6 +292,7 @@ impl Default for CharacterizationConfig {
             net: NetConfig::qsnet(),
             seed: 0x5EED,
             trace_ranks: 0,
+            obs: Recorder::disabled(),
         }
     }
 }
@@ -291,6 +306,8 @@ impl CharacterizationConfig {
             epoch: self.epoch,
             track_iterations: self.track_iterations,
             record_trace: rank < self.trace_ranks,
+            obs: self.obs.clone(),
+            obs_rank: rank as u32,
         }
     }
 }
@@ -316,10 +333,12 @@ where
 {
     let world = CommWorld::new(cfg.nranks, cfg.net.clone());
     let endpoints = world.endpoints();
+    cfg.obs.emit(Lane::Run, SimTime::ZERO, Event::RunStart { ranks: cfg.nranks as u32 });
     let params = RunParams {
         run_for: cfg.run_for,
         max_iterations: None,
         stretch_overhead: cfg.stretch_overhead,
+        obs: cfg.obs.clone(),
     };
     let reports: Vec<RankReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = endpoints
@@ -365,6 +384,7 @@ where
         wasted: SimDuration::ZERO,
         recoveries: Vec::new(),
         drain: None,
+        obs: summarize_obs(&cfg.obs),
     }
 }
 
@@ -501,6 +521,9 @@ pub struct FaultTolerantConfig {
     /// straight to [`FaultTolerantConfig::store`] (the pre-existing
     /// behaviour).
     pub redundancy: Option<RedundancyConfig>,
+    /// Flight recorder; [`Recorder::disabled`] makes every emit a
+    /// no-op branch on a `None`.
+    pub obs: Recorder,
 }
 
 /// Run a model fleet with coordinated checkpointing and recovery on
@@ -529,6 +552,10 @@ where
             r.drain_every,
         )
     });
+    if let Some(t) = &topo {
+        t.attach_obs(cfg.obs.clone());
+    }
+    cfg.obs.emit(Lane::Run, SimTime::ZERO, Event::RunStart { ranks: cfg.nranks as u32 });
     let mut attempt = 0u32;
     let mut resume_from: Option<u64> = None;
     let mut wasted = SimDuration::ZERO;
@@ -539,12 +566,30 @@ where
         match report.outcome {
             RunOutcome::Completed => {
                 let drain = topo.as_ref().map(|t| t.drain_stats());
-                return Ok(RunReport { attempts: attempt, wasted, recoveries, drain, ..report });
+                let obs = summarize_obs(&cfg.obs);
+                return Ok(RunReport {
+                    attempts: attempt,
+                    wasted,
+                    recoveries,
+                    drain,
+                    obs,
+                    ..report
+                });
             }
             RunOutcome::Failed { recover_from } => {
                 let r0 = &report.ranks[0];
                 let fail_time = r0.final_time;
                 let failure = cfg.failures.get(attempt as usize - 1).copied();
+                if let Some(f) = failure {
+                    cfg.obs.emit(
+                        Lane::Run,
+                        fail_time,
+                        Event::Failure {
+                            rank: f.rank as u32,
+                            node_loss: (f.kind == FailureKind::NodeLoss) as u32,
+                        },
+                    );
+                }
                 // Tiered recovery: wipe the lost node's local tier,
                 // plan where the failed rank's data comes from, and
                 // roll in-flight drains back out of the shared array.
@@ -556,6 +601,15 @@ where
                         }
                         let plan = topo.plan_recovery(f.rank, wiped, recover_from, fail_time);
                         topo.rollback_drain(plan.generation, fail_time)?;
+                        cfg.obs.emit(
+                            Lane::Run,
+                            fail_time,
+                            Event::RecoveryPlan {
+                                rank: f.rank as u32,
+                                tier: plan.source.obs_tier(),
+                                generation: plan.generation.unwrap_or(0),
+                            },
+                        );
                         recoveries.push(RecoveryRecord {
                             attempt: attempt - 1,
                             rank: f.rank,
@@ -569,6 +623,20 @@ where
                         if let Some(f) = failure {
                             // Single-tier: every restore is served by
                             // the (durable) shared store.
+                            let tier = if recover_from.is_some() {
+                                RecoveryTier::Durable
+                            } else {
+                                RecoveryTier::ColdRestart
+                            };
+                            cfg.obs.emit(
+                                Lane::Run,
+                                fail_time,
+                                Event::RecoveryPlan {
+                                    rank: f.rank as u32,
+                                    tier,
+                                    generation: recover_from.unwrap_or(0),
+                                },
+                            );
                             recoveries.push(RecoveryRecord {
                                 attempt: attempt - 1,
                                 rank: f.rank,
@@ -597,11 +665,13 @@ where
                 wasted += r0.final_time.saturating_sub(preserved_until);
                 if attempt >= cfg.max_attempts {
                     let drain = topo.as_ref().map(|t| t.drain_stats());
+                    let obs = summarize_obs(&cfg.obs);
                     return Ok(RunReport {
                         attempts: attempt,
                         wasted,
                         recoveries,
                         drain,
+                        obs,
                         ..report
                     });
                 }
@@ -630,6 +700,7 @@ where
         run_for: SimDuration(u64::MAX / 4),
         max_iterations: Some(cfg.max_iterations),
         stretch_overhead: false,
+        obs: cfg.obs.clone(),
     };
     let failure = cfg.failures.get(attempt as usize).copied();
     // One shared array for every rank, or None for per-rank paths.
@@ -649,6 +720,7 @@ where
                 let mode = cfg.mode;
                 let array = array.clone();
                 let topo = topo.cloned();
+                let obs = cfg.obs.clone();
                 scope.spawn(move || -> Result<(RankReport, bool), RunError> {
                     let tcfg = TrackerConfig {
                         timeslice,
@@ -657,6 +729,8 @@ where
                         epoch: None,
                         track_iterations: false,
                         record_trace: false,
+                        obs: obs.clone(),
+                        obs_rank: rank as u32,
                     };
                     let mut space = BackedSpace::new(layout);
                     let mut model = build(rank);
@@ -665,8 +739,17 @@ where
                     let tstore = match &topo {
                         Some(t) => CkptStore::Tiered(t.handle(rank)),
                         None => CkptStore::Flat(match array {
+                            // Shared-array contention resolves in host
+                            // thread arrival order, so queue waits are
+                            // not virtual-time deterministic; that leg
+                            // stays uninstrumented to keep trace
+                            // exports byte-stable across thread counts.
                             Some(dev) => ThrottledStore::with_shared_device(store.clone(), dev),
-                            None => ThrottledStore::new(store.clone(), device.build()),
+                            None => ThrottledStore::new(store.clone(), device.build()).observed(
+                                obs.clone(),
+                                Lane::Rank(rank as u32),
+                                Lane::Device(DeviceKind::Storage, rank as u32),
+                            ),
                         }),
                     };
                     let mut skip_init = false;
@@ -709,6 +792,13 @@ where
                                 (report, reader.now().saturating_sub(SimTime::ZERO))
                             }
                         };
+                        record_restore(
+                            &obs,
+                            rank as u32,
+                            SimTime::ZERO,
+                            SimTime::ZERO + read_cost,
+                            &restore_report,
+                        );
                         let mut blob = ByteReader::new(&restore_report.app_state);
                         let model_state = blob
                             .get_bytes()
@@ -749,8 +839,14 @@ where
                         count: 0,
                         stall: SimDuration::ZERO,
                         commit_lag: SimDuration::ZERO,
-                        capture_cfg: CaptureConfig::from_env(),
+                        capture_cfg: {
+                            let mut c = CaptureConfig::from_env();
+                            c.obs = obs.clone();
+                            c.obs_rank = rank as u32;
+                            c
+                        },
                         scratch: CaptureScratch::new(),
+                        obs,
                     };
                     let mut runner = RankRunner::new(
                         rank,
@@ -801,6 +897,7 @@ where
         wasted: SimDuration::ZERO,
         recoveries: Vec::new(),
         drain: None,
+        obs: None,
     })
 }
 
@@ -875,6 +972,7 @@ struct RunParams {
     run_for: SimDuration,
     max_iterations: Option<u64>,
     stretch_overhead: bool,
+    obs: Recorder,
 }
 
 /// A checkpoint written but not yet globally committed (forked mode).
@@ -908,6 +1006,9 @@ struct RankCheckpointer {
     /// Recycled capture/encode buffers: steady-state checkpoints are
     /// allocation-free.
     scratch: CaptureScratch,
+    /// Flight recorder (stall spans + commit instants on this rank's
+    /// lane).
+    obs: Recorder,
 }
 
 impl RankCheckpointer {
@@ -986,6 +1087,12 @@ impl RankCheckpointer {
                     write_done,
                 )?;
                 self.stall += released.saturating_sub(now);
+                self.obs.emit_span(
+                    Lane::Rank(self.rank as u32),
+                    now,
+                    released.saturating_sub(now),
+                    Event::CheckpointStall { generation: planned.generation },
+                );
                 Ok(released)
             }
             CheckpointMode::Forked { fork_cost_per_page_ns, .. } => {
@@ -1001,6 +1108,12 @@ impl RankCheckpointer {
                     faults_at_capture: tracker.total_faults(),
                 });
                 self.stall += fork_cost;
+                self.obs.emit_span(
+                    Lane::Rank(self.rank as u32),
+                    now,
+                    fork_cost,
+                    Event::CheckpointStall { generation: planned.generation },
+                );
                 Ok(now + fork_cost)
             }
         }
@@ -1039,6 +1152,11 @@ impl RankCheckpointer {
         let released = ep.barrier(commit_t);
         // Every rank notifies at the same barrier-released instant; on
         // tiered runs the last notifier kicks off the background drain.
+        self.obs.emit(
+            Lane::Rank(self.rank as u32),
+            released,
+            Event::CommitBarrier { generation: pending.generation },
+        );
         self.tstore.note_committed(pending.generation, released)?;
         self.planner.committed(pending.generation);
         self.commit_lag += released.saturating_sub(SimTime(pending.write_done.0.min(released.0)));
@@ -1064,6 +1182,7 @@ impl RankCheckpointer {
         let all_done = SimTime(info.value);
         let mut t = info.new_time;
         if all_done <= t || force {
+            let stall_begin = t;
             if all_done > t {
                 // Forced: wait out the background write.
                 self.stall += all_done - t;
@@ -1077,6 +1196,14 @@ impl RankCheckpointer {
                 let cow = SimDuration(cow_pages * cow_copy_ns);
                 self.stall += cow;
                 t += cow;
+            }
+            if t > stall_begin {
+                self.obs.emit_span(
+                    Lane::Rank(self.rank as u32),
+                    stall_begin,
+                    t - stall_begin,
+                    Event::CheckpointStall { generation: pending.generation },
+                );
             }
             t = self.commit(ep, pending, t)?;
         } else {
@@ -1190,6 +1317,11 @@ impl<'a, S: AddressSpace + ContentWrite + CheckpointCapable> RankRunner<'a, S> {
             overhead: self.tracker.overhead(),
             bytes_received: self.ep.bytes_received(),
         });
+        self.params.obs.emit(
+            Lane::Rank(self.rank as u32),
+            self.clock,
+            Event::IterationBoundary { iteration: iterations },
+        );
         let global = VoteFlags(info.value);
         if global.has(VoteFlags::FAIL) {
             self.failed = true;

@@ -60,6 +60,7 @@ pub use ickpt_core as core;
 pub use ickpt_mem as mem;
 pub use ickpt_native as native;
 pub use ickpt_net as net;
+pub use ickpt_obs as obs;
 pub use ickpt_sim as sim;
 pub use ickpt_storage as storage;
 

@@ -113,6 +113,7 @@ fn fault_tolerant_recovery_is_deterministic_too() {
             net: NetConfig::qsnet(),
             max_attempts: 3,
             redundancy: None,
+            obs: ickpt::obs::Recorder::disabled(),
         };
         let report = run_fault_tolerant(&cfg, layout, |rank| {
             Box::new(SyntheticApp::new(SyntheticConfig {
@@ -130,4 +131,83 @@ fn fault_tolerant_recovery_is_deterministic_too() {
         )
     };
     assert_eq!(run(), run());
+}
+
+/// The flight recorder inherits the simulation's determinism: a traced
+/// run exports byte-identical JSONL and Chrome JSON every time, the
+/// Chrome export is well-formed, and per-track virtual timestamps are
+/// monotone.
+#[test]
+fn flight_recorder_export_is_deterministic() {
+    use ickpt::apps::synthetic::{SyntheticApp, SyntheticConfig};
+    use ickpt::cluster::{
+        run_fault_tolerant, CheckpointMode, FailureSpec, FaultTolerantConfig, StoragePath,
+    };
+    use ickpt::core::coordinator::CheckpointPolicy;
+    use ickpt::mem::{LayoutBuilder, PAGE_SIZE};
+    use ickpt::obs::{chrome_trace, jsonl, parse_jsonl, validate_json, FlightRecorder, Recorder};
+    use ickpt::sim::{DevicePreset, SimDuration};
+    use ickpt::storage::MemStore;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    let layout = LayoutBuilder::new()
+        .static_bytes(PAGE_SIZE)
+        .heap_capacity_bytes(2048 * PAGE_SIZE)
+        .mmap_capacity_bytes(PAGE_SIZE)
+        .build();
+    let traced_run = || {
+        let fr = FlightRecorder::with_default_capacity();
+        fr.name_group(0, "determinism");
+        let cfg = FaultTolerantConfig {
+            nranks: 3,
+            max_iterations: 10,
+            timeslice: SimDuration::from_secs(1),
+            policy: CheckpointPolicy::incremental(SimDuration::from_secs(3), 0),
+            store: Arc::new(MemStore::new()),
+            device: DevicePreset::ScsiDisk,
+            mode: CheckpointMode::StopAndCopy,
+            storage_path: StoragePath::PerRank,
+            failures: vec![FailureSpec::process(1, SimTime::from_secs(6))],
+            net: NetConfig::qsnet(),
+            max_attempts: 3,
+            redundancy: None,
+            obs: Recorder::new(fr.clone()),
+        };
+        run_fault_tolerant(&cfg, layout, |rank| {
+            Box::new(SyntheticApp::new(SyntheticConfig {
+                exchange_bytes: 4096,
+                rank,
+                nranks: 3,
+                ..Default::default()
+            }))
+        })
+        .unwrap();
+        let snap = fr.snapshot();
+        (jsonl(&snap), chrome_trace(&snap))
+    };
+    let (jl_a, chrome_a) = traced_run();
+    let (jl_b, chrome_b) = traced_run();
+    assert_eq!(jl_a, jl_b, "JSONL export must be byte-identical run to run");
+    assert_eq!(chrome_a, chrome_b, "Chrome export must be byte-identical run to run");
+    assert!(!jl_a.is_empty(), "the instrumented run must record events");
+
+    validate_json(&chrome_a).expect("Chrome trace is well-formed JSON");
+
+    // Per-track monotone virtual time, and all the expected lanes show
+    // up (3 rank lanes + per-rank storage device lanes + run lane).
+    let events = parse_jsonl(&jl_a).expect("exporter output parses back");
+    let mut last: BTreeMap<&str, u64> = BTreeMap::new();
+    for ev in &events {
+        let prev = last.entry(ev.track.as_str()).or_insert(0);
+        assert!(ev.ts >= *prev, "track {} goes backwards: {} after {}", ev.track, ev.ts, prev);
+        *prev = ev.ts;
+    }
+    for track in ["run", "rank0", "rank1", "rank2", "dev:storage:0"] {
+        assert!(last.contains_key(track), "expected track {track} in trace");
+    }
+    // The injected failure must surface as recovery events on the run
+    // lane.
+    assert!(events.iter().any(|e| e.name == "failure"), "failure event recorded");
+    assert!(events.iter().any(|e| e.name == "recovery_plan"), "recovery plan recorded");
 }

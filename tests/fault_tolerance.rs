@@ -41,6 +41,7 @@ fn synthetic_cfg(
         failures,
         net: NetConfig::qsnet(),
         redundancy: None,
+        obs: ickpt::obs::Recorder::disabled(),
         max_attempts: 4,
     }
 }
@@ -223,6 +224,7 @@ fn memory_exclusion_is_accounted_for_dynamic_apps() {
         failures: vec![],
         net: NetConfig::qsnet(),
         redundancy: None,
+        obs: ickpt::obs::Recorder::disabled(),
         max_attempts: 1,
     };
     let report = run_fault_tolerant(&cfg, w.layout(scale), move |rank| {
@@ -266,6 +268,7 @@ fn sage_recovery_from_incremental_chain_is_byte_exact() {
         failures,
         net: NetConfig::qsnet(),
         redundancy: None,
+        obs: ickpt::obs::Recorder::disabled(),
         max_attempts: 3,
     };
     let reference = run_fault_tolerant(&mk(vec![]), layout, build).unwrap();
@@ -306,6 +309,7 @@ fn sage_model_survives_failure_with_dynamic_memory() {
         failures: vec![],
         net: NetConfig::qsnet(),
         redundancy: None,
+        obs: ickpt::obs::Recorder::disabled(),
         max_attempts: 3,
     };
     let reference = run_fault_tolerant(&cfg_ref, layout, build).unwrap();

@@ -16,6 +16,9 @@
 //! * a positional argument filters benchmarks by substring, like
 //!   criterion.
 
+// A bench harness reports to the terminal by design.
+#![allow(clippy::disallowed_macros)]
+
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
