@@ -1,0 +1,9 @@
+//! Effective-IB study: content dedup + delta encoding vs dirty-page
+//! accounting on the modelled applications.
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
+fn main() {
+    let rows = ickpt_bench::experiments::effective_ib::run_and_print();
+    println!("{}", ickpt_analysis::compare::comparison_table("accounting vs measurement", &rows));
+}

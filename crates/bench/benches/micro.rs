@@ -21,8 +21,8 @@ use ickpt::native::TrackedRegion;
 use ickpt::sim::{SimDuration, SimTime};
 use ickpt::storage::crc::{crc32, crc32_bytewise};
 use ickpt::storage::{
-    gc, xor_encode, xor_reconstruct, Chunk, ChunkKey, ChunkKind, MemStore, PageRecord,
-    StableStorage,
+    gc, hash64, page_block_hashes, xor_encode, xor_reconstruct, Chunk, ChunkKey, ChunkKind,
+    MemStore, PageRecord, StableStorage, BLOCKS_PER_PAGE,
 };
 
 fn bench_bitmap(c: &mut Criterion) {
@@ -150,6 +150,8 @@ fn bench_chunk_codec(c: &mut Criterion) {
         mmap_blocks: vec![(0, 4096)],
         zero_ranges: vec![],
         records: vec![PageRecord { start_page: 0, data: vec![0xA5; 4096 * 4096] }],
+        delta_records: vec![],
+        dropped_pages: 0,
         app_state: vec![0; 64],
     };
     let encoded = chunk.encode();
@@ -167,6 +169,115 @@ fn bench_crc(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(data.len() as u64));
     g.bench_function("slice8_1mb", |b| b.iter(|| black_box(crc32(&data))));
     g.bench_function("bytewise_1mb", |b| b.iter(|| black_box(crc32_bytewise(&data))));
+    g.finish();
+}
+
+/// Content layer: the 64-bit block hash against the slice-by-8 CRC the
+/// chunk trailer already pays, and the hash-vs-copy crossover that
+/// decides whether hashing a page to *maybe* drop it can lose to just
+/// copying it. The dedup bet is `block_hashes_4k` ≪ `copy_4k` (page
+/// cache hot, so the copy row is the memcpy floor, not disk).
+fn bench_page_hash(c: &mut Criterion) {
+    // Non-uniform bytes so neither hash collapses to a constant-fold.
+    let data: Vec<u8> =
+        (0..1usize << 20).map(|i| (i as u64).wrapping_mul(0x9E37_79B9) as u8).collect();
+
+    let mut g = c.benchmark_group("page_hash");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("hash64_1mb", |b| b.iter(|| black_box(hash64(&data))));
+    g.bench_function("crc32_slice8_1mb", |b| b.iter(|| black_box(crc32(&data))));
+    g.finish();
+
+    let mut g = c.benchmark_group("hash_vs_copy");
+    let page = &data[..PAGE_SIZE as usize];
+    g.throughput(Throughput::Bytes(PAGE_SIZE));
+    g.bench_function("block_hashes_4k", |b| {
+        let mut out = [0u64; BLOCKS_PER_PAGE];
+        b.iter(|| {
+            page_block_hashes(black_box(page), &mut out);
+            black_box(out[0])
+        })
+    });
+    g.bench_function("hash64_4k", |b| b.iter(|| black_box(hash64(page))));
+    g.bench_function("copy_4k", |b| {
+        let mut dst = vec![0u8; PAGE_SIZE as usize];
+        b.iter(|| {
+            dst.copy_from_slice(black_box(page));
+            black_box(dst[17])
+        })
+    });
+    g.bench_function("hash64_256b_block", |b| b.iter(|| black_box(hash64(&page[..256]))));
+    g.finish();
+}
+
+/// Incremental capture with content dedup off / cold / warm on a fully
+/// dirty image (size via `ICKPT_BENCH_CAPTURE_MB`). `off` is the
+/// dirty-page floor: every flagged page is copied into the chunk.
+/// `on_cold` hashes every page and still stores it — the worst-case CPU
+/// overhead of the content layer, which the issue bounds at single-digit
+/// percent over `off`. `on_warm` hashes every page and drops it as
+/// silent-same — the effective-IB floor where no bytes reach storage.
+fn bench_capture_dedup(c: &mut Criterion) {
+    let mb: u64 =
+        std::env::var("ICKPT_BENCH_CAPTURE_MB").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+    let pages = mb * (1 << 20) / PAGE_SIZE;
+    let layout = LayoutBuilder::new()
+        .static_bytes(4 * PAGE_SIZE)
+        .heap_capacity_bytes(pages * PAGE_SIZE)
+        .mmap_capacity_bytes(4 * PAGE_SIZE)
+        .build();
+    let mut space = BackedSpace::new(layout);
+    space.heap_grow(pages - 4).unwrap();
+    for r in space.mapped_ranges() {
+        for p in r.iter() {
+            space.fill_page(p, p.wrapping_mul(0x9E37_79B9)).unwrap();
+        }
+    }
+    let ranges = space.mapped_ranges();
+    let bytes = space.mapped_pages() * PAGE_SIZE;
+
+    let mut g = c.benchmark_group("capture_dedup");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(20);
+
+    let capture = |space: &BackedSpace,
+                   ranges: &[PageRange],
+                   cfg: &CaptureConfig,
+                   scratch: &mut CaptureScratch| {
+        let chunk = capture_incremental_with(space, 0, 2, 1, SimTime::ZERO, ranges, cfg, scratch);
+        let pages = chunk.payload_pages();
+        scratch.recycle(chunk);
+        pages
+    };
+
+    {
+        let cfg = CaptureConfig::serial();
+        let mut scratch = CaptureScratch::new();
+        g.bench_function(&format!("{mb}mb_off"), |b| {
+            b.iter(|| black_box(capture(&space, &ranges, &cfg, &mut scratch)))
+        });
+    }
+    {
+        let cfg = CaptureConfig { dedup: true, ..CaptureConfig::serial() };
+        let mut scratch = CaptureScratch::new();
+        g.bench_function(&format!("{mb}mb_on_cold"), |b| {
+            b.iter(|| {
+                // Invalid baseline every pass: hash + store everything.
+                scratch.dedup_index().reset();
+                black_box(capture(&space, &ranges, &cfg, &mut scratch))
+            })
+        });
+    }
+    {
+        let cfg = CaptureConfig { dedup: true, ..CaptureConfig::serial() };
+        let mut scratch = CaptureScratch::new();
+        // Prime the baseline once; the image never changes after, so
+        // every measured pass drops all pages as silent-same.
+        capture(&space, &ranges, &cfg, &mut scratch);
+        g.bench_function(&format!("{mb}mb_on_warm"), |b| {
+            b.iter(|| black_box(capture(&space, &ranges, &cfg, &mut scratch)))
+        });
+    }
     g.finish();
 }
 
@@ -493,6 +604,8 @@ criterion_group!(
     bench_tracker,
     bench_chunk_codec,
     bench_crc,
+    bench_page_hash,
+    bench_capture_dedup,
     bench_capture,
     bench_restore,
     bench_trace,

@@ -245,6 +245,8 @@ fn main() {
             "captured t",
             "stored pages",
             "zero pages",
+            "dropped",
+            "delta",
             "bytes",
             "crc",
         ]);
@@ -272,6 +274,8 @@ fn main() {
                             format!("{:.1}s", c.capture_time_ns as f64 / 1e9),
                             c.payload_pages().to_string(),
                             c.zero_pages().to_string(),
+                            c.dropped_pages.to_string(),
+                            c.delta_records.len().to_string(),
                             data.len().to_string(),
                             "ok".into(),
                         ]);
@@ -286,6 +290,8 @@ fn main() {
                             "?".into(),
                             "-".into(),
                             "-".into(),
+                            "-".into(),
+                            "-".into(),
                             data.len().to_string(),
                             format!("CORRUPT: {e}"),
                         ]);
@@ -298,6 +304,8 @@ fn main() {
                         "?".into(),
                         "?".into(),
                         "?".into(),
+                        "-".into(),
+                        "-".into(),
                         "-".into(),
                         "-".into(),
                         "-".into(),
@@ -357,6 +365,30 @@ fn main() {
         } else if !decoded.is_empty() {
             problems += 1;
             println!("  !! rank {rank}: newest chain does not reach a full chunk");
+        }
+
+        // ---- Content-layer statistics across the rank's chain ----
+        // What dedup + delta encoding saved relative to dirty-bit
+        // accounting (which would have shipped every one of these
+        // pages whole).
+        let dropped: u64 = decoded.values().map(|c| c.dropped_pages).sum();
+        let delta_pages: u64 = decoded.values().map(|c| c.delta_records.len() as u64).sum();
+        if dropped > 0 || delta_pages > 0 {
+            let delta_blocks: u64 = decoded
+                .values()
+                .flat_map(|c| &c.delta_records)
+                .map(|d| u64::from(d.mask.count_ones()))
+                .sum();
+            let delta_stored = delta_blocks * 256 + delta_pages * 16;
+            let saved = dropped * 4096 + (delta_pages * 4096).saturating_sub(delta_stored);
+            println!(
+                "  content layer: {} silent-same pages dropped, {} pages delta-encoded \
+                 (mean delta ratio {}), {} MB saved vs dirty-bit accounting",
+                dropped,
+                delta_pages,
+                fnum(delta_stored as f64 / (delta_pages.max(1) * 4096) as f64, 2),
+                fnum(saved as f64 / 1e6, 2),
+            );
         }
     }
 

@@ -52,6 +52,8 @@ fn run(failures: Vec<FailureSpec>, obs: ickpt::obs::Recorder) -> RunReport {
         }),
         max_attempts: 4,
         obs,
+        dedup: None,
+        write_profile: Default::default(),
     };
     let layout = LayoutBuilder::new()
         .static_bytes(PAGE_SIZE)

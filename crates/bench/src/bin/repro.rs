@@ -65,6 +65,7 @@ fn main() {
         ("Section 6.5 (intrusiveness)", experiments::intrusive::report),
         ("Ablations (checkpoint system)", experiments::ablation::report),
         ("Availability under failures", experiments::availability::report),
+        ("Effective IB vs dirty IB (dedup + delta)", experiments::effective_ib::report),
     ];
     if args.iter().any(|a| a == "--list") {
         for (name, _) in &experiments {

@@ -172,6 +172,7 @@ impl WorkloadTrace {
                     checkpoint_stall: SimDuration::ZERO,
                     commit_lag: SimDuration::ZERO,
                     excluded_pages: 0,
+                    content: Default::default(),
                     last_committed: None,
                     boundaries: self.boundaries[r][..=stop_i].to_vec(),
                     trace: None,

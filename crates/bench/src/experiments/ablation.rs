@@ -90,6 +90,8 @@ fn ft_config(policy: CheckpointPolicy, iters: u64) -> FaultTolerantConfig {
         max_attempts: 1,
         redundancy: None,
         obs: ickpt_obs::Recorder::disabled(),
+        dedup: None,
+        write_profile: Default::default(),
     }
 }
 
@@ -166,6 +168,8 @@ fn exclusion_ablation(obs: Recorder) -> Section {
         max_attempts: 1,
         redundancy: None,
         obs,
+        dedup: None,
+        write_profile: Default::default(),
     };
     let report = run_fault_tolerant(&cfg, w.layout(scale), move |rank| {
         Box::new(w.build(rank, nranks, scale, 11))
@@ -375,6 +379,8 @@ fn storage_path_ablation(obs: Recorder) -> Section {
                 } else {
                     Recorder::disabled()
                 },
+                dedup: None,
+                write_profile: Default::default(),
             };
             let build = move |rank: usize| -> Box<dyn AppModel> {
                 Box::new(SyntheticApp::new(SyntheticConfig {

@@ -100,6 +100,8 @@ fn run_at_interval(
         max_attempts: 64,
         redundancy: None,
         obs,
+        dedup: None,
+        write_profile: Default::default(),
     };
     let report = run_fault_tolerant(&cfg, layout(), build).expect("run completes");
     assert_eq!(report.outcome, RunOutcome::Completed);

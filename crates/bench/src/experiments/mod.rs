@@ -11,6 +11,7 @@
 
 pub mod ablation;
 pub mod availability;
+pub mod effective_ib;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

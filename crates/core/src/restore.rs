@@ -29,8 +29,9 @@ use ickpt_mem::{AddressSpace, BackedSpace, PageRange, PageSink};
 use ickpt_obs::{Event, Lane, Recorder};
 use ickpt_sim::SimTime;
 use ickpt_storage::{
-    peek_lineage, shard_segments, Chunk, ChunkKey, ChunkKind, ChunkView, Manifest, PlanSegment,
-    RestorePlan, SegmentSource, StableStorage, StorageError, CHUNK_PAGE_SIZE,
+    peek_lineage, shard_segments, Chunk, ChunkKey, ChunkKind, ChunkView, DeltaBase, Manifest,
+    PlanSegment, RestorePlan, SegmentSource, StableStorage, StorageError, BLOCK_SIZE,
+    CHUNK_PAGE_SIZE,
 };
 
 use crate::error::CoreError;
@@ -283,6 +284,7 @@ pub fn restore_rank_with(
     // are disjoint, which is the writer's safety contract.
     let writer = space.parallel_page_writer();
     let apply = |segments: &[PlanSegment]| {
+        let mut page_buf = [0u8; CHUNK_PAGE_SIZE];
         for seg in segments {
             match seg.source {
                 // SAFETY: disjoint planned spans, bounds within arena.
@@ -291,6 +293,33 @@ pub fn restore_rank_with(
                     let bytes = views[seg.chunk].record_pages(rec, rec_page_offset, seg.pages);
                     // SAFETY: as above.
                     unsafe { writer.write_pages(seg.start_page, bytes) };
+                }
+                SegmentSource::Delta { rec, base } => {
+                    // Materialize the base page (an older whole record
+                    // or a zero run — the alternation rule guarantees
+                    // depth one), then overlay the changed blocks.
+                    match base {
+                        DeltaBase::Zero => page_buf.fill(0),
+                        DeltaBase::Record { chunk, rec: brec, rec_page_offset } => {
+                            page_buf.copy_from_slice(views[chunk].record_pages(
+                                brec,
+                                rec_page_offset,
+                                1,
+                            ));
+                        }
+                    }
+                    let dref = &views[seg.chunk].delta_records[rec];
+                    let data = views[seg.chunk].delta_data(rec);
+                    let mut off = 0usize;
+                    for b in 0..ickpt_storage::BLOCKS_PER_PAGE {
+                        if dref.mask & (1 << b) != 0 {
+                            page_buf[b * BLOCK_SIZE..(b + 1) * BLOCK_SIZE]
+                                .copy_from_slice(&data[off..off + BLOCK_SIZE]);
+                            off += BLOCK_SIZE;
+                        }
+                    }
+                    // SAFETY: as above.
+                    unsafe { writer.write_pages(seg.start_page, &page_buf) };
                 }
             }
         }
@@ -394,6 +423,24 @@ pub fn restore_rank_sequential(
                 } else {
                     pages_excluded += 1;
                 }
+            }
+        }
+        // Delta records patch the page the chain has built so far (the
+        // base was applied by an older chunk in a previous iteration).
+        for delta in &chunk.delta_records {
+            if ickpt_mem::AddressSpace::is_mapped(space, delta.page) {
+                let mut page_buf = [0u8; CHUNK_PAGE_SIZE];
+                page_buf.copy_from_slice(
+                    ickpt_mem::PageSource::read_page(space, delta.page)
+                        .expect("mapped page is readable"),
+                );
+                for (b, block) in delta.blocks() {
+                    page_buf[b * BLOCK_SIZE..(b + 1) * BLOCK_SIZE].copy_from_slice(block);
+                }
+                space.write_page_data(delta.page, &page_buf)?;
+                pages_applied += 1;
+            } else {
+                pages_excluded += 1;
             }
         }
     }

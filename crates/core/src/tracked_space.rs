@@ -34,7 +34,7 @@ impl ContentWrite for BackedSpace {
         for page in range.iter() {
             // Unmapped pages cannot be touched through TrackedSpace, so
             // this only fails on internal inconsistency.
-            self.fill_page(page, version).expect("touch of unmapped page");
+            self.write_versioned(page, version).expect("touch of unmapped page");
         }
     }
 }

@@ -152,6 +152,11 @@ pub struct WriteTracker {
     samples: Vec<IwsSample>,
     epoch_samples: Vec<EpochSample>,
     iteration_samples: Vec<IterationSample>,
+    /// Ranges unmapped since the last checkpoint, in event order — the
+    /// content layer's churn set: a dedup baseline covering these pages
+    /// must be invalidated before the next capture (a remapped page
+    /// must never silently match hashes from a previous mapping epoch).
+    churn: Vec<PageRange>,
     /// Recorded trace slices (one per fired alarm; `record_trace`).
     trace_slices: Vec<TraceSlice>,
     /// Ranges unmapped during the current window, in event order
@@ -194,6 +199,7 @@ impl WriteTracker {
             samples: Vec::new(),
             epoch_samples: Vec::new(),
             iteration_samples: Vec::new(),
+            churn: Vec::new(),
             trace_slices: Vec::new(),
             pending_unmaps: Vec::new(),
             residues: Vec::new(),
@@ -335,6 +341,9 @@ impl WriteTracker {
         }
         if let Some(ckpt) = &mut self.ckpt {
             self.excluded_pages += ckpt.clear_range(range);
+            // Track churn only when someone can consume it (the same
+            // gate as the checkpoint set itself).
+            self.churn.push(range);
         }
         if let Some(es) = &mut self.epoch_set {
             es.clear_range(range);
@@ -367,6 +376,15 @@ impl WriteTracker {
         let ranges = ckpt.dirty_ranges();
         ckpt.clear_all();
         ranges
+    }
+
+    /// Take the churn set: every range unmapped since the last call
+    /// (or tracker start), in event order, possibly overlapping. The
+    /// content layer invalidates its dedup baseline over these ranges
+    /// before each incremental capture. Cleared by the call, mirroring
+    /// [`WriteTracker::take_checkpoint_set`].
+    pub fn take_churn_set(&mut self) -> Vec<PageRange> {
+        std::mem::take(&mut self.churn)
     }
 
     /// Pages currently pending in the checkpoint set.
@@ -552,6 +570,27 @@ mod tests {
         assert_eq!(t.samples()[0].bytes_received, 100);
         assert_eq!(t.samples()[1].bytes_received, 50);
         assert_eq!(t.total_bytes_received(), 150);
+    }
+
+    #[test]
+    fn churn_set_collects_unmaps_until_taken() {
+        let mut t = WriteTracker::new(
+            100,
+            50,
+            TrackerConfig {
+                timeslice: SimDuration::from_secs(1),
+                track_checkpoint_set: true,
+                ..Default::default()
+            },
+        );
+        assert!(t.take_churn_set().is_empty());
+        t.on_unmap(PageRange::new(10, 5));
+        t.on_map(PageRange::new(10, 5));
+        t.on_unmap(PageRange::new(12, 2));
+        // Event order preserved, overlap allowed: the consumer just
+        // invalidates, so over-invalidation is safe.
+        assert_eq!(t.take_churn_set(), vec![PageRange::new(10, 5), PageRange::new(12, 2)]);
+        assert!(t.take_churn_set().is_empty(), "taking clears the set");
     }
 
     #[test]

@@ -45,4 +45,5 @@ pub use mmap_area::MmapArea;
 pub use page::{pages_for_bytes, PageRange, PAGE_SHIFT, PAGE_SIZE};
 pub use space::{
     AddressSpace, BackedSpace, PageSink, PageSource, ParallelPageWriter, RegionKind, SparseSpace,
+    WriteProfile,
 };

@@ -177,6 +177,32 @@ pub trait PageSink {
     fn write_page_data(&mut self, page: u64, data: &[u8]) -> Result<(), MemError>;
 }
 
+/// SplitMix64 finalizer, the deterministic scrambler behind page
+/// classing and versioned content streams.
+#[inline(always)]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How a versioned page touch materializes bytes — the content model
+/// backed cluster runs write through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteProfile {
+    /// Every touch rewrites the whole page with version-derived bytes:
+    /// the dirty-page floor, where content-level dedup can never win.
+    #[default]
+    Uniform,
+    /// Scientific-code mix: per page (classed by a hash of its
+    /// address), 3/8 rewrite fully each version, 3/8 update only a few
+    /// 256-byte blocks, and 2/8 store the same values back — the dirty
+    /// bit fires but the bytes never change. Models the silent-store
+    /// and partial-update behaviour that lets effective IB drop below
+    /// the dirty-page floor.
+    Scientific,
+}
+
 /// Address space with real page contents, for checkpoint/restore.
 #[derive(Debug, Clone)]
 pub struct BackedSpace {
@@ -184,6 +210,8 @@ pub struct BackedSpace {
     /// Flat arena: `capacity_pages * PAGE_SIZE` bytes. Unmapped pages
     /// retain stale bytes but are never read (guarded by mapping state).
     arena: Vec<u8>,
+    /// Content model for [`BackedSpace::write_versioned`].
+    profile: WriteProfile,
 }
 
 impl BackedSpace {
@@ -192,7 +220,21 @@ impl BackedSpace {
     /// megabytes, not the paper's full gigabyte).
     pub fn new(layout: DataLayout) -> Self {
         let bytes = layout.capacity_bytes() as usize;
-        Self { state: MappingState::new(layout), arena: vec![0u8; bytes] }
+        Self {
+            state: MappingState::new(layout),
+            arena: vec![0u8; bytes],
+            profile: WriteProfile::default(),
+        }
+    }
+
+    /// Select the content model for versioned touches.
+    pub fn set_write_profile(&mut self, profile: WriteProfile) {
+        self.profile = profile;
+    }
+
+    /// The active content model.
+    pub fn write_profile(&self) -> WriteProfile {
+        self.profile
     }
 
     /// Write `data` at `offset` bytes within a mapped page.
@@ -243,6 +285,45 @@ impl BackedSpace {
             x = x.wrapping_add(GAMMA.wrapping_mul(4));
         }
         Ok(())
+    }
+
+    /// Write a mapped page at logical write `version`, materializing
+    /// bytes per the active [`WriteProfile`].
+    ///
+    /// The resulting content is a pure function of `(page, version,
+    /// profile)` — a recovered run replaying the same versions rewrites
+    /// byte-identical data, which the rollback determinism tests rely
+    /// on. Under [`WriteProfile::Scientific`] the page's class (full /
+    /// partial / silent) and its changed-block positions depend only on
+    /// the page address, so a given page behaves consistently across
+    /// versions the way a fixed variable does in a real code.
+    pub fn write_versioned(&mut self, page: u64, version: u64) -> Result<(), MemError> {
+        /// Class salt: distinct from every fill seed in the tree.
+        const SALT: u64 = 0x5C1E_17F1_C0DE_D00D;
+        match self.profile {
+            WriteProfile::Uniform => self.fill_page(page, version),
+            WriteProfile::Scientific => match mix64(page ^ SALT) % 8 {
+                0..=2 => self.fill_page(page, version),
+                3..=5 => {
+                    // Stable base plus a few version-dependent blocks:
+                    // the sub-page delta case.
+                    self.fill_page(page, SALT)?;
+                    let blocks = 1 + mix64(page ^ SALT.rotate_left(17)) % 4;
+                    for i in 0..blocks {
+                        let b = (mix64(page.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i) % 16) as usize;
+                        let base = (page * PAGE_SIZE) as usize + b * 256;
+                        let mut x = mix64(page ^ version.wrapping_mul(SALT) ^ i);
+                        for word in self.arena[base..base + 256].chunks_exact_mut(8) {
+                            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                            word.copy_from_slice(&mix64(x).to_le_bytes());
+                        }
+                    }
+                    Ok(())
+                }
+                // Silent store: same bytes every version.
+                _ => self.fill_page(page, SALT),
+            },
+        }
     }
 
     /// A content digest of all mapped pages and the mapping structure,
@@ -556,6 +637,44 @@ mod tests {
         assert_eq!(a.read_page(0), b.read_page(0));
         b.fill_page(0, 43).unwrap();
         assert_ne!(a.read_page(0), b.read_page(0));
+    }
+
+    #[test]
+    fn scientific_profile_mixes_silent_partial_and_full_writes() {
+        let mut s = BackedSpace::new(small_layout());
+        s.set_write_profile(WriteProfile::Scientific);
+        s.heap_grow(16).unwrap();
+        let pages = s.mapped_pages();
+        let (mut silent, mut partial, mut full) = (0u64, 0u64, 0u64);
+        for p in 0..pages {
+            s.write_versioned(p, 1).unwrap();
+            let v1 = s.read_page(p).unwrap().to_vec();
+            s.write_versioned(p, 2).unwrap();
+            let v2 = s.read_page(p).unwrap().to_vec();
+            let changed =
+                v1.chunks_exact(256).zip(v2.chunks_exact(256)).filter(|(a, b)| a != b).count();
+            match changed {
+                0 => silent += 1,
+                1..=4 => partial += 1,
+                _ => full += 1,
+            }
+            // Replaying version 2 must reproduce version 2 exactly
+            // (rollback determinism).
+            s.write_versioned(p, 2).unwrap();
+            assert_eq!(s.read_page(p).unwrap(), v2.as_slice(), "page {p} replay");
+        }
+        assert!(silent > 0, "no silent-store pages in {pages}");
+        assert!(partial > 0, "no partial-update pages in {pages}");
+        assert!(full > 0, "no full-rewrite pages in {pages}");
+    }
+
+    #[test]
+    fn uniform_profile_is_fill_page() {
+        let mut a = BackedSpace::new(small_layout());
+        let mut b = BackedSpace::new(small_layout());
+        a.write_versioned(0, 7).unwrap();
+        b.fill_page(0, 7).unwrap();
+        assert_eq!(a.read_page(0), b.read_page(0));
     }
 
     #[test]

@@ -173,6 +173,28 @@ pub enum Event {
         /// Encoded chunk size, bytes.
         payload_bytes: u64,
     },
+    /// The content layer dropped dirty pages whose bytes were unchanged
+    /// since the baseline (silent same-value writes).
+    DedupSkip {
+        /// Generation being captured.
+        generation: u64,
+        /// Dirty pages dropped before storage.
+        pages: u64,
+        /// Bytes dirty-bit accounting would have shipped for them.
+        bytes_saved: u64,
+    },
+    /// The content layer shipped partially-written pages as sub-page
+    /// delta records instead of whole pages.
+    DeltaEncode {
+        /// Generation being captured.
+        generation: u64,
+        /// Pages delta-encoded.
+        pages: u64,
+        /// Changed blocks stored across those pages.
+        blocks: u64,
+        /// Whole-page bytes avoided, net of stored blocks and headers.
+        bytes_saved: u64,
+    },
     /// The rank blocked on an in-flight checkpoint (forced wait or
     /// copy-on-write drag); the span covers the blocked interval.
     CheckpointStall {
@@ -307,6 +329,8 @@ impl Event {
             Event::IterationBoundary { .. } => "iteration",
             Event::TrackerWindow { .. } => "tracker_window",
             Event::Capture { .. } => "capture",
+            Event::DedupSkip { .. } => "dedup_skip",
+            Event::DeltaEncode { .. } => "delta_encode",
             Event::CheckpointStall { .. } => "ckpt_stall",
             Event::CommitBarrier { .. } => "commit",
             Event::ChunkPut { .. } => "chunk_put",
@@ -349,6 +373,18 @@ impl Event {
                     out,
                     "\"kind\":\"{}\",\"generation\":{generation},\"pages\":{pages},\"payload_bytes\":{payload_bytes}",
                     kind.token()
+                );
+            }
+            Event::DedupSkip { generation, pages, bytes_saved } => {
+                let _ = write!(
+                    out,
+                    "\"generation\":{generation},\"pages\":{pages},\"bytes_saved\":{bytes_saved}"
+                );
+            }
+            Event::DeltaEncode { generation, pages, blocks, bytes_saved } => {
+                let _ = write!(
+                    out,
+                    "\"generation\":{generation},\"pages\":{pages},\"blocks\":{blocks},\"bytes_saved\":{bytes_saved}"
                 );
             }
             Event::CheckpointStall { generation } => {

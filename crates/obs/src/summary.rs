@@ -39,6 +39,14 @@ pub struct RankStats {
     pub capture_bytes: u64,
     /// Iteration boundaries crossed.
     pub iterations: u64,
+    /// Silent same-value pages the content layer dropped.
+    pub dedup_pages: u64,
+    /// Bytes those drops kept off the storage path.
+    pub dedup_bytes_saved: u64,
+    /// Pages shipped as sub-page delta records.
+    pub delta_pages: u64,
+    /// Bytes delta encoding saved net of stored blocks and headers.
+    pub delta_bytes_saved: u64,
 }
 
 /// Aggregate recovery activity for one tier.
@@ -130,6 +138,20 @@ impl ObsSummary {
                             rank_entry(&mut ranks, r).iterations += 1;
                         }
                     }
+                    Event::DedupSkip { pages, bytes_saved, .. } => {
+                        if let Lane::Rank(r) = key.lane {
+                            let e = rank_entry(&mut ranks, r);
+                            e.dedup_pages += pages;
+                            e.dedup_bytes_saved += bytes_saved;
+                        }
+                    }
+                    Event::DeltaEncode { pages, bytes_saved, .. } => {
+                        if let Lane::Rank(r) = key.lane {
+                            let e = rank_entry(&mut ranks, r);
+                            e.delta_pages += pages;
+                            e.delta_bytes_saved += bytes_saved;
+                        }
+                    }
                     Event::DrainBatch { bytes, .. } => {
                         s.drain_batches += 1;
                         s.drain_bytes += bytes;
@@ -214,6 +236,17 @@ impl ObsSummary {
                     r.capture_pages,
                     r.capture_bytes
                 );
+                if r.dedup_pages > 0 || r.delta_pages > 0 {
+                    let _ = writeln!(
+                        out,
+                        "    rank{:<4} content: {} silent-same pages dropped ({} bytes), {} delta pages ({} bytes saved)",
+                        r.rank,
+                        r.dedup_pages,
+                        r.dedup_bytes_saved,
+                        r.delta_pages,
+                        r.delta_bytes_saved
+                    );
+                }
             }
         }
         if self.drain_batches > 0 || !self.drain_depth_histogram.is_empty() {
@@ -263,6 +296,10 @@ fn rank_entry(map: &mut BTreeMap<u32, RankStats>, rank: u32) -> &mut RankStats {
         capture_pages: 0,
         capture_bytes: 0,
         iterations: 0,
+        dedup_pages: 0,
+        dedup_bytes_saved: 0,
+        delta_pages: 0,
+        delta_bytes_saved: 0,
     })
 }
 

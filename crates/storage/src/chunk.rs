@@ -11,7 +11,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "ICKP"
-//! 4       2     version (1)
+//! 4       2     version (2)
 //! 6       1     kind (0 = full, 1 = incremental)
 //! 7       1     reserved (0)
 //! 8       4     rank
@@ -24,25 +24,44 @@
 //! 52      4     number of page records, R
 //! 56      4     application state length, A
 //! 60      4     number of zero ranges, Z
-//! 64      16*M  mmap blocks: (start_page u64, len u64)
+//! 64      8     silent-same pages dropped by dedup at capture
+//! 72      4     number of delta records, D
+//! 76      4     reserved (0)
+//! 80      16*M  mmap blocks: (start_page u64, len u64)
 //! ...     16*Z  zero ranges: (start_page u64, len u64)
 //! ...     A     opaque application state (model counters/RNG)
 //! ...     R×(16 + len*4096) page records: (start_page u64, len u64, data)
+//! ...     D×(16 + popcount(mask)*256) delta records:
+//!               (page u64, mask u16, reserved [u8;6], changed blocks)
 //! last 4        CRC-32 of everything before it
 //!
 //! *Zero ranges* are pages whose content is entirely zero at capture
 //! time (fresh allocations that were never written): they are listed
 //! instead of stored, the classic zero-page elision of checkpointing
 //! systems. Restore materializes them as zero-filled pages.
+//!
+//! *Delta records* (version 2, the content layer) store only the
+//! changed 256-byte blocks of a partially-written page: `mask` bit `b`
+//! set means block `b` of the page changed and its 256 bytes appear in
+//! the payload, ascending. The unchanged blocks come from the page's
+//! *base* — the next-older whole-page record or zero range covering the
+//! same page in the chain. Capture guarantees the base of a delta is
+//! never itself a delta (a page is re-stored whole after being
+//! delta-encoded once), so base chasing is depth one. The header's
+//! dropped-pages counter records how many dirty pages dedup proved
+//! byte-identical to their committed baseline and elided entirely.
 //! ```
 
 use bytes::{Buf, BufMut};
 
 use crate::crc::{crc32, Crc32};
+use crate::hash::{BLOCKS_PER_PAGE, BLOCK_SIZE};
 use crate::store::StorageError;
 
 const MAGIC: &[u8; 4] = b"ICKP";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+/// Fixed header size in bytes (before the variable tables).
+const HEADER_LEN: usize = 80;
 /// Page size must agree with `ickpt_mem::PAGE_SIZE`; the format pins it.
 pub const CHUNK_PAGE_SIZE: usize = 4096;
 
@@ -71,6 +90,36 @@ impl PageRecord {
     }
 }
 
+/// A partially-rewritten page stored as its changed sub-page blocks.
+///
+/// Bit `b` of `mask` set means block `b` ([`BLOCK_SIZE`] bytes at page
+/// offset `b * BLOCK_SIZE`) is present in `data`; present blocks are
+/// concatenated in ascending block order. The unchanged blocks resolve
+/// to the page's base record further down the chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRecord {
+    /// The page this delta rewrites.
+    pub page: u64,
+    /// Changed-block bitmap, bit `b` ↦ block `b` of the page.
+    pub mask: u16,
+    /// Changed blocks, `popcount(mask) * BLOCK_SIZE` bytes.
+    pub data: Vec<u8>,
+}
+
+impl DeltaRecord {
+    /// Number of changed blocks carried by this record.
+    pub fn block_count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Byte offset of changed block `i` (0-based among *present*
+    /// blocks) within `data`, paired with its block index in the page.
+    pub fn blocks(&self) -> impl Iterator<Item = (usize, &[u8])> {
+        let mask = self.mask;
+        (0..BLOCKS_PER_PAGE).filter(move |b| mask & (1 << b) != 0).zip(self.data.chunks(BLOCK_SIZE))
+    }
+}
+
 /// A decoded checkpoint chunk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Chunk {
@@ -93,6 +142,12 @@ pub struct Chunk {
     pub zero_ranges: Vec<(u64, u64)>,
     /// Saved page runs in ascending page order.
     pub records: Vec<PageRecord>,
+    /// Partially-rewritten pages stored as changed blocks only, in
+    /// ascending page order (incremental chunks only).
+    pub delta_records: Vec<DeltaRecord>,
+    /// Dirty pages dedup proved byte-identical to their baseline and
+    /// dropped at capture (accounting only; they occupy no payload).
+    pub dropped_pages: u64,
     /// Opaque application/model state that rides along with the memory
     /// image (iteration counters, allocation tables, RNG state) so a
     /// restore resumes the exact execution trajectory.
@@ -101,14 +156,26 @@ pub struct Chunk {
 
 impl Chunk {
     /// Total saved payload in bytes (the quantity the paper's IB
-    /// metric bounds).
+    /// metric bounds) — whole-page records plus delta blocks.
     pub fn payload_bytes(&self) -> u64 {
-        self.records.iter().map(|r| r.data.len() as u64).sum()
+        self.records.iter().map(|r| r.data.len() as u64).sum::<u64>()
+            + self.delta_records.iter().map(|d| d.data.len() as u64).sum::<u64>()
     }
 
-    /// Total saved pages (stored content, excluding elided zeros).
+    /// Total saved pages (stored content, excluding elided zeros and
+    /// delta-encoded pages).
     pub fn payload_pages(&self) -> u64 {
         self.records.iter().map(|r| r.page_count()).sum()
+    }
+
+    /// Pages stored as sub-page deltas.
+    pub fn delta_pages(&self) -> u64 {
+        self.delta_records.len() as u64
+    }
+
+    /// Bytes of changed-block payload across all delta records.
+    pub fn delta_payload_bytes(&self) -> u64 {
+        self.delta_records.iter().map(|d| d.data.len() as u64).sum()
     }
 
     /// Pages elided because they were all-zero.
@@ -118,10 +185,12 @@ impl Chunk {
 
     /// Serialized size in bytes (header + records + CRC).
     pub fn encoded_len(&self) -> usize {
-        64 + 16 * self.mmap_blocks.len()
+        HEADER_LEN
+            + 16 * self.mmap_blocks.len()
             + 16 * self.zero_ranges.len()
             + self.app_state.len()
             + self.records.iter().map(|r| 16 + r.data.len()).sum::<usize>()
+            + self.delta_records.iter().map(|d| 16 + d.data.len()).sum::<usize>()
             + 4
     }
 
@@ -159,6 +228,9 @@ impl Chunk {
         out.put_u32_le(self.records.len() as u32);
         out.put_u32_le(self.app_state.len() as u32);
         out.put_u32_le(self.zero_ranges.len() as u32);
+        out.put_u64_le(self.dropped_pages);
+        out.put_u32_le(self.delta_records.len() as u32);
+        out.put_u32_le(0);
         for &(start, len) in &self.mmap_blocks {
             out.put_u64_le(start);
             out.put_u64_le(len);
@@ -176,6 +248,16 @@ impl Chunk {
             out.put_u64_le(rec.start_page);
             out.put_u64_le(rec.page_count());
             out.put_slice(&rec.data);
+        }
+        for delta in &self.delta_records {
+            assert!(
+                delta.mask != 0 && delta.data.len() == delta.block_count() as usize * BLOCK_SIZE,
+                "delta record payload must match its block mask"
+            );
+            out.put_u64_le(delta.page);
+            out.put_u16_le(delta.mask);
+            out.put_slice(&[0u8; 6]);
+            out.put_slice(&delta.data);
         }
         let crc = crc32(out);
         out.put_u32_le(crc);
@@ -210,6 +292,30 @@ impl RecordRef {
     }
 }
 
+/// A delta record's location within an encoded chunk: the target page
+/// and changed-block mask, with the block payload left in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaRef {
+    /// The page this delta rewrites.
+    pub page: u64,
+    /// Changed-block bitmap, bit `b` ↦ block `b` of the page.
+    pub mask: u16,
+    /// Byte offset of the changed-block payload within the chunk.
+    payload_offset: usize,
+}
+
+impl DeltaRef {
+    /// Number of changed blocks carried by this record.
+    pub fn block_count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Payload length in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.block_count() as usize * BLOCK_SIZE
+    }
+}
+
 /// A CRC-verified, zero-copy view of an encoded chunk.
 ///
 /// Decoding a [`Chunk`] copies every page payload into owned records —
@@ -238,6 +344,10 @@ pub struct ChunkView<'a> {
     pub zero_ranges: Vec<(u64, u64)>,
     /// Saved page runs, payloads referenced in place.
     pub records: Vec<RecordRef>,
+    /// Delta-encoded pages, block payloads referenced in place.
+    pub delta_records: Vec<DeltaRef>,
+    /// Dirty pages dedup dropped at capture (accounting only).
+    pub dropped_pages: u64,
     /// Opaque application/model state.
     pub app_state: &'a [u8],
     /// The encoded buffer the record payloads point into.
@@ -247,7 +357,7 @@ pub struct ChunkView<'a> {
 impl<'a> ChunkView<'a> {
     /// Decode and verify a chunk without copying page payloads.
     pub fn decode(buf: &'a [u8]) -> Result<ChunkView<'a>, StorageError> {
-        if buf.len() < 60 {
+        if buf.len() < HEADER_LEN {
             return Err(StorageError::Corrupt("chunk shorter than minimal header".into()));
         }
         let (body, crc_bytes) = buf.split_at(buf.len() - 4);
@@ -283,6 +393,9 @@ impl<'a> ChunkView<'a> {
         let n_records = b.get_u32_le() as usize;
         let app_state_len = b.get_u32_le() as usize;
         let n_zero = b.get_u32_le() as usize;
+        let dropped_pages = b.get_u64_le();
+        let n_delta = b.get_u32_le() as usize;
+        let _reserved3 = b.get_u32_le();
         if b.remaining() < (n_mmap + n_zero) * 16 + app_state_len {
             return Err(StorageError::Corrupt("truncated mmap/zero table".into()));
         }
@@ -318,6 +431,25 @@ impl<'a> ChunkView<'a> {
             b.advance(nbytes);
             records.push(RecordRef { start_page, pages, payload_offset });
         }
+        let mut delta_records = Vec::with_capacity(n_delta);
+        for _ in 0..n_delta {
+            if b.remaining() < 16 {
+                return Err(StorageError::Corrupt("truncated delta header".into()));
+            }
+            let page = b.get_u64_le();
+            let mask = b.get_u16_le();
+            b.advance(6);
+            if mask == 0 {
+                return Err(StorageError::Corrupt("delta record with empty mask".into()));
+            }
+            let nbytes = mask.count_ones() as usize * BLOCK_SIZE;
+            if b.remaining() < nbytes {
+                return Err(StorageError::Corrupt("truncated delta payload".into()));
+            }
+            let payload_offset = body.len() - b.remaining();
+            b.advance(nbytes);
+            delta_records.push(DeltaRef { page, mask, payload_offset });
+        }
         if b.has_remaining() {
             return Err(StorageError::Corrupt("trailing bytes after records".into()));
         }
@@ -331,6 +463,9 @@ impl<'a> ChunkView<'a> {
             }
             _ => {}
         }
+        if kind == ChunkKind::Full && !delta_records.is_empty() {
+            return Err(StorageError::Corrupt("full chunk with delta records".into()));
+        }
         Ok(ChunkView {
             kind,
             rank,
@@ -341,6 +476,8 @@ impl<'a> ChunkView<'a> {
             mmap_blocks,
             zero_ranges,
             records,
+            delta_records,
+            dropped_pages,
             app_state,
             buf,
         })
@@ -355,9 +492,22 @@ impl<'a> ChunkView<'a> {
         &self.buf[start..start + pages as usize * CHUNK_PAGE_SIZE]
     }
 
-    /// Total saved pages (stored content, excluding elided zeros).
+    /// Changed-block payload of delta record `rec`,
+    /// `popcount(mask) * BLOCK_SIZE` bytes in ascending block order.
+    pub fn delta_data(&self, rec: usize) -> &'a [u8] {
+        let d = &self.delta_records[rec];
+        &self.buf[d.payload_offset..d.payload_offset + d.payload_len()]
+    }
+
+    /// Total saved pages (stored content, excluding elided zeros and
+    /// delta-encoded pages).
     pub fn payload_pages(&self) -> u64 {
         self.records.iter().map(|r| r.pages).sum()
+    }
+
+    /// Pages stored as sub-page deltas.
+    pub fn delta_pages(&self) -> u64 {
+        self.delta_records.len() as u64
     }
 
     /// Pages elided because they were all-zero.
@@ -385,6 +535,17 @@ impl<'a> ChunkView<'a> {
                     data: self.record_pages(i, 0, r.pages).to_vec(),
                 })
                 .collect(),
+            delta_records: self
+                .delta_records
+                .iter()
+                .enumerate()
+                .map(|(i, d)| DeltaRecord {
+                    page: d.page,
+                    mask: d.mask,
+                    data: self.delta_data(i).to_vec(),
+                })
+                .collect(),
+            dropped_pages: self.dropped_pages,
             app_state: self.app_state.to_vec(),
         }
     }
@@ -455,6 +616,14 @@ mod tests {
                 PageRecord { start_page: 0, data: vec![0xAA; CHUNK_PAGE_SIZE * 2] },
                 PageRecord { start_page: 100, data: vec![0xBB; CHUNK_PAGE_SIZE] },
             ],
+            delta_records: match kind {
+                ChunkKind::Full => vec![],
+                ChunkKind::Incremental => vec![
+                    DeltaRecord { page: 101, mask: 0b101, data: vec![0xCC; 2 * BLOCK_SIZE] },
+                    DeltaRecord { page: 202, mask: 0x8000, data: vec![0xDD; BLOCK_SIZE] },
+                ],
+            },
+            dropped_pages: 5,
             app_state: vec![7, 8, 9],
         }
     }
@@ -487,6 +656,37 @@ mod tests {
         assert_eq!(c.payload_pages(), 3);
         assert_eq!(c.payload_bytes(), 3 * CHUNK_PAGE_SIZE as u64);
         assert_eq!(c.zero_pages(), 3, "elided zero pages are counted separately");
+        let c = sample_chunk(ChunkKind::Incremental);
+        assert_eq!(c.delta_pages(), 2);
+        assert_eq!(c.delta_payload_bytes(), 3 * BLOCK_SIZE as u64);
+        assert_eq!(c.payload_bytes(), 3 * CHUNK_PAGE_SIZE as u64 + 3 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn delta_records_roundtrip_and_validate() {
+        let c = sample_chunk(ChunkKind::Incremental);
+        let enc = c.encode();
+        assert_eq!(enc.len(), c.encoded_len());
+        let v = ChunkView::decode(&enc).unwrap();
+        assert_eq!(v.dropped_pages, 5);
+        assert_eq!(v.delta_records.len(), 2);
+        assert_eq!(v.delta_records[0].page, 101);
+        assert_eq!(v.delta_records[0].mask, 0b101);
+        assert_eq!(v.delta_data(0), &c.delta_records[0].data[..]);
+        assert_eq!(v.delta_data(1), &c.delta_records[1].data[..]);
+        assert_eq!(v.to_owned(), c);
+        // Block iterator pairs each present block with its page index.
+        let blocks: Vec<usize> = c.delta_records[0].blocks().map(|(b, _)| b).collect();
+        assert_eq!(blocks, vec![0, 2]);
+        let blocks: Vec<usize> = c.delta_records[1].blocks().map(|(b, _)| b).collect();
+        assert_eq!(blocks, vec![15]);
+    }
+
+    #[test]
+    fn full_chunk_with_deltas_rejected() {
+        let mut c = sample_chunk(ChunkKind::Full);
+        c.delta_records = vec![DeltaRecord { page: 1, mask: 1, data: vec![0u8; BLOCK_SIZE] }];
+        assert!(Chunk::decode(&c.encode()).is_err(), "deltas need a parent to chase into");
     }
 
     #[test]
@@ -587,6 +787,8 @@ mod tests {
             mmap_blocks: vec![],
             zero_ranges: vec![],
             records: vec![],
+            delta_records: vec![],
+            dropped_pages: 0,
             app_state: vec![],
         };
         let d = Chunk::decode(&c.encode()).unwrap();

@@ -16,7 +16,7 @@
 //! zero content).
 
 use crate::chunk::{Chunk, ChunkKind, PageRecord, CHUNK_PAGE_SIZE};
-use crate::plan::{RestorePlan, SegmentSource};
+use crate::plan::{DeltaBase, RestorePlan, SegmentSource};
 use crate::store::{ChunkKey, StableStorage, StorageError};
 
 /// Merge an ordered checkpoint chain (base full chunk first, then each
@@ -63,6 +63,31 @@ pub fn merge_chain(chunks: &[Chunk], keep: Option<&dyn Fn(u64) -> bool>) -> Chun
                         .push(PageRecord { start_page: seg.start_page, data: bytes.to_vec() }),
                 }
             }
+            // A delta-encoded page is materialized whole into the
+            // merged base: unchanged blocks from its base page,
+            // changed blocks overlaid from the delta record. Merged
+            // chains therefore carry no delta records at all.
+            SegmentSource::Delta { rec, base } => {
+                let mut page = [0u8; CHUNK_PAGE_SIZE];
+                if let DeltaBase::Record { chunk, rec: brec, rec_page_offset } = base {
+                    page.copy_from_slice(
+                        &chunks[chunk].records[brec].data
+                            [rec_page_offset as usize * CHUNK_PAGE_SIZE..][..CHUNK_PAGE_SIZE],
+                    );
+                }
+                for (block, bytes) in chunks[seg.chunk].delta_records[rec].blocks() {
+                    let off = block * crate::hash::BLOCK_SIZE;
+                    page[off..off + crate::hash::BLOCK_SIZE].copy_from_slice(bytes);
+                }
+                match records.last_mut() {
+                    Some(last) if last.start_page + last.page_count() == seg.start_page => {
+                        last.data.extend_from_slice(&page);
+                    }
+                    _ => {
+                        records.push(PageRecord { start_page: seg.start_page, data: page.to_vec() })
+                    }
+                }
+            }
         }
     }
 
@@ -77,6 +102,10 @@ pub fn merge_chain(chunks: &[Chunk], keep: Option<&dyn Fn(u64) -> bool>) -> Chun
         mmap_blocks: newest.mmap_blocks.clone(),
         zero_ranges,
         records,
+        delta_records: vec![],
+        // Content-layer accounting survives compaction: the merged
+        // base remembers how many silent-same pages the chain dropped.
+        dropped_pages: chunks.iter().map(|c| c.dropped_pages).sum(),
         app_state: newest.app_state.clone(),
     }
 }
@@ -131,6 +160,8 @@ mod tests {
                 .into_iter()
                 .map(|(start_page, data)| PageRecord { start_page, data })
                 .collect(),
+            delta_records: vec![],
+            dropped_pages: 0,
             app_state: vec![generation as u8],
         }
     }
@@ -192,6 +223,37 @@ mod tests {
         assert_eq!(merged.records[0].start_page, 0);
         assert_eq!(merged.records[1].start_page, 5);
         assert_eq!(merged.records[1].data, page(9));
+    }
+
+    #[test]
+    fn delta_pages_materialize_through_merge() {
+        use crate::chunk::DeltaRecord;
+        use crate::hash::BLOCK_SIZE;
+        // Base stores page 0 whole and elides zero page 2; an increment
+        // delta-encodes block 1 of page 0 and block 0 of zero page 2.
+        let mut base = full(0, 1, vec![(0, page(1))]);
+        base.zero_ranges = vec![(2, 1)];
+        let mut inc = incr(0, 2, 1, vec![]);
+        inc.delta_records = vec![
+            DeltaRecord { page: 0, mask: 0b10, data: vec![7; BLOCK_SIZE] },
+            DeltaRecord { page: 2, mask: 0b01, data: vec![9; BLOCK_SIZE] },
+        ];
+        inc.dropped_pages = 3;
+        let merged = merge_chain(&[base, inc], None);
+        assert!(merged.delta_records.is_empty(), "merged base stores pages whole");
+        assert_eq!(merged.payload_pages(), 2);
+        assert_eq!(merged.dropped_pages, 3, "content accounting survives compaction");
+        let p0 = &merged.records[0].data[..CHUNK_PAGE_SIZE];
+        assert!(p0[..BLOCK_SIZE].iter().all(|&b| b == 1), "unchanged block from base");
+        assert!(p0[BLOCK_SIZE..2 * BLOCK_SIZE].iter().all(|&b| b == 7), "changed block");
+        assert!(p0[2 * BLOCK_SIZE..].iter().all(|&b| b == 1));
+        let rec2 = merged.records.iter().find(|r| r.start_page == 2).unwrap();
+        assert!(rec2.data[..BLOCK_SIZE].iter().all(|&b| b == 9), "changed block over zero");
+        assert!(rec2.data[BLOCK_SIZE..].iter().all(|&b| b == 0), "zero base preserved");
+        assert!(merged.zero_ranges.is_empty(), "page 2 became content");
+        // A merged chain must round-trip and re-merge cleanly.
+        let again = merge_chain(std::slice::from_ref(&merged), None);
+        assert_eq!(again.records, merged.records);
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //!
 //! * [`crc`] — CRC-32 (IEEE) implemented locally so checkpoint chunks
 //!   are integrity-checked without an external dependency.
+//! * [`hash`] — the content layer's 4-lane multiply-xor 64-bit hash:
+//!   sub-page block digests that detect silent same-value writes and
+//!   drive delta encoding of partially-written pages.
 //! * [`chunk`] — the on-disk checkpoint chunk format: a header
 //!   describing rank/generation/lineage and the mapping state, followed
 //!   by page records, closed with a CRC.
@@ -31,6 +34,7 @@
 pub mod chunk;
 pub mod crc;
 pub mod gc;
+pub mod hash;
 pub mod manifest;
 pub mod plan;
 pub mod redundancy;
@@ -38,11 +42,13 @@ pub mod store;
 pub mod throttle;
 
 pub use chunk::{
-    peek_lineage, Chunk, ChunkKind, ChunkLineage, ChunkView, PageRecord, RecordRef, CHUNK_PAGE_SIZE,
+    peek_lineage, Chunk, ChunkKind, ChunkLineage, ChunkView, DeltaRecord, DeltaRef, PageRecord,
+    RecordRef, CHUNK_PAGE_SIZE,
 };
+pub use hash::{hash64, page_block_hashes, zero_block_hash, BLOCKS_PER_PAGE, BLOCK_SIZE};
 pub use manifest::{Manifest, RankEntry};
 pub use plan::{
-    shard_segments, ChunkPlanStats, PlanSegment, PlanSource, RestorePlan, SegmentSource,
+    shard_segments, ChunkPlanStats, DeltaBase, PlanSegment, PlanSource, RestorePlan, SegmentSource,
 };
 pub use redundancy::{
     xor_encode, xor_reconstruct, DrainQueue, DrainStats, Partner, RecoveryPlan, RecoverySource,

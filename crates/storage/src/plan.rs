@@ -29,6 +29,28 @@
 
 use crate::chunk::{Chunk, ChunkView, CHUNK_PAGE_SIZE};
 
+/// Where a delta-encoded page's *unchanged* blocks come from: the next
+/// older chunk in the chain that stores the page whole.
+///
+/// Capture re-stores a page whole after delta-encoding it once (no
+/// delta-on-delta), so a base is always a whole-page record or an
+/// elided zero run — chasing is depth one by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaBase {
+    /// The base page was an elided zero page: unchanged blocks are
+    /// zero fill.
+    Zero,
+    /// The base page lives in a whole-page record of an older chunk.
+    Record {
+        /// Chain index of the chunk holding the base page.
+        chunk: usize,
+        /// Record index within that chunk.
+        rec: usize,
+        /// Page offset of the base page within that record.
+        rec_page_offset: u64,
+    },
+}
+
 /// Where a planned page span's content comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SegmentSource {
@@ -40,6 +62,15 @@ pub enum SegmentSource {
         rec: usize,
         /// Page offset within that record where the span starts.
         rec_page_offset: u64,
+    },
+    /// A delta record of the owning chunk: restore by materializing the
+    /// base page, then overlaying the delta's changed blocks. Always a
+    /// single-page segment.
+    Delta {
+        /// Delta-record index within the chunk.
+        rec: usize,
+        /// Where the unchanged blocks come from.
+        base: DeltaBase,
     },
 }
 
@@ -74,12 +105,25 @@ pub struct ChunkPlanStats {
     pub superseded_pages: u64,
     /// Pages dropped because the final mapping no longer contains them.
     pub excluded_pages: u64,
+    /// Delta-encoded pages stored in the chunk.
+    pub stored_delta_pages: u64,
+    /// Delta-encoded pages that survive into the final image.
+    pub live_delta_pages: u64,
+    /// Changed-block payload bytes stored in the chunk's delta records.
+    pub stored_delta_bytes: u64,
+    /// Changed-block payload bytes of the surviving delta records.
+    pub live_delta_bytes: u64,
+    /// Superseded whole pages of this chunk that a newer generation's
+    /// delta still reads as its base — skipped as final content, but
+    /// their payload is decoded anyway.
+    pub delta_base_pages: u64,
 }
 
 impl ChunkPlanStats {
     /// Stored payload bytes a planned restore skips in this chunk.
     pub fn skipped_payload_bytes(&self) -> u64 {
-        (self.stored_pages - self.live_pages) * CHUNK_PAGE_SIZE as u64
+        (self.stored_pages - self.live_pages - self.delta_base_pages) * CHUNK_PAGE_SIZE as u64
+            + (self.stored_delta_bytes - self.live_delta_bytes)
     }
 }
 
@@ -95,6 +139,12 @@ pub trait PlanSource {
     fn record_count(&self) -> usize;
     /// Page span of record `i` as `(start_page, pages)`.
     fn record_span(&self, i: usize) -> (u64, u64);
+    /// Number of delta records.
+    fn delta_count(&self) -> usize;
+    /// Target page of delta record `i`.
+    fn delta_page(&self, i: usize) -> u64;
+    /// Changed-block payload bytes of delta record `i`.
+    fn delta_payload_len(&self, i: usize) -> usize;
 }
 
 impl<T: PlanSource + ?Sized> PlanSource for &T {
@@ -109,6 +159,15 @@ impl<T: PlanSource + ?Sized> PlanSource for &T {
     }
     fn record_span(&self, i: usize) -> (u64, u64) {
         (**self).record_span(i)
+    }
+    fn delta_count(&self) -> usize {
+        (**self).delta_count()
+    }
+    fn delta_page(&self, i: usize) -> u64 {
+        (**self).delta_page(i)
+    }
+    fn delta_payload_len(&self, i: usize) -> usize {
+        (**self).delta_payload_len(i)
     }
 }
 
@@ -125,6 +184,15 @@ impl PlanSource for Chunk {
     fn record_span(&self, i: usize) -> (u64, u64) {
         (self.records[i].start_page, self.records[i].page_count())
     }
+    fn delta_count(&self) -> usize {
+        self.delta_records.len()
+    }
+    fn delta_page(&self, i: usize) -> u64 {
+        self.delta_records[i].page
+    }
+    fn delta_payload_len(&self, i: usize) -> usize {
+        self.delta_records[i].data.len()
+    }
 }
 
 impl PlanSource for ChunkView<'_> {
@@ -139,6 +207,15 @@ impl PlanSource for ChunkView<'_> {
     }
     fn record_span(&self, i: usize) -> (u64, u64) {
         self.records[i].span()
+    }
+    fn delta_count(&self) -> usize {
+        self.delta_records.len()
+    }
+    fn delta_page(&self, i: usize) -> u64 {
+        self.delta_records[i].page
+    }
+    fn delta_payload_len(&self, i: usize) -> usize {
+        self.delta_records[i].payload_len()
     }
 }
 
@@ -173,6 +250,12 @@ pub struct RestorePlan {
     pub live_pages: u64,
     /// Zero-fill pages the plan applies.
     pub live_zero_pages: u64,
+    /// Delta-encoded pages the plan applies (base + changed blocks).
+    pub live_delta_pages: u64,
+    /// Changed-block payload bytes of the applied delta records.
+    pub live_delta_bytes: u64,
+    /// Whole pages decoded only to serve as delta bases.
+    pub delta_base_pages: u64,
     /// Stored pages skipped because a newer generation overwrote them.
     pub superseded_pages: u64,
     /// Stored pages skipped because the final mapping excludes them.
@@ -198,10 +281,18 @@ impl RestorePlan {
             for &(start, len) in chunk.zero_ranges() {
                 max_end = max_end.max(start + len);
             }
+            for i in 0..chunk.delta_count() {
+                max_end = max_end.max(chunk.delta_page(i) + 1);
+            }
         }
         let mut claimed = ClaimSet::new(max_end);
         let mut segments: Vec<PlanSegment> = Vec::new();
         let mut per_chunk = vec![ChunkPlanStats::default(); chain.len()];
+        // Live delta pages whose base has not been found yet, keyed by
+        // page: the next older whole-page record or zero run covering
+        // the page is the base.
+        let mut pending_delta: std::collections::BTreeMap<u64, (usize, usize)> =
+            std::collections::BTreeMap::new();
 
         // Newest chunk first: the first claim on a page wins, which is
         // exactly "the newest generation containing the page wins".
@@ -236,6 +327,24 @@ impl RestorePlan {
                             stats.excluded_pages += 1;
                         } else {
                             stats.superseded_pages += 1;
+                            if let Some((dc, dr)) = pending_delta.remove(&page) {
+                                // This superseded page is the base of a
+                                // newer generation's delta: resolve it.
+                                stats.delta_base_pages += 1;
+                                segments.push(PlanSegment {
+                                    chunk: dc,
+                                    start_page: page,
+                                    pages: 1,
+                                    source: SegmentSource::Delta {
+                                        rec: dr,
+                                        base: DeltaBase::Record {
+                                            chunk: idx,
+                                            rec: i,
+                                            rec_page_offset: k,
+                                        },
+                                    },
+                                });
+                            }
                         }
                         if let Some(seg) = run.take() {
                             segments.push(seg);
@@ -272,6 +381,14 @@ impl RestorePlan {
                             stats.excluded_pages += 1;
                         } else {
                             stats.superseded_pages += 1;
+                            if let Some((dc, dr)) = pending_delta.remove(&page) {
+                                segments.push(PlanSegment {
+                                    chunk: dc,
+                                    start_page: page,
+                                    pages: 1,
+                                    source: SegmentSource::Delta { rec: dr, base: DeltaBase::Zero },
+                                });
+                            }
                         }
                         if let Some(seg) = run.take() {
                             segments.push(seg);
@@ -282,7 +399,28 @@ impl RestorePlan {
                     segments.push(seg);
                 }
             }
+            // The chunk's own delta records claim their pages last: a
+            // whole-page record or zero run in the *same* chunk always
+            // beats a delta for the same page, and a delta's base must
+            // be strictly older.
+            for i in 0..chunk.delta_count() {
+                let page = chunk.delta_page(i);
+                let len = chunk.delta_payload_len(i) as u64;
+                stats.stored_delta_pages += 1;
+                stats.stored_delta_bytes += len;
+                if keep.is_none_or(|f| f(page)) && claimed.claim(page) {
+                    stats.live_delta_pages += 1;
+                    stats.live_delta_bytes += len;
+                    pending_delta.insert(page, (idx, i));
+                }
+            }
         }
+        assert!(
+            pending_delta.is_empty(),
+            "delta record(s) without a base in the chain (pages {:?}): capture must re-store \
+             a page whole before its baseline leaves the chain",
+            pending_delta.keys().take(4).collect::<Vec<_>>()
+        );
         // Spans are disjoint; a canonical ascending order makes plan
         // execution deterministic and lets compaction emit coalesced
         // records in one forward pass.
@@ -296,24 +434,32 @@ impl RestorePlan {
                     acc.3 + s.excluded_pages,
                 )
             });
+        let (live_delta_pages, live_delta_bytes, delta_base_pages) =
+            per_chunk.iter().fold((0, 0, 0), |acc, s| {
+                (acc.0 + s.live_delta_pages, acc.1 + s.live_delta_bytes, acc.2 + s.delta_base_pages)
+            });
         RestorePlan {
             segments,
             per_chunk,
             live_pages,
             live_zero_pages,
+            live_delta_pages,
+            live_delta_bytes,
+            delta_base_pages,
             superseded_pages,
             excluded_pages,
         }
     }
 
-    /// Total pages the plan applies (content + zero fill).
+    /// Total pages the plan applies (content + zero fill + delta).
     pub fn applied_pages(&self) -> u64 {
-        self.live_pages + self.live_zero_pages
+        self.live_pages + self.live_zero_pages + self.live_delta_pages
     }
 
-    /// Payload bytes a planned restore actually decodes.
+    /// Payload bytes a planned restore actually decodes: whole live
+    /// pages, plus changed blocks and whole-page bases of live deltas.
     pub fn planned_payload_bytes(&self) -> u64 {
-        self.live_pages * CHUNK_PAGE_SIZE as u64
+        (self.live_pages + self.delta_base_pages) * CHUNK_PAGE_SIZE as u64 + self.live_delta_bytes
     }
 
     /// Stored payload bytes a planned restore skips (dead chain
@@ -395,6 +541,8 @@ mod tests {
                 .into_iter()
                 .map(|(start_page, data)| PageRecord { start_page, data })
                 .collect(),
+            delta_records: vec![],
+            dropped_pages: 0,
             app_state: vec![],
         }
     }
@@ -513,6 +661,105 @@ mod tests {
             last_end = s.start_page + s.pages;
         }
         assert_eq!(plan.applied_pages(), plan.segments.iter().map(|s| s.pages).sum::<u64>());
+    }
+
+    fn delta_rec(page: u64, mask: u16) -> crate::chunk::DeltaRecord {
+        crate::chunk::DeltaRecord {
+            page,
+            mask,
+            data: vec![0xEE; mask.count_ones() as usize * crate::hash::BLOCK_SIZE],
+        }
+    }
+
+    #[test]
+    fn delta_base_chases_to_record_and_zero() {
+        let base = full(0, vec![(0, [page(1), page(2)].concat())], vec![(5, 1)]);
+        let mut inc = incr(1, vec![], vec![]);
+        inc.delta_records = vec![delta_rec(1, 0b11), delta_rec(5, 0b1)];
+        let plan = RestorePlan::build(&[base, inc], None);
+        assert_eq!(plan.live_delta_pages, 2);
+        assert_eq!(plan.live_pages, 1, "only base page 0 survives whole");
+        assert_eq!(plan.delta_base_pages, 1, "base page 1 is read as delta base");
+        assert_eq!(plan.applied_pages(), 3);
+        let d1 = plan.segments.iter().find(|s| s.start_page == 1).unwrap();
+        assert_eq!(
+            d1.source,
+            SegmentSource::Delta {
+                rec: 0,
+                base: DeltaBase::Record { chunk: 0, rec: 0, rec_page_offset: 1 }
+            }
+        );
+        assert_eq!(d1.chunk, 1);
+        let d5 = plan.segments.iter().find(|s| s.start_page == 5).unwrap();
+        assert_eq!(d5.source, SegmentSource::Delta { rec: 1, base: DeltaBase::Zero });
+        // Payload accounting: base page 0 + base page 1 (as base) plus
+        // 3 changed blocks.
+        assert_eq!(
+            plan.planned_payload_bytes(),
+            2 * CHUNK_PAGE_SIZE as u64 + 3 * crate::hash::BLOCK_SIZE as u64
+        );
+    }
+
+    #[test]
+    fn newer_record_supersedes_older_delta() {
+        let base = full(0, vec![(0, page(1))], vec![]);
+        let mut i1 = incr(1, vec![], vec![]);
+        i1.delta_records = vec![delta_rec(0, 0b1)];
+        let i2 = incr(2, vec![(0, page(9))], vec![]);
+        let plan = RestorePlan::build(&[base, i1, i2], None);
+        assert_eq!(plan.live_delta_pages, 0, "newest whole page wins");
+        assert_eq!(plan.live_pages, 1);
+        assert_eq!(plan.delta_base_pages, 0, "dead delta must not pin its base");
+        assert_eq!(plan.per_chunk[1].stored_delta_pages, 1);
+        assert_eq!(plan.per_chunk[1].live_delta_pages, 0);
+        assert!(plan.per_chunk[1].skipped_payload_bytes() > 0, "dead delta bytes are skippable");
+        assert_eq!(plan.segments.len(), 1);
+    }
+
+    #[test]
+    fn newer_delta_wins_over_older_delta_with_shared_base() {
+        // gen1 delta-encodes page 0, gen2 re-stores it whole (the
+        // alternation rule), gen3 delta-encodes it again: only gen3's
+        // delta is live and its base is gen2's whole page.
+        let base = full(0, vec![(0, page(1))], vec![]);
+        let mut i1 = incr(1, vec![], vec![]);
+        i1.delta_records = vec![delta_rec(0, 0b1)];
+        let i2 = incr(2, vec![(0, page(5))], vec![]);
+        let mut i3 = incr(3, vec![], vec![]);
+        i3.delta_records = vec![delta_rec(0, 0b10)];
+        let plan = RestorePlan::build(&[base, i1, i2, i3], None);
+        assert_eq!(plan.live_delta_pages, 1);
+        assert_eq!(
+            plan.segments[0].source,
+            SegmentSource::Delta {
+                rec: 0,
+                base: DeltaBase::Record { chunk: 2, rec: 0, rec_page_offset: 0 }
+            }
+        );
+        assert_eq!(plan.segments[0].chunk, 3);
+        assert_eq!(plan.per_chunk[0].superseded_pages, 1, "gen0 page is fully dead");
+        assert_eq!(plan.per_chunk[0].delta_base_pages, 0);
+    }
+
+    #[test]
+    fn keep_filter_excludes_delta_pages() {
+        let base = full(0, vec![(0, [page(1), page(2)].concat())], vec![]);
+        let mut inc = incr(1, vec![], vec![]);
+        inc.delta_records = vec![delta_rec(1, 0b1)];
+        let keep = |p: u64| p < 1;
+        let plan = RestorePlan::build(&[base, inc], Some(&keep));
+        assert_eq!(plan.live_delta_pages, 0);
+        assert_eq!(plan.live_pages, 1);
+        assert_eq!(plan.delta_base_pages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a base")]
+    fn delta_without_base_panics() {
+        let base = full(0, vec![(0, page(1))], vec![]);
+        let mut inc = incr(1, vec![], vec![]);
+        inc.delta_records = vec![delta_rec(7, 0b1)]; // page 7 never stored whole
+        let _ = RestorePlan::build(&[base, inc], None);
     }
 
     #[test]

@@ -660,6 +660,8 @@ mod tests {
                 start_page: 0,
                 data: vec![fill; crate::chunk::CHUNK_PAGE_SIZE],
             }],
+            delta_records: vec![],
+            dropped_pages: 0,
             app_state: vec![],
         }
         .encode()

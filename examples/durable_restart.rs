@@ -54,6 +54,8 @@ fn config(store: Arc<dyn StableStorage>, failures: Vec<FailureSpec>) -> FaultTol
         redundancy: None,
         obs: ickpt::obs::Recorder::disabled(),
         max_attempts: 3,
+        dedup: None,
+        write_profile: Default::default(),
     }
 }
 

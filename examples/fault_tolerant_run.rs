@@ -43,6 +43,8 @@ fn config(failures: Vec<FailureSpec>) -> FaultTolerantConfig {
         net: NetConfig::qsnet(),
         redundancy: None,
         obs: ickpt::obs::Recorder::disabled(),
+        dedup: None,
+        write_profile: Default::default(),
         max_attempts: 3,
     }
 }

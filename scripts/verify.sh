@@ -36,15 +36,30 @@ bench_smoke() {
         target/release/repro --only "table 4" >/tmp/ickpt_repro_t4.txt 2>/dev/null
     run diff /tmp/ickpt_repro_t1.txt /tmp/ickpt_repro_t4.txt
 
+    # Content-layer determinism: the effective-IB experiment runs every
+    # app twice (dedup off, then on), asserts the two runs byte-identical
+    # end to end, and its printed report must not depend on scheduler
+    # parallelism.
+    echo "==> repro --only 'Effective IB' at 1 and 4 scheduler threads"
+    ICKPT_BENCH_THREADS=1 \
+        target/release/repro --only "Effective IB" >/tmp/ickpt_dedup_t1.txt 2>/dev/null
+    ICKPT_BENCH_THREADS=4 \
+        target/release/repro --only "Effective IB" >/tmp/ickpt_dedup_t4.txt 2>/dev/null
+    run diff /tmp/ickpt_dedup_t1.txt /tmp/ickpt_dedup_t4.txt
+
     # Flight-recorder determinism: the exported trace files (Chrome
     # JSON + JSONL) for a live-instrumented experiment must be
-    # byte-identical at 1 and 4 scheduler threads.
-    echo "==> repro --trace-out at 1 and 4 scheduler threads"
+    # byte-identical at 1 and 4 scheduler threads — with the content
+    # layer (dedup + delta) forced on, so DedupSkip/DeltaEncode events
+    # flow through the recorder in both runs.
+    echo "==> repro --trace-out at 1 and 4 scheduler threads (ICKPT_DEDUP=1)"
     rm -rf /tmp/ickpt_trace_t1 /tmp/ickpt_trace_t4
-    ICKPT_BENCH_RANKS=4 ICKPT_BENCH_SCALE=0.05 ICKPT_BENCH_PERIODS=4 ICKPT_BENCH_THREADS=1 \
+    ICKPT_DEDUP=1 ICKPT_BENCH_RANKS=4 ICKPT_BENCH_SCALE=0.05 ICKPT_BENCH_PERIODS=4 \
+        ICKPT_BENCH_THREADS=1 \
         target/release/repro --only "Ablations" --trace-out /tmp/ickpt_trace_t1 \
         >/dev/null 2>/dev/null
-    ICKPT_BENCH_RANKS=4 ICKPT_BENCH_SCALE=0.05 ICKPT_BENCH_PERIODS=4 ICKPT_BENCH_THREADS=4 \
+    ICKPT_DEDUP=1 ICKPT_BENCH_RANKS=4 ICKPT_BENCH_SCALE=0.05 ICKPT_BENCH_PERIODS=4 \
+        ICKPT_BENCH_THREADS=4 \
         target/release/repro --only "Ablations" --trace-out /tmp/ickpt_trace_t4 \
         >/dev/null 2>/dev/null
     run diff -r /tmp/ickpt_trace_t1 /tmp/ickpt_trace_t4

@@ -37,7 +37,7 @@ use ickpt_apps::codec::{ByteReader, ByteWriter};
 use ickpt_apps::step::{AppModel, Step};
 use ickpt_apps::Workload;
 use ickpt_core::checkpoint::{
-    capture_full_with, capture_incremental_with, CaptureConfig, CaptureScratch,
+    capture_full_with, capture_incremental_with, CaptureConfig, CaptureScratch, ContentStats,
 };
 use ickpt_core::coordinator::{CheckpointPlanner, CheckpointPolicy, VoteFlags};
 use ickpt_core::metrics::IwsSample;
@@ -47,7 +47,9 @@ use ickpt_core::restore::{
 use ickpt_core::trace::RankTrace;
 use ickpt_core::tracked_space::{ContentWrite, TrackedSpace};
 use ickpt_core::tracker::{EpochSample, IterationSample, TrackerConfig, WriteTracker};
-use ickpt_mem::{pages_for_bytes, AddressSpace, BackedSpace, DataLayout, PageRange, SparseSpace};
+use ickpt_mem::{
+    pages_for_bytes, AddressSpace, BackedSpace, DataLayout, PageRange, SparseSpace, WriteProfile,
+};
 use ickpt_net::comm::Endpoint;
 use ickpt_net::{CommWorld, NetConfig};
 use ickpt_obs::{DeviceKind, Event, Lane, ObsSummary, Recorder, RecoveryTier};
@@ -169,6 +171,9 @@ pub struct RankReport {
     /// Dirty pages dropped by memory exclusion (§4.2) instead of being
     /// checkpointed.
     pub excluded_pages: u64,
+    /// Content-layer totals across the attempt's captures: silent-same
+    /// drops and sub-page delta encoding (all zero with dedup off).
+    pub content: ContentStats,
     /// Last globally committed generation (backed runs).
     pub last_committed: Option<u64>,
     /// Clock pairs and counter snapshots of every iteration boundary,
@@ -524,6 +529,15 @@ pub struct FaultTolerantConfig {
     /// Flight recorder; [`Recorder::disabled`] makes every emit a
     /// no-op branch on a `None`.
     pub obs: Recorder,
+    /// Content dedup + delta encoding override: `None` defers to the
+    /// `ICKPT_DEDUP` environment knob, `Some(b)` forces it per run so
+    /// experiments can compare effective vs dirty IB side by side.
+    pub dedup: Option<bool>,
+    /// How versioned touches materialize bytes on the backed spaces
+    /// ([`WriteProfile::Uniform`] keeps the historical whole-page
+    /// rewrite; [`WriteProfile::Scientific`] mixes in silent stores
+    /// and sub-page updates for content-layer studies).
+    pub write_profile: WriteProfile,
 }
 
 /// Run a model fleet with coordinated checkpointing and recovery on
@@ -733,6 +747,7 @@ where
                         obs_rank: rank as u32,
                     };
                     let mut space = BackedSpace::new(layout);
+                    space.set_write_profile(cfg.write_profile);
                     let mut model = build(rank);
                     let mut clock = SimTime::ZERO;
                     let mut planner = CheckpointPlanner::new(policy, SimTime::ZERO);
@@ -841,11 +856,15 @@ where
                         commit_lag: SimDuration::ZERO,
                         capture_cfg: {
                             let mut c = CaptureConfig::from_env();
+                            if let Some(dedup) = cfg.dedup {
+                                c.dedup = dedup;
+                            }
                             c.obs = obs.clone();
                             c.obs_rank = rank as u32;
                             c
                         },
                         scratch: CaptureScratch::new(),
+                        content: ContentStats::default(),
                         obs,
                     };
                     let mut runner = RankRunner::new(
@@ -1004,8 +1023,12 @@ struct RankCheckpointer {
     /// Capture tuning (worker count from `ICKPT_CAPTURE_WORKERS`).
     capture_cfg: CaptureConfig,
     /// Recycled capture/encode buffers: steady-state checkpoints are
-    /// allocation-free.
+    /// allocation-free. Also owns the dedup baseline; a fresh scratch
+    /// per attempt means a rollback can never reuse a stale baseline
+    /// (the index starts fully invalid after every recovery).
     scratch: CaptureScratch,
+    /// Run totals of the content layer (silent-same drops, deltas).
+    content: ContentStats,
     /// Flight recorder (stall spans + commit instants on this rank's
     /// lane).
     obs: Recorder,
@@ -1022,6 +1045,16 @@ impl RankCheckpointer {
     ) -> Result<SimTime, RunError> {
         debug_assert!(self.pending.is_none(), "pending commit must settle before a new capture");
         let planned = self.planner.plan(now);
+        // Pages unmapped since the last capture invalidate the dedup
+        // baseline: their records may leave the chain, and a remapped
+        // page must never silently match hashes from a previous
+        // mapping epoch. (A full capture resets the whole index, but
+        // the churn set still has to be drained.)
+        if self.capture_cfg.dedup {
+            for range in tracker.take_churn_set() {
+                self.scratch.dedup_index().invalidate(range);
+            }
+        }
         let mut chunk = match planned.kind {
             ChunkKind::Full => {
                 // A fresh base supersedes the pending dirty set.
@@ -1049,6 +1082,7 @@ impl RankCheckpointer {
                 )
             }
         };
+        self.content.merge(self.scratch.last_content());
         // The app-state blob carries the model state plus a digest of
         // the captured image, so restores are self-verifying.
         let mut blob = ByteWriter::new();
@@ -1460,6 +1494,7 @@ impl<'a, S: AddressSpace + ContentWrite + CheckpointCapable> RankRunner<'a, S> {
             checkpoint_stall: self.ckpt.as_ref().map_or(SimDuration::ZERO, |c| c.stall),
             commit_lag: self.ckpt.as_ref().map_or(SimDuration::ZERO, |c| c.commit_lag),
             excluded_pages: self.tracker.excluded_pages(),
+            content: self.ckpt.as_ref().map_or_else(ContentStats::default, |c| c.content),
             last_committed: self.ckpt.as_ref().and_then(|c| c.planner.last_committed()),
             boundaries: self.boundaries,
             trace,

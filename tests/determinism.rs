@@ -114,6 +114,8 @@ fn fault_tolerant_recovery_is_deterministic_too() {
             max_attempts: 3,
             redundancy: None,
             obs: ickpt::obs::Recorder::disabled(),
+            dedup: None,
+            write_profile: Default::default(),
         };
         let report = run_fault_tolerant(&cfg, layout, |rank| {
             Box::new(SyntheticApp::new(SyntheticConfig {
@@ -173,6 +175,8 @@ fn flight_recorder_export_is_deterministic() {
             max_attempts: 3,
             redundancy: None,
             obs: Recorder::new(fr.clone()),
+            dedup: None,
+            write_profile: Default::default(),
         };
         run_fault_tolerant(&cfg, layout, |rank| {
             Box::new(SyntheticApp::new(SyntheticConfig {

@@ -42,6 +42,8 @@ fn synthetic_cfg(
         net: NetConfig::qsnet(),
         redundancy: None,
         obs: ickpt::obs::Recorder::disabled(),
+        dedup: None,
+        write_profile: Default::default(),
         max_attempts: 4,
     }
 }
@@ -225,6 +227,8 @@ fn memory_exclusion_is_accounted_for_dynamic_apps() {
         net: NetConfig::qsnet(),
         redundancy: None,
         obs: ickpt::obs::Recorder::disabled(),
+        dedup: None,
+        write_profile: Default::default(),
         max_attempts: 1,
     };
     let report = run_fault_tolerant(&cfg, w.layout(scale), move |rank| {
@@ -269,6 +273,8 @@ fn sage_recovery_from_incremental_chain_is_byte_exact() {
         net: NetConfig::qsnet(),
         redundancy: None,
         obs: ickpt::obs::Recorder::disabled(),
+        dedup: None,
+        write_profile: Default::default(),
         max_attempts: 3,
     };
     let reference = run_fault_tolerant(&mk(vec![]), layout, build).unwrap();
@@ -310,6 +316,8 @@ fn sage_model_survives_failure_with_dynamic_memory() {
         net: NetConfig::qsnet(),
         redundancy: None,
         obs: ickpt::obs::Recorder::disabled(),
+        dedup: None,
+        write_profile: Default::default(),
         max_attempts: 3,
     };
     let reference = run_fault_tolerant(&cfg_ref, layout, build).unwrap();
