@@ -1,0 +1,5 @@
+#![allow(clippy::disallowed_macros)]
+fn main() {
+    let rows = ickpt_bench::experiments::fig5_extended::run_and_print();
+    println!("{}", ickpt_analysis::compare::comparison_table("paper vs measured", &rows));
+}

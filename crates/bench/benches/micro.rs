@@ -597,6 +597,44 @@ fn bench_obs(c: &mut Criterion) {
     g.finish();
 }
 
+/// Ranks-per-second of the two characterization paths: the
+/// event-wheel engine (the default) vs the legacy one-thread-per-rank
+/// reference. Criterion's elements/s readout IS ranks/s here. The
+/// rank count is deliberately modest so the threaded reference stays
+/// benchmarkable; `fig5_extended` (and BENCH_PR7.json) carry the
+/// 4096/16384-rank wall-clock numbers.
+fn bench_cluster_ranks(c: &mut Criterion) {
+    use ickpt::apps::Workload;
+    use ickpt::cluster::{
+        characterize, characterize_model_threaded, CharacterizationConfig, ReportDetail,
+    };
+    const NRANKS: usize = 256;
+    let w = Workload::Sage100;
+    let cfg = CharacterizationConfig {
+        nranks: NRANKS,
+        scale: 0.02,
+        run_for: SimDuration::from_secs(20),
+        detail: ReportDetail::compact(),
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("cluster_ranks_per_sec");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(NRANKS as u64));
+    g.bench_function("event_engine_256ranks", |b| {
+        b.iter(|| black_box(characterize(w, &cfg).ranks.len()))
+    });
+    g.bench_function("threaded_reference_256ranks", |b| {
+        b.iter(|| {
+            let layout = w.layout(cfg.scale);
+            let report = characterize_model_threaded(&cfg, layout, |rank| {
+                Box::new(w.build(rank, cfg.nranks, cfg.scale, cfg.seed))
+            });
+            black_box(report.ranks.len())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_bitmap,
@@ -611,6 +649,7 @@ criterion_group!(
     bench_trace,
     bench_xor_parity,
     bench_native_fault,
-    bench_obs
+    bench_obs,
+    bench_cluster_ranks
 );
 criterion_main!(benches);

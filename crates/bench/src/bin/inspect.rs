@@ -32,6 +32,11 @@ use ickpt::storage::{
 use ickpt_analysis::table::fnum;
 use ickpt_analysis::TextTable;
 
+/// Per-rank listings above this count are elided (integrity checks
+/// still cover every rank; an explicit "… N more" line replaces the
+/// tables, never silent truncation). `--rank N` always lists rank N.
+const MAX_LISTED_RANKS: usize = 8;
+
 /// If `dir` is a tiered layout, print the node-local tier overview and
 /// return the shared tier's path to inspect; otherwise return `dir`.
 fn tiered_overview(dir: &str) -> String {
@@ -62,7 +67,18 @@ fn tiered_overview(dir: &str) -> String {
         "manifests",
         "MB",
     ]);
-    for (rank, path) in &locals {
+    for (i, (rank, path)) in locals.iter().enumerate() {
+        if i >= MAX_LISTED_RANKS {
+            t.row(vec![
+                format!("… {} more tiers elided", locals.len() - MAX_LISTED_RANKS),
+                "".into(),
+                "".into(),
+                "".into(),
+                "".into(),
+                "".into(),
+            ]);
+            break;
+        }
         let Ok(local) = FileStore::open(path) else {
             t.row(vec![
                 format!("local-{rank}"),
@@ -232,10 +248,19 @@ fn main() {
         Some(r) => vec![r],
         None => (0..nranks.max(1)).collect(),
     };
-    for rank in ranks {
+    // Every rank is verified (CRC, lineage, chain shape); listings are
+    // elided above the threshold so 5-digit rank counts stay readable.
+    let mut elided = 0usize;
+    for (idx, rank) in ranks.iter().copied().enumerate() {
+        let listed = only_rank.is_some() || idx < MAX_LISTED_RANKS;
+        if !listed {
+            elided += 1;
+        }
         let gens = store.list_generations(rank).unwrap_or_default();
         if gens.is_empty() {
-            println!("rank {rank}: no chunks");
+            if listed {
+                println!("rank {rank}: no chunks");
+            }
             continue;
         }
         let mut t = TextTable::new(format!("rank {rank} chunks")).header(&[
@@ -314,7 +339,9 @@ fn main() {
                 }
             }
         }
-        println!("{}", t.render());
+        if listed {
+            println!("{}", t.render());
+        }
 
         // ---- Restore-plan statistics for the newest chain ----
         // Walk parents from the newest decoded generation, then build
@@ -329,6 +356,9 @@ fn main() {
             cursor = c.parent;
         }
         if chain.last().map(|c| c.kind) == Some(ChunkKind::Full) {
+            if !listed {
+                continue;
+            }
             chain.reverse(); // base first
             let plan = RestorePlan::build(&chain, None);
             let mut pt = TextTable::new(format!(
@@ -373,7 +403,7 @@ fn main() {
         // pages whole).
         let dropped: u64 = decoded.values().map(|c| c.dropped_pages).sum();
         let delta_pages: u64 = decoded.values().map(|c| c.delta_records.len() as u64).sum();
-        if dropped > 0 || delta_pages > 0 {
+        if listed && (dropped > 0 || delta_pages > 0) {
             let delta_blocks: u64 = decoded
                 .values()
                 .flat_map(|c| &c.delta_records)
@@ -390,6 +420,9 @@ fn main() {
                 fnum(saved as f64 / 1e6, 2),
             );
         }
+    }
+    if elided > 0 {
+        println!("… {elided} more ranks elided (all verified; pass --rank N to list one in full)");
     }
 
     // ---- Summary ----

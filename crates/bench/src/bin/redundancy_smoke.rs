@@ -29,7 +29,7 @@ use ickpt::core::metrics::TierSummary;
 use ickpt::mem::{LayoutBuilder, PAGE_SIZE};
 use ickpt::net::NetConfig;
 use ickpt::sim::{DevicePreset, SimDuration, SimTime};
-use ickpt::storage::{MemStore, RecoverySource, SchemeSpec};
+use ickpt::storage::{DrainTopology, MemStore, RecoverySource, SchemeSpec};
 
 const NRANKS: usize = 4;
 
@@ -49,6 +49,7 @@ fn run(failures: Vec<FailureSpec>, obs: ickpt::obs::Recorder) -> RunReport {
             scheme: SchemeSpec::Partner { offset: 1 },
             local_device: DevicePreset::NodeLocal,
             drain_every: 4,
+            drain_topology: DrainTopology::Flat,
         }),
         max_attempts: 4,
         obs,

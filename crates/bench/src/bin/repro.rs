@@ -62,6 +62,7 @@ fn main() {
         ("Figure 3 (avg IB vs timeslice, Sage sizes)", experiments::fig3::report),
         ("Figure 4 (IWS ratio vs timeslice)", experiments::fig4::report),
         ("Figure 5 (weak scaling 8-64 procs)", experiments::fig5::report),
+        ("Figure 5 extended (weak scaling to 16384 ranks)", experiments::fig5_extended::report),
         ("Section 6.5 (intrusiveness)", experiments::intrusive::report),
         ("Ablations (checkpoint system)", experiments::ablation::report),
         ("Availability under failures", experiments::availability::report),

@@ -173,6 +173,7 @@ impl WorkloadTrace {
                     commit_lag: SimDuration::ZERO,
                     excluded_pages: 0,
                     content: Default::default(),
+                    summary: Default::default(),
                     last_committed: None,
                     boundaries: self.boundaries[r][..=stop_i].to_vec(),
                     trace: None,

@@ -40,7 +40,7 @@ use ickpt::core::restore::{restore_rank, restore_rank_sequential};
 use ickpt::mem::{BackedSpace, DataLayout, LayoutBuilder, PAGE_SIZE};
 use ickpt::net::NetConfig;
 use ickpt::sim::{DevicePreset, SimDuration, SimTime};
-use ickpt::storage::{gc, Chunk, ChunkKey, MemStore, RecoverySource, SchemeSpec};
+use ickpt::storage::{gc, Chunk, ChunkKey, DrainTopology, MemStore, RecoverySource, SchemeSpec};
 use ickpt_analysis::table::fnum;
 use ickpt_analysis::{Comparison, ExperimentReport, TextTable};
 
@@ -475,6 +475,7 @@ fn redundancy_ablation(obs: Recorder) -> Section {
             scheme,
             local_device: DevicePreset::NodeLocal,
             drain_every: 4,
+            drain_topology: DrainTopology::Flat,
         });
         run_fault_tolerant(&cfg, layout(), build).unwrap()
     });

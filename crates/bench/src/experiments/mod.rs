@@ -17,6 +17,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod fig5_extended;
 pub mod intrusive;
 pub mod table2;
 pub mod table3;

@@ -58,6 +58,15 @@ impl TraceBuilder {
         Self { fr, next_group: 0 }
     }
 
+    /// Like [`TraceBuilder::begin`], but ring capacity is scaled down
+    /// for a run with `nranks` rank tracks
+    /// ([`FlightRecorder::for_ranks`]), keeping the recorder and its
+    /// exports bounded for the 16k-rank extended experiments.
+    pub fn begin_scaled(nranks: usize) -> Self {
+        let fr = trace_enabled().then(|| FlightRecorder::for_ranks(nranks));
+        Self { fr, next_group: 0 }
+    }
+
     /// True when this builder actually records.
     pub fn enabled(&self) -> bool {
         self.fr.is_some()

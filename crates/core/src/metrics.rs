@@ -114,6 +114,71 @@ impl IbStats {
     }
 }
 
+/// Integer-only roll-up of a rank's full sample stream.
+///
+/// Compact report modes keep a bounded sample reservoir instead of the
+/// full per-window series; this summary is accumulated over **every**
+/// window regardless, so cluster-wide totals survive the elision. All
+/// fields use associative integer arithmetic (saturating sums, maxes),
+/// making merges order-independent — safe to aggregate through
+/// `ickpt_sim::tree_reduce` at any arity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SampleSummary {
+    /// Windows absorbed.
+    pub windows: u64,
+    /// Sum of per-window IWS page counts.
+    pub total_iws_pages: u64,
+    /// Largest single-window IWS, in pages.
+    pub max_iws_pages: u64,
+    /// Sum of per-window fault counts.
+    pub total_faults: u64,
+    /// Sum of per-window bytes received.
+    pub total_bytes_received: u64,
+    /// Largest footprint observed at any alarm, in pages.
+    pub max_footprint_pages: u64,
+    /// Latest window end time absorbed.
+    pub last_end_time: SimTime,
+}
+
+impl SampleSummary {
+    /// Fold one window sample into the summary.
+    pub fn absorb(&mut self, s: &IwsSample) {
+        self.windows = self.windows.saturating_add(1);
+        self.total_iws_pages = self.total_iws_pages.saturating_add(s.iws_pages);
+        self.max_iws_pages = self.max_iws_pages.max(s.iws_pages);
+        self.total_faults = self.total_faults.saturating_add(s.faults);
+        self.total_bytes_received = self.total_bytes_received.saturating_add(s.bytes_received);
+        self.max_footprint_pages = self.max_footprint_pages.max(s.footprint_pages);
+        self.last_end_time = self.last_end_time.max(s.end_time);
+    }
+
+    /// Merge another summary into this one (associative + commutative).
+    pub fn merge(&mut self, other: &SampleSummary) {
+        self.windows = self.windows.saturating_add(other.windows);
+        self.total_iws_pages = self.total_iws_pages.saturating_add(other.total_iws_pages);
+        self.max_iws_pages = self.max_iws_pages.max(other.max_iws_pages);
+        self.total_faults = self.total_faults.saturating_add(other.total_faults);
+        self.total_bytes_received =
+            self.total_bytes_received.saturating_add(other.total_bytes_received);
+        self.max_footprint_pages = self.max_footprint_pages.max(other.max_footprint_pages);
+        self.last_end_time = self.last_end_time.max(other.last_end_time);
+    }
+
+    /// Mean IWS per window in MB (render-time floating point only).
+    pub fn avg_iws_mb(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.total_iws_pages as f64 * PAGE_BYTES / MB / self.windows as f64
+        }
+    }
+
+    /// Largest single-window IWS in MB.
+    pub fn max_iws_mb(&self) -> f64 {
+        self.max_iws_pages as f64 * PAGE_BYTES / MB
+    }
+}
+
 /// The IWS time series in `(seconds, MB)` pairs — Fig 1(a).
 pub fn iws_series(samples: &[IwsSample]) -> Vec<(f64, f64)> {
     samples.iter().map(|s| (s.end_time.as_secs_f64(), s.iws_mb())).collect()

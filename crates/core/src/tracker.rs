@@ -31,8 +31,24 @@ use ickpt_mem::{DirtyBitmap, PageRange};
 use ickpt_obs::{Event, Lane, Recorder};
 use ickpt_sim::{SimDuration, SimTime};
 
-use crate::metrics::IwsSample;
+use crate::metrics::{IwsSample, SampleSummary};
 use crate::trace::{BoundaryResidue, RankTrace, TraceSlice};
+
+/// What the tracker keeps of its per-window sample stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleMode {
+    /// Keep every window sample (the historical behaviour).
+    Full,
+    /// Keep a bounded reservoir of at most `reservoir` samples
+    /// (stride-doubling decimation: always windows 0, s, 2s, … for the
+    /// smallest power-of-two stride that fits) plus the exact
+    /// [`SampleSummary`]. At 16k ranks the full series would cost
+    /// gigabytes; the reservoir keeps report memory flat per rank.
+    Compact {
+        /// Maximum samples retained (clamped to at least 2).
+        reservoir: usize,
+    },
+}
 
 /// Tracker configuration.
 #[derive(Debug, Clone)]
@@ -61,6 +77,8 @@ pub struct TrackerConfig {
     pub obs: Recorder,
     /// Rank lane the tracker events land on.
     pub obs_rank: u32,
+    /// Sample retention policy; [`SampleMode::Full`] by default.
+    pub sample_mode: SampleMode,
 }
 
 impl Default for TrackerConfig {
@@ -74,6 +92,7 @@ impl Default for TrackerConfig {
             record_trace: false,
             obs: Recorder::disabled(),
             obs_rank: 0,
+            sample_mode: SampleMode::Full,
         }
     }
 }
@@ -150,6 +169,14 @@ pub struct WriteTracker {
     excluded_pages: u64,
 
     samples: Vec<IwsSample>,
+    /// Exact integer roll-up of every window, independent of the
+    /// retention mode.
+    summary: SampleSummary,
+    /// Windows recorded so far (== `samples.len()` in Full mode; the
+    /// authoritative window counter in Compact mode).
+    window_index: u64,
+    /// Compact-mode decimation stride (power of two, starts at 1).
+    sample_stride: u64,
     epoch_samples: Vec<EpochSample>,
     iteration_samples: Vec<IterationSample>,
     /// Ranges unmapped since the last checkpoint, in event order — the
@@ -197,6 +224,9 @@ impl WriteTracker {
             overhead: SimDuration::ZERO,
             excluded_pages: 0,
             samples: Vec::new(),
+            summary: SampleSummary::default(),
+            window_index: 0,
+            sample_stride: 1,
             epoch_samples: Vec::new(),
             iteration_samples: Vec::new(),
             churn: Vec::new(),
@@ -225,8 +255,9 @@ impl WriteTracker {
     pub fn advance_to(&mut self, now: SimTime) {
         while self.next_alarm <= now {
             let end = self.next_alarm;
-            self.samples.push(IwsSample {
-                window: self.samples.len() as u64,
+            let widx = self.window_index;
+            self.record_sample(IwsSample {
+                window: widx,
                 end_time: end,
                 iws_pages: self.window.count(),
                 footprint_pages: self.footprint_pages,
@@ -240,7 +271,7 @@ impl WriteTracker {
                     start,
                     end.saturating_sub(start),
                     Event::TrackerWindow {
-                        index: self.samples.len() as u64 - 1,
+                        index: widx,
                         iws_pages: self.window.count(),
                         footprint_pages: self.footprint_pages,
                         faults: self.window_faults,
@@ -280,6 +311,31 @@ impl WriteTracker {
                 self.next_epoch_end = end + epoch;
             }
         }
+    }
+
+    /// Record one closed window: fold it into the exact summary, then
+    /// retain it per the sample mode. In `Full` mode this is a plain
+    /// push (byte-identical to the historical series). In `Compact`
+    /// mode the reservoir keeps every `stride`-th window; when it
+    /// fills, the stride doubles and the reservoir is re-decimated, so
+    /// retention stays `O(reservoir)` over any run length.
+    fn record_sample(&mut self, s: IwsSample) {
+        self.summary.absorb(&s);
+        match self.cfg.sample_mode {
+            SampleMode::Full => self.samples.push(s),
+            SampleMode::Compact { reservoir } => {
+                let cap = reservoir.max(2);
+                if s.window.is_multiple_of(self.sample_stride) {
+                    self.samples.push(s);
+                    if self.samples.len() > cap {
+                        self.sample_stride *= 2;
+                        let stride = self.sample_stride;
+                        self.samples.retain(|x| x.window.is_multiple_of(stride));
+                    }
+                }
+            }
+        }
+        self.window_index += 1;
     }
 
     /// Record writes to every page of `range`; returns the number of
@@ -398,8 +454,9 @@ impl WriteTracker {
         assert!(!self.finished, "tracker already finished");
         self.advance_to(now);
         if self.window.count() > 0 || self.window_bytes_received > 0 {
-            self.samples.push(IwsSample {
-                window: self.samples.len() as u64,
+            let widx = self.window_index;
+            self.record_sample(IwsSample {
+                window: widx,
                 end_time: now,
                 iws_pages: self.window.count(),
                 footprint_pages: self.footprint_pages,
@@ -464,9 +521,17 @@ impl WriteTracker {
         }
     }
 
-    /// Per-timeslice IWS samples recorded so far.
+    /// Per-timeslice IWS samples recorded so far (the full series in
+    /// [`SampleMode::Full`], the decimated reservoir in
+    /// [`SampleMode::Compact`]).
     pub fn samples(&self) -> &[IwsSample] {
         &self.samples
+    }
+
+    /// Exact integer roll-up of every window, regardless of the sample
+    /// retention mode.
+    pub fn sample_summary(&self) -> &SampleSummary {
+        &self.summary
     }
 
     /// Per-epoch unique-page samples.
@@ -727,6 +792,47 @@ mod tests {
                 (b.iws_pages, b.end_time, b.footprint_pages)
             );
         }
+    }
+
+    #[test]
+    fn compact_mode_bounds_samples_and_keeps_exact_summary() {
+        let mk = |mode| {
+            let mut t =
+                WriteTracker::new(100, 100, TrackerConfig { sample_mode: mode, ..cfg_1s() });
+            for w in 0..1000u64 {
+                t.touch_range(PageRange::new(w % 50, 3));
+                t.note_received(10);
+                t.advance_to(SimTime::from_secs(w + 1));
+            }
+            t
+        };
+        let full = mk(SampleMode::Full);
+        let compact = mk(SampleMode::Compact { reservoir: 32 });
+        assert_eq!(full.samples().len(), 1000);
+        assert!(compact.samples().len() <= 32, "got {}", compact.samples().len());
+        assert!(compact.samples().len() >= 8, "reservoir should stay reasonably full");
+        // The summary is exact in both modes.
+        assert_eq!(full.sample_summary(), compact.sample_summary());
+        assert_eq!(compact.sample_summary().windows, 1000);
+        assert_eq!(compact.sample_summary().total_bytes_received, 10_000);
+        // Retained samples are a strided subset of the full series.
+        for s in compact.samples() {
+            assert_eq!(&full.samples()[s.window as usize], s);
+        }
+        assert_eq!(compact.samples()[0].window, 0, "window 0 always survives decimation");
+    }
+
+    #[test]
+    fn compact_mode_small_runs_keep_everything() {
+        let mut t = WriteTracker::new(
+            10,
+            10,
+            TrackerConfig { sample_mode: SampleMode::Compact { reservoir: 64 }, ..cfg_1s() },
+        );
+        t.touch_range(PageRange::new(0, 2));
+        t.advance_to(SimTime::from_secs(3));
+        assert_eq!(t.samples().len(), 3, "under the cap nothing is dropped");
+        assert_eq!(t.sample_summary().windows, 3);
     }
 
     #[test]

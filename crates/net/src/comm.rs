@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ickpt_sim::rendezvous::Combine;
-use ickpt_sim::{BandwidthDevice, Rendezvous, SimDuration, SimTime};
+use ickpt_sim::{BandwidthDevice, Rendezvous, SimDuration, SimTime, WorkerGate};
 
 use crate::qsnet::NetConfig;
 
@@ -116,6 +116,7 @@ impl CommWorld {
                 inbox: rx.take().expect("each receiver taken once"),
                 pending: HashMap::new(),
                 rendezvous: rendezvous.clone(),
+                gate: None,
                 bytes_sent: 0,
                 bytes_received: 0,
                 msgs_sent: 0,
@@ -138,6 +139,9 @@ pub struct Endpoint {
     /// (src, tag).
     pending: HashMap<(usize, u32), VecDeque<Msg>>,
     rendezvous: Arc<Rendezvous>,
+    /// Execution-slot gate: released around every blocking wait so a
+    /// capped thread pool can never deadlock on rendezvous peers.
+    gate: Option<Arc<WorkerGate>>,
     bytes_sent: u64,
     bytes_received: u64,
     msgs_sent: u64,
@@ -155,6 +159,29 @@ impl Endpoint {
         self.nranks
     }
 
+    /// Install an execution-slot gate. The calling thread must already
+    /// hold a permit; every blocking wait inside this endpoint then
+    /// releases it for the duration of the wait and reacquires on wake,
+    /// so a capped pool of OS threads can host arbitrarily many ranks
+    /// without rendezvous deadlock.
+    pub fn set_worker_gate(&mut self, gate: Arc<WorkerGate>) {
+        self.gate = Some(gate);
+    }
+
+    /// Run `f` (a blocking virtual-time wait) with this thread's
+    /// execution permit released, reacquiring it before returning.
+    fn gated<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let gate = self.gate.clone();
+        if let Some(g) = &gate {
+            g.release();
+        }
+        let out = f(self);
+        if let Some(g) = &gate {
+            g.acquire();
+        }
+        out
+    }
+
     /// Eager send of `bytes` to `dst` with `tag` at local time `now`.
     /// Returns the sender's new local time (after handing the buffer to
     /// the NIC); the transfer itself pipelines on the NIC.
@@ -167,7 +194,7 @@ impl Endpoint {
     ) -> Result<SimTime, NetError> {
         assert!(dst < self.nranks, "send to unknown rank {dst}");
         // Hand-off: copy into the NIC's buffer at memory bandwidth.
-        let handoff = now + SimDuration::for_transfer(bytes, self.config.mem_copy_bandwidth);
+        let handoff = self.config.send_handoff_time(now, bytes);
         // Wire: serialize on this rank's NIC, then link latency.
         let arrival = self.nic.transfer(now, bytes);
         self.to_peers[dst]
@@ -183,9 +210,8 @@ impl Endpoint {
     /// pushing the destination pages through its write tracker (the
     /// bounce-buffer copy dirties them).
     pub fn recv(&mut self, now: SimTime, src: usize, tag: u32) -> Result<RecvInfo, NetError> {
-        let msg = self.wait_for(src, tag)?;
-        let copy = SimDuration::for_transfer(msg.bytes, self.config.mem_copy_bandwidth);
-        let new_time = now.max(msg.arrival) + copy;
+        let msg = self.gated(|ep| ep.wait_for(src, tag))?;
+        let new_time = self.config.recv_complete_time(now, msg.arrival, msg.bytes);
         self.bytes_received += msg.bytes;
         self.msgs_received += 1;
         Ok(RecvInfo { bytes: msg.bytes, arrival: msg.arrival, new_time })
@@ -212,8 +238,8 @@ impl Endpoint {
     /// Barrier across all ranks at local time `now`; returns the new
     /// local time (max of entries + tree cost).
     pub fn barrier(&mut self, now: SimTime) -> SimTime {
-        let res = self.rendezvous.enter(now, 0, Combine::Max);
-        res.time + self.config.barrier_cost(self.nranks)
+        let res = self.gated(|ep| ep.rendezvous.enter(now, 0, Combine::Max));
+        self.config.barrier_complete_time(res.time, self.nranks)
     }
 
     /// Allreduce of `value` (combined with `combine`) over a payload of
@@ -225,11 +251,11 @@ impl Endpoint {
         value: u64,
         combine: Combine,
     ) -> AllreduceInfo {
-        let res = self.rendezvous.enter(now, value, combine);
+        let res = self.gated(|ep| ep.rendezvous.enter(now, value, combine));
         let recv_bytes = NetConfig::allreduce_recv_bytes(self.nranks, bytes);
         self.bytes_received += recv_bytes;
         AllreduceInfo {
-            new_time: res.time + self.config.allreduce_cost(self.nranks, bytes),
+            new_time: self.config.allreduce_complete_time(res.time, self.nranks, bytes),
             value: res.value,
             bytes_received: recv_bytes,
         }
@@ -243,7 +269,7 @@ impl Endpoint {
         // Contribute the value only from the root; Sum over {value, 0..}
         // delivers it to everyone.
         let v = if self.rank == root { value } else { 0 };
-        let res = self.rendezvous.enter(now, v, Combine::Sum);
+        let res = self.gated(|ep| ep.rendezvous.enter(now, v, Combine::Sum));
         let stages = NetConfig::tree_stages(self.nranks) as u64;
         let cost = (self.config.collective_stage_latency
             + SimDuration::for_transfer(bytes, self.config.nic_bandwidth))
@@ -266,7 +292,7 @@ impl Endpoint {
         combine: Combine,
     ) -> AllreduceInfo {
         assert!(root < self.nranks, "reduce to unknown root {root}");
-        let res = self.rendezvous.enter(now, value, combine);
+        let res = self.gated(|ep| ep.rendezvous.enter(now, value, combine));
         let stages = NetConfig::tree_stages(self.nranks) as u64;
         let cost = (self.config.collective_stage_latency
             + SimDuration::for_transfer(bytes, self.config.nic_bandwidth))
@@ -282,12 +308,11 @@ impl Endpoint {
     /// `(P-1) × bytes_per_pair`. Modeled as a synchronizing collective
     /// with a pipelined ring schedule cost.
     pub fn alltoall(&mut self, now: SimTime, bytes_per_pair: u64) -> AllreduceInfo {
-        let res = self.rendezvous.enter(now, 0, Combine::Max);
-        let vol = bytes_per_pair * (self.nranks as u64).saturating_sub(1);
-        let cost = SimDuration::for_transfer(vol, self.config.nic_bandwidth)
-            + self.config.collective_stage_latency * NetConfig::tree_stages(self.nranks) as u64;
+        let res = self.gated(|ep| ep.rendezvous.enter(now, 0, Combine::Max));
+        let vol = NetConfig::alltoall_volume(self.nranks, bytes_per_pair);
+        let new_time = self.config.alltoall_complete_time(res.time, self.nranks, bytes_per_pair);
         self.bytes_received += vol;
-        AllreduceInfo { new_time: res.time + cost, value: 0, bytes_received: vol }
+        AllreduceInfo { new_time, value: 0, bytes_received: vol }
     }
 
     /// Gather one u64 from every rank (used by the checkpoint commit to
@@ -299,7 +324,7 @@ impl Endpoint {
         let mut t = now;
         for r in 0..self.nranks {
             let v = if r == self.rank { value } else { 0 };
-            let res = self.rendezvous.enter(t, v, Combine::Sum);
+            let res = self.gated(|ep| ep.rendezvous.enter(t, v, Combine::Sum));
             t = t.max(res.time);
             out.push(res.value);
         }

@@ -5,8 +5,14 @@
 //! The model is a per-rank NIC with (bandwidth, latency) plus a local
 //! memory-copy path used for the bounce-buffer receive copy and the
 //! eager-send buffer hand-off.
+//!
+//! All communication *cost formulas* live here as pure functions of the
+//! configuration, so the threaded [`crate::comm::Endpoint`] and the
+//! event-driven cluster engine share them by construction — byte-exact
+//! agreement between the two execution models is a structural property,
+//! not a testing accident.
 
-use ickpt_sim::{BandwidthDevice, DevicePreset, SimDuration};
+use ickpt_sim::{BandwidthDevice, DevicePreset, SimDuration, SimTime};
 
 /// Interconnect and host parameters.
 #[derive(Debug, Clone)]
@@ -74,6 +80,58 @@ impl NetConfig {
     /// in, approximated as `log2(n) * bytes`.
     pub fn allreduce_recv_bytes(nranks: usize, bytes: u64) -> u64 {
         Self::tree_stages(nranks) as u64 * bytes
+    }
+
+    // -- Pure completion-time formulas (shared by Endpoint and the
+    // -- event engine) -----------------------------------------------
+
+    /// Sender's new local time after handing an eager-send buffer to
+    /// the NIC: one memory copy of the payload.
+    pub fn send_handoff_time(&self, now: SimTime, bytes: u64) -> SimTime {
+        now + SimDuration::for_transfer(bytes, self.mem_copy_bandwidth)
+    }
+
+    /// Receiver's new local time after consuming a message that hit the
+    /// NIC at `arrival`: wait for it, then one bounce-buffer copy.
+    pub fn recv_complete_time(&self, now: SimTime, arrival: SimTime, bytes: u64) -> SimTime {
+        now.max(arrival) + SimDuration::for_transfer(bytes, self.mem_copy_bandwidth)
+    }
+
+    /// Completion time of a barrier whose last participant entered at
+    /// `entry_max`.
+    pub fn barrier_complete_time(&self, entry_max: SimTime, nranks: usize) -> SimTime {
+        entry_max + self.barrier_cost(nranks)
+    }
+
+    /// Completion time of an allreduce of `bytes` whose last
+    /// participant entered at `entry_max`.
+    pub fn allreduce_complete_time(
+        &self,
+        entry_max: SimTime,
+        nranks: usize,
+        bytes: u64,
+    ) -> SimTime {
+        entry_max + self.allreduce_cost(nranks, bytes)
+    }
+
+    /// Per-rank volume of a personalized all-to-all: `bytes_per_pair`
+    /// exchanged with every other rank.
+    pub fn alltoall_volume(nranks: usize, bytes_per_pair: u64) -> u64 {
+        bytes_per_pair * (nranks as u64).saturating_sub(1)
+    }
+
+    /// Completion time of a personalized all-to-all whose last
+    /// participant entered at `entry_max` (pipelined ring schedule).
+    pub fn alltoall_complete_time(
+        &self,
+        entry_max: SimTime,
+        nranks: usize,
+        bytes_per_pair: u64,
+    ) -> SimTime {
+        let vol = Self::alltoall_volume(nranks, bytes_per_pair);
+        entry_max
+            + SimDuration::for_transfer(vol, self.nic_bandwidth)
+            + self.collective_stage_latency * Self::tree_stages(nranks) as u64
     }
 }
 

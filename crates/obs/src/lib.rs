@@ -27,6 +27,6 @@ pub use event::{CaptureKind, DeviceKind, Event, Lane, RecoveryTier, TimedEvent, 
 pub use export::{chrome_trace, jsonl, parse_jsonl, validate_json, ParsedEvent};
 pub use log::{
     Counter, EventLog, FlightRecorder, NullSink, ObsSink, Recorder, Span, TraceSnapshot,
-    DEFAULT_TRACK_CAPACITY,
+    DEFAULT_TRACK_CAPACITY, MIN_TRACK_CAPACITY, TRACK_EVENT_BUDGET,
 };
-pub use summary::{DeviceStats, ObsSummary, RankStats, TierRecoveryStats};
+pub use summary::{DeviceStats, ObsSummary, RankStats, TierRecoveryStats, SUMMARY_REDUCE_ARITY};

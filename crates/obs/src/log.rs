@@ -25,6 +25,16 @@ use crate::event::{Event, Lane, TimedEvent, TrackKey};
 /// starts dropping its oldest entries.
 pub const DEFAULT_TRACK_CAPACITY: usize = 1 << 16;
 
+/// Total retained-event budget [`FlightRecorder::for_ranks`] divides
+/// across per-rank tracks. At ~48 bytes per event this bounds the
+/// recorder near 50 MB however many ranks a run has, and keeps the
+/// JSONL/Perfetto exports of a 16k-rank trace loadable.
+pub const TRACK_EVENT_BUDGET: usize = 1 << 20;
+
+/// Per-track floor for [`FlightRecorder::for_ranks`]: even at 16k+
+/// ranks every track keeps at least this much recent history.
+pub const MIN_TRACK_CAPACITY: usize = 64;
+
 /// Anything that can accept timed events. The workspace's hot paths
 /// are written against [`Recorder`] (dynamic on/off); this trait
 /// exists for code that wants the *static* no-op guarantee.
@@ -155,6 +165,22 @@ impl FlightRecorder {
     /// A recorder with [`DEFAULT_TRACK_CAPACITY`].
     pub fn with_default_capacity() -> Arc<Self> {
         Self::new(DEFAULT_TRACK_CAPACITY)
+    }
+
+    /// A recorder sized for a run with `nranks` rank tracks: the
+    /// per-track ring capacity is [`TRACK_EVENT_BUDGET`]` / nranks`,
+    /// clamped to `[`[`MIN_TRACK_CAPACITY`]`, `[`DEFAULT_TRACK_CAPACITY`]`]`,
+    /// so total retained events — and export size — stay bounded as
+    /// rank counts grow from the paper's 64 to 16k.
+    pub fn for_ranks(nranks: usize) -> Arc<Self> {
+        let per_track =
+            (TRACK_EVENT_BUDGET / nranks.max(1)).clamp(MIN_TRACK_CAPACITY, DEFAULT_TRACK_CAPACITY);
+        Self::new(per_track)
+    }
+
+    /// Per-track ring capacity in events.
+    pub fn track_capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Give `group` a human-readable name (experiment label, workload

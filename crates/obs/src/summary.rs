@@ -6,8 +6,14 @@
 use std::collections::BTreeMap;
 use std::fmt::Write;
 
-use crate::event::{Event, Lane, RecoveryTier};
+use ickpt_sim::tree_reduce;
+
+use crate::event::{Event, Lane, RecoveryTier, TimedEvent, TrackKey};
 use crate::log::TraceSnapshot;
+
+/// Fan-in of the summary reduction — the same arity the cluster's
+/// report tree-reduce uses, so a 16k-track snapshot folds in 3 levels.
+pub const SUMMARY_REDUCE_ARITY: usize = 32;
 
 /// One device lane's aggregate activity.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,16 +99,31 @@ pub struct ObsSummary {
 
 impl ObsSummary {
     /// Aggregate `snap` (all groups combined; per-run recorders hold
-    /// one group, multi-run recorders merge by lane label).
+    /// one group, multi-run recorders merge by lane label). Folds one
+    /// partial summary per track through [`tree_reduce`] at
+    /// [`SUMMARY_REDUCE_ARITY`] — the same reduction shape the cluster
+    /// uses for rank reports, so summarizing a 16k-rank trace never
+    /// materializes one flat accumulation pass over every track.
     pub fn from_snapshot(snap: &TraceSnapshot) -> Self {
+        let parts: Vec<ObsSummary> = snap
+            .tracks
+            .iter()
+            .map(|(key, events, dropped)| Self::from_track(key, events, *dropped))
+            .collect();
+        tree_reduce(parts, SUMMARY_REDUCE_ARITY, |acc, part| acc.merge(&part)).unwrap_or_default()
+    }
+
+    /// Partial summary of one track. Merging every track's partial
+    /// (in any grouping — [`ObsSummary::merge`] is associative and
+    /// commutative) reproduces the whole-snapshot summary.
+    fn from_track(key: &TrackKey, events: &[TimedEvent], dropped: u64) -> Self {
         let mut devices: BTreeMap<String, DeviceStats> = BTreeMap::new();
         let mut ranks: BTreeMap<u32, RankStats> = BTreeMap::new();
         let mut depth_hist: BTreeMap<u64, u64> = BTreeMap::new();
         let mut recovery: BTreeMap<RecoveryTier, TierRecoveryStats> = BTreeMap::new();
-        let mut s = ObsSummary::default();
+        let mut s = ObsSummary { dropped, ..ObsSummary::default() };
 
-        for (key, events, dropped) in &snap.tracks {
-            s.dropped += dropped;
+        {
             for ev in events {
                 s.events += 1;
                 s.horizon_ns = s.horizon_ns.max(ev.ts.0 + ev.dur.0);
@@ -183,6 +204,79 @@ impl ObsSummary {
         s.drain_depth_histogram = depth_hist.into_iter().collect();
         s.recovery = recovery.into_iter().collect();
         s
+    }
+
+    /// Fold `other` into `self`. Keyed sections merge by key (device
+    /// label, rank id, queue depth, recovery tier), scalars add, and
+    /// the horizon takes the max — associative and commutative, so any
+    /// reduction tree over any partition of the tracks yields the same
+    /// summary.
+    pub fn merge(&mut self, other: &ObsSummary) {
+        self.horizon_ns = self.horizon_ns.max(other.horizon_ns);
+        self.events += other.events;
+        self.dropped += other.dropped;
+        self.drain_batches += other.drain_batches;
+        self.drain_bytes += other.drain_bytes;
+        self.drain_latency_ns += other.drain_latency_ns;
+        self.restores += other.restores;
+        self.restore_ns += other.restore_ns;
+
+        let mut devices: BTreeMap<String, DeviceStats> =
+            std::mem::take(&mut self.devices).into_iter().map(|d| (d.label.clone(), d)).collect();
+        for o in &other.devices {
+            match devices.get_mut(&o.label) {
+                Some(d) => {
+                    d.transfers += o.transfers;
+                    d.bytes += o.bytes;
+                    d.busy_ns += o.busy_ns;
+                    d.queue_wait_ns += o.queue_wait_ns;
+                }
+                None => {
+                    devices.insert(o.label.clone(), o.clone());
+                }
+            }
+        }
+        self.devices = devices.into_values().collect();
+
+        let mut ranks: BTreeMap<u32, RankStats> =
+            std::mem::take(&mut self.ranks).into_iter().map(|r| (r.rank, r)).collect();
+        for o in &other.ranks {
+            match ranks.get_mut(&o.rank) {
+                Some(r) => {
+                    r.stall_ns += o.stall_ns;
+                    r.captures += o.captures;
+                    r.capture_pages += o.capture_pages;
+                    r.capture_bytes += o.capture_bytes;
+                    r.iterations += o.iterations;
+                    r.dedup_pages += o.dedup_pages;
+                    r.dedup_bytes_saved += o.dedup_bytes_saved;
+                    r.delta_pages += o.delta_pages;
+                    r.delta_bytes_saved += o.delta_bytes_saved;
+                }
+                None => {
+                    ranks.insert(o.rank, o.clone());
+                }
+            }
+        }
+        self.ranks = ranks.into_values().collect();
+
+        let mut hist: BTreeMap<u64, u64> =
+            std::mem::take(&mut self.drain_depth_histogram).into_iter().collect();
+        for &(depth, count) in &other.drain_depth_histogram {
+            *hist.entry(depth).or_insert(0) += count;
+        }
+        self.drain_depth_histogram = hist.into_iter().collect();
+
+        let mut recovery: BTreeMap<RecoveryTier, TierRecoveryStats> =
+            std::mem::take(&mut self.recovery).into_iter().collect();
+        for &(tier, o) in &other.recovery {
+            let t = recovery.entry(tier).or_default();
+            t.plans += o.plans;
+            t.reads += o.reads;
+            t.bytes += o.bytes;
+            t.read_ns += o.read_ns;
+        }
+        self.recovery = recovery.into_iter().collect();
     }
 
     /// Utilization of `dev` over the observed horizon, in basis
@@ -387,5 +481,80 @@ mod tests {
         let rendered = s.render();
         assert!(rendered.contains("dev:array:0"));
         assert!(rendered.contains("depth histogram: 2:2"));
+    }
+
+    /// A synthetic many-rank snapshot for partition-invariance tests.
+    fn busy_recorder(nranks: u32) -> std::sync::Arc<FlightRecorder> {
+        let fr = FlightRecorder::for_ranks(nranks as usize);
+        let rec = Recorder::new(fr.clone());
+        for r in 0..nranks {
+            rec.emit(
+                Lane::Rank(r),
+                SimTime(r as u64),
+                Event::Capture {
+                    kind: CaptureKind::Incremental,
+                    generation: 1,
+                    pages: r as u64 + 1,
+                    payload_bytes: 10 * (r as u64 + 1),
+                },
+            );
+            rec.emit_span(
+                Lane::Rank(r),
+                SimTime(r as u64),
+                SimDuration(5),
+                Event::CheckpointStall { generation: 1 },
+            );
+            rec.emit(
+                Lane::Device(DeviceKind::Local, r),
+                SimTime(r as u64),
+                Event::DeviceTransfer { bytes: 100, queue_wait_ns: 1, service_ns: 2 },
+            );
+        }
+        fr
+    }
+
+    #[test]
+    fn merge_is_partition_invariant() {
+        let fr = busy_recorder(97);
+        let snap = fr.snapshot();
+        let whole = ObsSummary::from_snapshot(&snap);
+        // Split the snapshot into per-track snapshots, summarize each,
+        // and merge in two different groupings: pairwise left fold and
+        // reversed order.
+        let parts: Vec<ObsSummary> = snap
+            .tracks
+            .iter()
+            .map(|t| {
+                ObsSummary::from_snapshot(&TraceSnapshot {
+                    groups: snap.groups.clone(),
+                    tracks: vec![t.clone()],
+                })
+            })
+            .collect();
+        let mut forward = ObsSummary::default();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut backward = ObsSummary::default();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        assert_eq!(whole, forward);
+        assert_eq!(whole, backward);
+        assert_eq!(whole.ranks.len(), 97);
+        assert_eq!(whole.devices.len(), 97);
+        assert_eq!(whole.events, 97 * 3);
+    }
+
+    #[test]
+    fn for_ranks_bounds_retained_events() {
+        use crate::log::{DEFAULT_TRACK_CAPACITY, MIN_TRACK_CAPACITY, TRACK_EVENT_BUDGET};
+        // Small runs keep the default-capacity behaviour...
+        assert_eq!(FlightRecorder::for_ranks(1).track_capacity(), DEFAULT_TRACK_CAPACITY);
+        assert_eq!(FlightRecorder::for_ranks(16).track_capacity(), TRACK_EVENT_BUDGET / 16);
+        // ...16k ranks land on the floor: bounded total, not 16k * 64k.
+        let fr = FlightRecorder::for_ranks(16384);
+        assert_eq!(fr.track_capacity(), MIN_TRACK_CAPACITY);
+        assert!(16384 * fr.track_capacity() <= 2 * TRACK_EVENT_BUDGET);
     }
 }

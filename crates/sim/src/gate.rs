@@ -1,0 +1,115 @@
+//! Thread fan-out capping: the [`WorkerGate`].
+//!
+//! The legacy (reference) cluster paths run one OS thread per rank.
+//! At thousands of ranks that is thousands of runnable threads
+//! thrashing the host scheduler. A [`WorkerGate`] is a counting
+//! semaphore bounding how many rank threads *execute* concurrently:
+//! each thread holds one permit while computing and releases it around
+//! every blocking virtual-time wait (rendezvous, message receive), so
+//! a blocked rank never starves the ranks it is waiting on — the
+//! release-while-blocked discipline that makes the cap deadlock-free.
+//!
+//! Virtual-time results are unaffected: the gate only changes *when*
+//! threads run on the host, never what they compute.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting semaphore for capping concurrent rank execution.
+pub struct WorkerGate {
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl WorkerGate {
+    /// A gate with `permits` concurrent execution slots (minimum 1).
+    pub fn new(permits: usize) -> Self {
+        Self { free: Mutex::new(permits.max(1)), cv: Condvar::new() }
+    }
+
+    /// Take one permit, blocking until one is available.
+    pub fn acquire(&self) {
+        let mut free = self.free.lock();
+        while *free == 0 {
+            self.cv.wait(&mut free);
+        }
+        *free -= 1;
+    }
+
+    /// Return one permit and wake one waiter.
+    pub fn release(&self) {
+        let mut free = self.free.lock();
+        *free += 1;
+        self.cv.notify_one();
+    }
+
+    /// Acquire a permit held until the returned guard drops (including
+    /// on unwind, so a panicking rank thread cannot strand the pool).
+    pub fn permit(&self) -> Permit<'_> {
+        self.acquire();
+        Permit(self)
+    }
+}
+
+/// RAII guard of one [`WorkerGate`] permit.
+pub struct Permit<'a>(&'a WorkerGate);
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn caps_concurrency() {
+        let gate = Arc::new(WorkerGate::new(2));
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (gate, running, peak) = (gate.clone(), running.clone(), peak.clone());
+                std::thread::spawn(move || {
+                    gate.acquire();
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                    gate.release();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {:?}", peak);
+    }
+
+    #[test]
+    fn release_while_blocked_lets_waiters_in() {
+        // One permit; a thread releases around a simulated blocking
+        // wait; a second thread must get through during that window.
+        let gate = Arc::new(WorkerGate::new(1));
+        gate.acquire();
+        let g2 = gate.clone();
+        let h = std::thread::spawn(move || {
+            g2.acquire();
+            g2.release();
+        });
+        gate.release(); // release-while-blocked window
+        h.join().unwrap();
+        gate.acquire(); // reacquire after "wake"
+        gate.release();
+    }
+
+    #[test]
+    fn zero_permits_clamps_to_one() {
+        let gate = WorkerGate::new(0);
+        gate.acquire();
+        gate.release();
+    }
+}

@@ -21,13 +21,26 @@
 //! * [`rendezvous`] — a reusable N-party rendezvous that computes the
 //!   max of the participants' local clocks; the building block for
 //!   barriers, reductions and coordinated checkpoints.
+//! * [`sched`] — a deterministic calendar-queue event wheel: amortized
+//!   O(1) insert/pop over bucketed `SimTime` with FIFO tie-break, the
+//!   backbone of the event-driven cluster engine.
+//! * [`reduce`] — hierarchical fan-in reduction (`tree_reduce`),
+//!   byte-identical to a flat fold for associative integer merges.
+//! * [`gate`] — a counting semaphore capping how many rank threads of
+//!   the legacy thread-per-rank paths execute concurrently.
 
 pub mod clock;
 pub mod device;
+pub mod gate;
+pub mod reduce;
 pub mod rendezvous;
 pub mod rng;
+pub mod sched;
 
 pub use clock::{SimDuration, SimTime};
 pub use device::{BandwidthDevice, DevicePreset, SharedDevice, Transfer};
+pub use gate::WorkerGate;
+pub use reduce::{flat_reduce, tree_reduce};
 pub use rendezvous::Rendezvous;
 pub use rng::SplitMix64;
+pub use sched::EventWheel;

@@ -1,0 +1,107 @@
+//! Hierarchical fan-in reduction.
+//!
+//! Petascale checkpoint systems aggregate per-rank reports through
+//! fan-in trees rather than flat all-to-root collection; [`tree_reduce`]
+//! is that shape as a pure in-memory combinator. Items are merged in
+//! contiguous groups of `arity` (left fold within a group), then the
+//! group results are merged the same way, level by level, until one
+//! remains.
+//!
+//! **Determinism contract:** for an associative `merge`, the result is
+//! byte-identical to a flat left fold over the items, at any arity.
+//! Aggregates flowing through this function must therefore stick to
+//! associative integer arithmetic (sums, saturating/wrapping adds,
+//! mins, maxes, ORs); floating-point accumulation is *not* associative
+//! and belongs at render time, after the reduction. The property suite
+//! (`tests/sched_props.rs`) pins tree-vs-flat equality across arities.
+
+/// Reduce `items` through a fan-in tree of the given `arity`
+/// (minimum 2). Returns `None` for an empty input.
+///
+/// ```
+/// use ickpt_sim::reduce::tree_reduce;
+///
+/// let sum = tree_reduce((1u64..=100).collect(), 8, |a, b| *a += b);
+/// assert_eq!(sum, Some(5050));
+/// ```
+pub fn tree_reduce<T>(
+    mut items: Vec<T>,
+    arity: usize,
+    mut merge: impl FnMut(&mut T, T),
+) -> Option<T> {
+    let arity = arity.max(2);
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(arity));
+        let mut it = items.into_iter();
+        while let Some(mut acc) = it.next() {
+            for _ in 1..arity {
+                match it.next() {
+                    Some(x) => merge(&mut acc, x),
+                    None => break,
+                }
+            }
+            next.push(acc);
+        }
+        items = next;
+    }
+    items.pop()
+}
+
+/// The flat reference: a plain left fold. Kept public so property
+/// tests (and callers wanting the simplest possible shape) can compare
+/// against [`tree_reduce`].
+pub fn flat_reduce<T>(items: Vec<T>, mut merge: impl FnMut(&mut T, T)) -> Option<T> {
+    let mut it = items.into_iter();
+    let mut acc = it.next()?;
+    for x in it {
+        merge(&mut acc, x);
+    }
+    Some(acc)
+}
+
+/// Fan-in group assignment: the group index each of `n` items belongs
+/// to at the given `arity` (contiguous groups, as [`tree_reduce`]'s
+/// first level forms them). Exposed so topology-aware consumers (the
+/// drain queue's tree mode) charge traffic along the same tree.
+pub fn fanin_group(index: usize, arity: usize) -> usize {
+    index / arity.max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(tree_reduce(Vec::<u64>::new(), 4, |a, b| *a += b), None);
+        assert_eq!(tree_reduce(vec![7u64], 4, |a, b| *a += b), Some(7));
+    }
+
+    #[test]
+    fn matches_flat_for_associative_merges() {
+        let items: Vec<u64> = (0u64..1000).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let flat = flat_reduce(items.clone(), |a, b| *a = a.wrapping_add(b));
+        for arity in [2, 3, 7, 32, 1000, 5000] {
+            let tree = tree_reduce(items.clone(), arity, |a, b| *a = a.wrapping_add(b));
+            assert_eq!(tree, flat, "arity {arity}");
+        }
+        let flat_max = flat_reduce(items.clone(), |a, b| *a = (*a).max(b));
+        for arity in [2, 32] {
+            assert_eq!(tree_reduce(items.clone(), arity, |a, b| *a = (*a).max(b)), flat_max);
+        }
+    }
+
+    #[test]
+    fn arity_below_two_is_clamped() {
+        let sum = tree_reduce(vec![1u64, 2, 3], 0, |a, b| *a += b);
+        assert_eq!(sum, Some(6));
+    }
+
+    #[test]
+    fn fanin_groups_are_contiguous() {
+        assert_eq!(fanin_group(0, 32), 0);
+        assert_eq!(fanin_group(31, 32), 0);
+        assert_eq!(fanin_group(32, 32), 1);
+        assert_eq!(fanin_group(95, 32), 2);
+    }
+}

@@ -29,7 +29,10 @@ pub enum Combine {
 }
 
 impl Combine {
-    fn identity(&self) -> u64 {
+    /// The identity element of this combiner (the accumulator seed).
+    /// Public so the event-driven engine can fold collective rounds
+    /// with exactly the semantics of a threaded rendezvous.
+    pub fn identity(&self) -> u64 {
         match self {
             Combine::Max => 0,
             Combine::Min => u64::MAX,
@@ -39,7 +42,9 @@ impl Combine {
         }
     }
 
-    fn apply(&self, a: u64, b: u64) -> u64 {
+    /// Combine two values. All variants are commutative and
+    /// associative, so fold order never affects the result.
+    pub fn apply(&self, a: u64, b: u64) -> u64 {
         match self {
             Combine::Max => a.max(b),
             Combine::Min => a.min(b),

@@ -51,9 +51,9 @@ pub use plan::{
     shard_segments, ChunkPlanStats, DeltaBase, PlanSegment, PlanSource, RestorePlan, SegmentSource,
 };
 pub use redundancy::{
-    xor_encode, xor_reconstruct, DrainQueue, DrainStats, Partner, RecoveryPlan, RecoverySource,
-    RedundancyScheme, SchemeSpec, TierReader, TierTopology, TierUsage, TieredStore, XorParity,
-    PARITY_RANK_BASE,
+    xor_encode, xor_reconstruct, DrainQueue, DrainStats, DrainTopology, Partner, RecoveryPlan,
+    RecoverySource, RedundancyScheme, SchemeSpec, TierReader, TierTopology, TierUsage, TieredStore,
+    XorParity, PARITY_RANK_BASE,
 };
 pub use store::{ChunkKey, FileStore, MemStore, StableStorage, StorageError};
 pub use throttle::{shared_device, SharedBandwidthDevice, ThrottledStore, TimedReads};

@@ -28,12 +28,40 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use ickpt_obs::{DeviceKind, Event, Lane, Recorder};
+use ickpt_sim::reduce::fanin_group;
 use ickpt_sim::{SimDuration, SimTime};
 
 use crate::store::{ChunkKey, StableStorage, StorageError};
 use crate::throttle::SharedBandwidthDevice;
 
 use super::LocalStores;
+
+/// How drain traffic reaches the shared array.
+///
+/// [`DrainTopology::Tree`] models SCR-style I/O forwarding: ranks
+/// funnel their chunks through `ceil(nranks / arity)` aggregator
+/// nodes (one per contiguous [`fanin_group`]), and the array is
+/// charged one batched transfer per aggregator instead of one per
+/// rank — at 16k ranks that is 512 array requests per generation
+/// instead of 16384. Stored bytes, chunk keys, manifests and (because
+/// the FIFO array pipelines its per-transfer latency) the batch
+/// completion time are identical in both topologies; what changes is
+/// the request pattern the array sees: transfer counts, queue-wait
+/// distribution and the per-transfer spans on the flight recorder's
+/// array lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DrainTopology {
+    /// Every rank's chunk is charged as its own array transfer.
+    #[default]
+    Flat,
+    /// Chunks are batched per contiguous group of `arity` ranks.
+    Tree {
+        /// Ranks per aggregator; clamped to >= 2 like
+        /// [`tree_reduce`](ickpt_sim::tree_reduce)'s arity, so the
+        /// charge groups always match the reduction's first level.
+        arity: usize,
+    },
+}
 
 /// Cumulative drain accounting for reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -74,6 +102,10 @@ struct DrainState {
 pub struct DrainQueue {
     nranks: usize,
     drain_every: u64,
+    /// Array charging pattern; behind a lock because the queue is
+    /// already shared (inside an `Arc`ed topology) when the run
+    /// config picks the topology.
+    topology: Mutex<DrainTopology>,
     state: Mutex<DrainState>,
     /// Flight recorder for batch lifecycle / queue-depth events. The
     /// flush runs on whichever rank thread notified last, but always
@@ -90,9 +122,21 @@ impl DrainQueue {
         Self {
             nranks,
             drain_every,
+            topology: Mutex::new(DrainTopology::Flat),
             state: Mutex::new(DrainState::default()),
             obs: Mutex::new(Recorder::disabled()),
         }
+    }
+
+    /// Select the array charging pattern (call before the run starts
+    /// writing, like [`DrainQueue::attach_obs`]).
+    pub fn set_topology(&self, topology: DrainTopology) {
+        *self.topology.lock() = topology;
+    }
+
+    /// The configured array charging pattern.
+    pub fn topology(&self) -> DrainTopology {
+        *self.topology.lock()
     }
 
     /// Attach a flight recorder (call before the run starts writing).
@@ -156,6 +200,7 @@ impl DrainQueue {
         array: &SharedBandwidthDevice,
         obs: &Recorder,
     ) -> Result<(), StorageError> {
+        let topology = self.topology();
         let gens: Vec<u64> = state.undrained.range(..=target).copied().collect();
         let mut flushed = Vec::new();
         let mut batch_chunks = 0u64;
@@ -179,22 +224,45 @@ impl DrainQueue {
                 state.stats.abandoned_generations += 1;
                 continue;
             }
-            for (rank, data) in chunks.iter().enumerate() {
-                shared.put_chunk(ChunkKey::new(rank as u32, gen), data)?;
-                let t = array.lock().transfer_detailed(commit_time, data.len() as u64);
+            // Store every chunk, but charge the array according to
+            // the topology: flat = one transfer per rank, tree = one
+            // batched transfer per contiguous aggregator group.
+            let group_of = |rank: usize| match topology {
+                DrainTopology::Flat => rank,
+                DrainTopology::Tree { arity } => fanin_group(rank, arity),
+            };
+            let mut pending_group: Option<(usize, u64)> = None;
+            let mut charge = |state: &mut DrainState, bytes: u64| {
+                let t = array.lock().transfer_detailed(commit_time, bytes);
                 obs.emit_span(
                     Lane::Device(DeviceKind::Array, 0),
                     t.start,
                     t.service,
                     Event::DeviceTransfer {
-                        bytes: data.len() as u64,
+                        bytes,
                         queue_wait_ns: t.queue_wait.0,
                         service_ns: t.service.0,
                     },
                 );
-                state.stats.drained_bytes += data.len() as u64;
+                state.stats.drained_bytes += bytes;
+                batch_bytes += bytes;
+            };
+            for (rank, data) in chunks.iter().enumerate() {
+                shared.put_chunk(ChunkKey::new(rank as u32, gen), data)?;
                 batch_chunks += 1;
-                batch_bytes += data.len() as u64;
+                match pending_group {
+                    Some((group, bytes)) if group == group_of(rank) => {
+                        pending_group = Some((group, bytes + data.len() as u64));
+                    }
+                    Some((_, bytes)) => {
+                        charge(state, bytes);
+                        pending_group = Some((group_of(rank), data.len() as u64));
+                    }
+                    None => pending_group = Some((group_of(rank), data.len() as u64)),
+                }
+            }
+            if let Some((_, bytes)) = pending_group {
+                charge(state, bytes);
             }
             state.stats.drained_generations += 1;
             flushed.push(gen);
@@ -383,6 +451,65 @@ mod tests {
         }
         assert_eq!(shared.list_generations(0).unwrap(), vec![0, 1]);
         assert_eq!(q.fully_drained_before(SimTime::from_secs(60)), Some(1));
+    }
+
+    /// Drain one 4-rank generation through a queue with the given
+    /// topology; return (store, stats, array transfer count,
+    /// completion time).
+    fn drain_once(topology: DrainTopology) -> (Arc<dyn StableStorage>, DrainStats, u64, SimTime) {
+        let (locals, shared) = setup(4);
+        let array = shared_device(BandwidthDevice::new(1_000_000, SimDuration::from_millis(1)));
+        let q = DrainQueue::new(4, 1);
+        q.set_topology(topology);
+        assert_eq!(q.topology(), topology);
+        commit_gen(&locals, 0, 1000);
+        for _ in 0..4 {
+            q.note_committed(0, SimTime::ZERO, &locals, &shared, &array).unwrap();
+        }
+        let done = (0..1_000_000u64)
+            .map(|ms| SimTime(ms * 1_000_000))
+            .find(|&t| q.fully_drained_before(t) == Some(0))
+            .expect("drain must complete");
+        let transfers = array.lock().transfers();
+        (shared, q.stats(), transfers, done)
+    }
+
+    #[test]
+    fn tree_topology_stores_identical_data_in_fewer_transfers() {
+        let (flat_store, flat_stats, flat_xfers, flat_done) = drain_once(DrainTopology::Flat);
+        let (tree_store, tree_stats, tree_xfers, tree_done) =
+            drain_once(DrainTopology::Tree { arity: 2 });
+        // Same chunks, same manifests, same drained bytes, same
+        // completion (the FIFO array pipelines per-transfer latency):
+        // the topology only changes the request pattern.
+        assert_eq!(
+            flat_store.list_generations(0).unwrap(),
+            tree_store.list_generations(0).unwrap()
+        );
+        assert_eq!(flat_store.list_manifests().unwrap(), tree_store.list_manifests().unwrap());
+        for rank in 0..4u32 {
+            assert_eq!(
+                flat_store.get_chunk(ChunkKey::new(rank, 0)).unwrap(),
+                tree_store.get_chunk(ChunkKey::new(rank, 0)).unwrap()
+            );
+        }
+        assert_eq!(flat_stats.drained_bytes, tree_stats.drained_bytes);
+        assert_eq!(flat_done, tree_done);
+        // Flat: 4 chunk transfers + manifest. Tree arity 2: 2 batched
+        // group transfers + manifest.
+        assert_eq!(flat_xfers, 5);
+        assert_eq!(tree_xfers, 3);
+    }
+
+    #[test]
+    fn tree_arity_is_clamped_like_tree_reduce() {
+        // Arity below 2 is clamped to 2 by `fanin_group`, mirroring
+        // `tree_reduce`'s arity handling.
+        let (_, two_stats, two_xfers, two_done) = drain_once(DrainTopology::Tree { arity: 2 });
+        let (_, one_stats, one_xfers, one_done) = drain_once(DrainTopology::Tree { arity: 1 });
+        assert_eq!(one_done, two_done);
+        assert_eq!(one_stats, two_stats);
+        assert_eq!(one_xfers, two_xfers);
     }
 
     #[test]

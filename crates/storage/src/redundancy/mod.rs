@@ -50,7 +50,7 @@ pub mod xor;
 
 use std::sync::Arc;
 
-pub use drain::{DrainQueue, DrainStats};
+pub use drain::{DrainQueue, DrainStats, DrainTopology};
 pub use partner::Partner;
 pub use tiered::{RecoveryPlan, RecoverySource, TierReader, TierTopology, TierUsage, TieredStore};
 pub use xor::{xor_encode, xor_reconstruct, XorParity, PARITY_RANK_BASE};

@@ -36,7 +36,7 @@ use crate::chunk::{peek_lineage, ChunkKind};
 use crate::store::{ChunkKey, MemStore, StableStorage, StorageError};
 use crate::throttle::{shared_device, SharedBandwidthDevice};
 
-use super::{DrainQueue, DrainStats, RedundancyScheme, SchemeSpec};
+use super::{DrainQueue, DrainStats, DrainTopology, RedundancyScheme, SchemeSpec};
 
 /// Where a recovery got its data from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,6 +189,12 @@ impl TierTopology {
     pub fn attach_obs(&self, obs: Recorder) {
         self.drain.attach_obs(obs.clone());
         *self.obs.lock() = obs;
+    }
+
+    /// Select how drain traffic is charged on the shared array (call
+    /// before the run starts writing, like [`TierTopology::attach_obs`]).
+    pub fn set_drain_topology(&self, topology: DrainTopology) {
+        self.drain.set_topology(topology);
     }
 
     fn obs(&self) -> Recorder {

@@ -67,6 +67,16 @@ bench_smoke() {
     run target/release/inspect --trace \
         /tmp/ickpt_trace_t1/ablations-checkpoint-system.jsonl >/dev/null
 
+    # Event-engine determinism at scale: the extended weak-scaling
+    # experiment at 4096 ranks must print byte-identical stdout at 1
+    # and 4 sim workers (host wall-clock goes to stderr only).
+    echo "==> repro --only 'Figure 5 extended' (4096 ranks) at 1 and 4 sim workers"
+    ICKPT_BENCH_EXT_RANKS=4096 ICKPT_SIM_WORKERS=1 \
+        target/release/repro --only "Figure 5 extended" >/tmp/ickpt_ext_w1.txt 2>/dev/null
+    ICKPT_BENCH_EXT_RANKS=4096 ICKPT_SIM_WORKERS=4 \
+        target/release/repro --only "Figure 5 extended" >/tmp/ickpt_ext_w4.txt 2>/dev/null
+    run diff /tmp/ickpt_ext_w1.txt /tmp/ickpt_ext_w4.txt
+
     # Multilevel redundancy: inject a node loss mid-run, recover the
     # wiped rank by partner reconstruction, and diff the final
     # application state against a failure-free run (byte-identical or

@@ -31,7 +31,12 @@
 //! checkpoint costs no extra communication rounds, exactly the
 //! opportunity §6.2 identifies.
 
-use std::sync::Arc;
+mod engine;
+pub mod report;
+
+pub use report::{reduce_reports, ClusterAggregate, ReportDetail, DEFAULT_REDUCE_ARITY};
+
+use std::sync::{Arc, Mutex};
 
 use ickpt_apps::codec::{ByteReader, ByteWriter};
 use ickpt_apps::step::{AppModel, Step};
@@ -40,13 +45,13 @@ use ickpt_core::checkpoint::{
     capture_full_with, capture_incremental_with, CaptureConfig, CaptureScratch, ContentStats,
 };
 use ickpt_core::coordinator::{CheckpointPlanner, CheckpointPolicy, VoteFlags};
-use ickpt_core::metrics::IwsSample;
+use ickpt_core::metrics::{IwsSample, SampleSummary};
 use ickpt_core::restore::{
     latest_committed_generation, record_restore, restore_rank_with, RestoreConfig,
 };
 use ickpt_core::trace::RankTrace;
 use ickpt_core::tracked_space::{ContentWrite, TrackedSpace};
-use ickpt_core::tracker::{EpochSample, IterationSample, TrackerConfig, WriteTracker};
+use ickpt_core::tracker::{EpochSample, IterationSample, SampleMode, TrackerConfig, WriteTracker};
 use ickpt_mem::{
     pages_for_bytes, AddressSpace, BackedSpace, DataLayout, PageRange, SparseSpace, WriteProfile,
 };
@@ -54,10 +59,11 @@ use ickpt_net::comm::Endpoint;
 use ickpt_net::{CommWorld, NetConfig};
 use ickpt_obs::{DeviceKind, Event, Lane, ObsSummary, Recorder, RecoveryTier};
 use ickpt_sim::rendezvous::Combine;
-use ickpt_sim::{DevicePreset, SimDuration, SimTime};
+use ickpt_sim::{DevicePreset, SimDuration, SimTime, WorkerGate};
 use ickpt_storage::{
-    shared_device, Chunk, ChunkKey, ChunkKind, DrainStats, Manifest, RankEntry, RecoverySource,
-    SchemeSpec, StableStorage, StorageError, ThrottledStore, TierTopology, TierUsage, TieredStore,
+    shared_device, Chunk, ChunkKey, ChunkKind, DrainStats, DrainTopology, Manifest, RankEntry,
+    RecoverySource, SchemeSpec, StableStorage, StorageError, ThrottledStore, TierTopology,
+    TierUsage, TieredStore,
 };
 
 /// Error from a cluster run.
@@ -174,6 +180,10 @@ pub struct RankReport {
     /// Content-layer totals across the attempt's captures: silent-same
     /// drops and sub-page delta encoding (all zero with dedup off).
     pub content: ContentStats,
+    /// Exact integer roll-up of every tracker window — survives
+    /// [`ReportDetail::Compact`] runs where `samples` is a decimated
+    /// reservoir.
+    pub summary: SampleSummary,
     /// Last globally committed generation (backed runs).
     pub last_committed: Option<u64>,
     /// Clock pairs and counter snapshots of every iteration boundary,
@@ -281,6 +291,14 @@ pub struct CharacterizationConfig {
     pub trace_ranks: usize,
     /// Flight recorder; disabled by default (zero-cost no-op).
     pub obs: Recorder,
+    /// Worker threads stepping the rank state machines (event engine)
+    /// or executing gated rank threads (threaded path). `None` defers
+    /// to the `ICKPT_SIM_WORKERS` environment knob, then host
+    /// parallelism. Results are byte-identical at any value.
+    pub workers: Option<usize>,
+    /// Per-rank report retention; [`ReportDetail::Full`] preserves the
+    /// historical (pre-compaction) reports exactly.
+    pub detail: ReportDetail,
 }
 
 impl Default for CharacterizationConfig {
@@ -298,12 +316,19 @@ impl Default for CharacterizationConfig {
             seed: 0x5EED,
             trace_ranks: 0,
             obs: Recorder::disabled(),
+            workers: None,
+            detail: ReportDetail::Full,
         }
     }
 }
 
 impl CharacterizationConfig {
     fn tracker_config(&self, rank: usize) -> TrackerConfig {
+        let sample_mode = match self.detail {
+            _ if self.detail.rank_is_full(rank, self.trace_ranks) => SampleMode::Full,
+            ReportDetail::Compact { reservoir } => SampleMode::Compact { reservoir },
+            ReportDetail::Full => SampleMode::Full,
+        };
         TrackerConfig {
             timeslice: self.timeslice,
             fault_cost: self.fault_cost,
@@ -313,6 +338,7 @@ impl CharacterizationConfig {
             record_trace: rank < self.trace_ranks,
             obs: self.obs.clone(),
             obs_rank: rank as u32,
+            sample_mode,
         }
     }
 }
@@ -328,7 +354,35 @@ pub fn characterize(workload: Workload, cfg: &CharacterizationConfig) -> RunRepo
 }
 
 /// [`characterize`] over an arbitrary model builder.
+///
+/// Dispatches to the event-driven engine ([`engine`]) by default; set
+/// `ICKPT_SIM_ENGINE=threaded` to force the legacy one-thread-per-rank
+/// reference path. Both produce byte-identical reports (the property
+/// suite pins this), but only the engine scales to tens of thousands
+/// of ranks.
 pub fn characterize_model<F>(
+    cfg: &CharacterizationConfig,
+    layout: DataLayout,
+    build: F,
+) -> RunReport
+where
+    F: Fn(usize) -> Box<dyn AppModel> + Sync,
+{
+    let threaded = std::env::var("ICKPT_SIM_ENGINE").is_ok_and(|v| v.trim() == "threaded");
+    if threaded {
+        characterize_model_threaded(cfg, layout, build)
+    } else {
+        engine::characterize_event(cfg, layout, &build)
+    }
+}
+
+/// The legacy one-thread-per-rank characterization path, kept as the
+/// independent reference implementation the event engine is checked
+/// against. A [`WorkerGate`] caps how many rank threads *execute*
+/// concurrently (permits from [`CharacterizationConfig::workers`]);
+/// every blocking wait inside [`Endpoint`] releases the permit, so the
+/// cap cannot deadlock and virtual-time results are unchanged.
+pub fn characterize_model_threaded<F>(
     cfg: &CharacterizationConfig,
     layout: DataLayout,
     build: F,
@@ -345,15 +399,19 @@ where
         stretch_overhead: cfg.stretch_overhead,
         obs: cfg.obs.clone(),
     };
+    let gate = Arc::new(WorkerGate::new(engine::resolve_workers(cfg.workers)));
     let reports: Vec<RankReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = endpoints
             .into_iter()
             .enumerate()
-            .map(|(rank, ep)| {
+            .map(|(rank, mut ep)| {
                 let build = &build;
                 let params = &params;
                 let tcfg = cfg.tracker_config(rank);
+                let gate = gate.clone();
                 scope.spawn(move || -> Result<RankReport, RunError> {
+                    ep.set_worker_gate(gate.clone());
+                    let _permit = gate.permit();
                     let mut space = SparseSpace::new(layout);
                     let tracker =
                         WriteTracker::new(layout.capacity_pages(), space.mapped_pages(), tcfg);
@@ -483,6 +541,12 @@ pub struct RedundancyConfig {
     pub local_device: DevicePreset,
     /// Drain every k-th committed generation to the shared array.
     pub drain_every: u64,
+    /// How drain traffic is charged on the shared array:
+    /// [`DrainTopology::Flat`] (one transfer per rank, the historical
+    /// behaviour) or [`DrainTopology::Tree`] (one batched transfer per
+    /// aggregator group — SCR-style I/O forwarding, which matters once
+    /// per-transfer array latency is multiplied by 16k ranks).
+    pub drain_topology: DrainTopology,
 }
 
 impl RedundancyConfig {
@@ -493,6 +557,7 @@ impl RedundancyConfig {
             scheme: SchemeSpec::Partner { offset: 1 },
             local_device: DevicePreset::NodeLocal,
             drain_every: 4,
+            drain_topology: DrainTopology::Flat,
         }
     }
 }
@@ -568,14 +633,20 @@ where
     });
     if let Some(t) = &topo {
         t.attach_obs(cfg.obs.clone());
+        if let Some(r) = &cfg.redundancy {
+            t.set_drain_topology(r.drain_topology);
+        }
     }
     cfg.obs.emit(Lane::Run, SimTime::ZERO, Event::RunStart { ranks: cfg.nranks as u32 });
     let mut attempt = 0u32;
     let mut resume_from: Option<u64> = None;
     let mut wasted = SimDuration::ZERO;
     let mut recoveries = Vec::new();
+    // Capture buffers survive attempts: a rollback re-leases the failed
+    // attempt's allocations instead of re-growing them.
+    let arena = Arc::new(RankArena::new());
     loop {
-        let report = ft_attempt(cfg, layout, &build, resume_from, attempt, topo.as_ref())?;
+        let report = ft_attempt(cfg, layout, &build, resume_from, attempt, topo.as_ref(), &arena)?;
         attempt += 1;
         match report.outcome {
             RunOutcome::Completed => {
@@ -697,6 +768,7 @@ where
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn ft_attempt<F>(
     cfg: &FaultTolerantConfig,
     layout: DataLayout,
@@ -704,12 +776,16 @@ fn ft_attempt<F>(
     resume_from: Option<u64>,
     attempt: u32,
     topo: Option<&Arc<TierTopology>>,
+    arena: &Arc<RankArena>,
 ) -> Result<RunReport, RunError>
 where
     F: Fn(usize) -> Box<dyn AppModel> + Sync,
 {
     let world = CommWorld::new(cfg.nranks, cfg.net.clone());
     let endpoints = world.endpoints();
+    // Cap host-thread fan-out exactly as the characterization paths do;
+    // blocking waits release the permit, so the cap cannot deadlock.
+    let gate = Arc::new(WorkerGate::new(engine::resolve_workers(None)));
     let params = RunParams {
         run_for: SimDuration(u64::MAX / 4),
         max_iterations: Some(cfg.max_iterations),
@@ -725,7 +801,7 @@ where
         let handles: Vec<_> = endpoints
             .into_iter()
             .enumerate()
-            .map(|(rank, ep)| {
+            .map(|(rank, mut ep)| {
                 let params = &params;
                 let store = cfg.store.clone();
                 let policy = cfg.policy;
@@ -735,7 +811,11 @@ where
                 let array = array.clone();
                 let topo = topo.cloned();
                 let obs = cfg.obs.clone();
+                let gate = gate.clone();
+                let arena = arena.clone();
                 scope.spawn(move || -> Result<(RankReport, bool), RunError> {
+                    ep.set_worker_gate(gate.clone());
+                    let _permit = gate.permit();
                     let tcfg = TrackerConfig {
                         timeslice,
                         fault_cost: SimDuration::ZERO,
@@ -745,6 +825,7 @@ where
                         record_trace: false,
                         obs: obs.clone(),
                         obs_rank: rank as u32,
+                        sample_mode: SampleMode::Full,
                     };
                     let mut space = BackedSpace::new(layout);
                     space.set_write_profile(cfg.write_profile);
@@ -863,7 +944,8 @@ where
                             c.obs_rank = rank as u32;
                             c
                         },
-                        scratch: CaptureScratch::new(),
+                        scratch: arena.acquire(),
+                        arena: Some(arena),
                         content: ContentStats::default(),
                         obs,
                     };
@@ -994,6 +1076,47 @@ struct RunParams {
     obs: Recorder,
 }
 
+/// Pool of per-rank capture scratch buffers shared across the attempts
+/// of a fault-tolerant run: rank threads of attempt N+1 reuse the
+/// capture/encode allocations of attempt N instead of re-growing them
+/// from zero. Leases reset the dedup baseline, preserving the
+/// "fresh index after rollback" invariant a per-attempt
+/// `CaptureScratch::new()` provided — a recycled scratch is
+/// behaviourally indistinguishable from a fresh one.
+pub struct RankArena {
+    pool: Mutex<Vec<CaptureScratch>>,
+}
+
+impl RankArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self { pool: Mutex::new(Vec::new()) }
+    }
+
+    /// Lease a scratch (recycled when available, fresh otherwise).
+    pub fn acquire(&self) -> CaptureScratch {
+        let mut scratch = self.pool.lock().expect("arena poisoned").pop().unwrap_or_default();
+        scratch.dedup_index().reset();
+        scratch
+    }
+
+    /// Return a scratch to the pool for the next lease.
+    pub fn release(&self, scratch: CaptureScratch) {
+        self.pool.lock().expect("arena poisoned").push(scratch);
+    }
+
+    #[cfg(test)]
+    fn pooled(&self) -> usize {
+        self.pool.lock().expect("arena poisoned").len()
+    }
+}
+
+impl Default for RankArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A checkpoint written but not yet globally committed (forked mode).
 struct PendingCommit {
     generation: u64,
@@ -1023,15 +1146,26 @@ struct RankCheckpointer {
     /// Capture tuning (worker count from `ICKPT_CAPTURE_WORKERS`).
     capture_cfg: CaptureConfig,
     /// Recycled capture/encode buffers: steady-state checkpoints are
-    /// allocation-free. Also owns the dedup baseline; a fresh scratch
-    /// per attempt means a rollback can never reuse a stale baseline
-    /// (the index starts fully invalid after every recovery).
+    /// allocation-free. Also owns the dedup baseline; leases from the
+    /// [`RankArena`] reset the index, so a rollback can never reuse a
+    /// stale baseline (the index starts fully invalid after every
+    /// recovery).
     scratch: CaptureScratch,
+    /// Arena the scratch returns to when this checkpointer drops.
+    arena: Option<Arc<RankArena>>,
     /// Run totals of the content layer (silent-same drops, deltas).
     content: ContentStats,
     /// Flight recorder (stall spans + commit instants on this rank's
     /// lane).
     obs: Recorder,
+}
+
+impl Drop for RankCheckpointer {
+    fn drop(&mut self) {
+        if let Some(arena) = &self.arena {
+            arena.release(std::mem::take(&mut self.scratch));
+        }
+    }
 }
 
 impl RankCheckpointer {
@@ -1495,6 +1629,7 @@ impl<'a, S: AddressSpace + ContentWrite + CheckpointCapable> RankRunner<'a, S> {
             commit_lag: self.ckpt.as_ref().map_or(SimDuration::ZERO, |c| c.commit_lag),
             excluded_pages: self.tracker.excluded_pages(),
             content: self.ckpt.as_ref().map_or_else(ContentStats::default, |c| c.content),
+            summary: *self.tracker.sample_summary(),
             last_committed: self.ckpt.as_ref().and_then(|c| c.planner.last_committed()),
             boundaries: self.boundaries,
             trace,
@@ -1559,4 +1694,23 @@ impl<S: AddressSpace + ContentWrite + CheckpointCapable> RankRunner<'_, S> {
 /// `ickpt-core`, re-exported here for runner users).
 pub fn last_committed(store: &dyn StableStorage, nranks: u32) -> Option<u64> {
     latest_committed_generation(store, nranks).ok().flatten()
+}
+
+#[cfg(test)]
+mod arena_tests {
+    use super::RankArena;
+
+    #[test]
+    fn arena_recycles_scratch_across_leases() {
+        let arena = RankArena::new();
+        assert_eq!(arena.pooled(), 0);
+        let a = arena.acquire();
+        let b = arena.acquire();
+        arena.release(a);
+        arena.release(b);
+        assert_eq!(arena.pooled(), 2);
+        // A lease drains the pool instead of allocating fresh.
+        let _c = arena.acquire();
+        assert_eq!(arena.pooled(), 1);
+    }
 }

@@ -14,7 +14,7 @@ use ickpt::core::coordinator::CheckpointPolicy;
 use ickpt::mem::{DataLayout, LayoutBuilder, PAGE_SIZE};
 use ickpt::net::NetConfig;
 use ickpt::sim::{DevicePreset, SimDuration, SimTime};
-use ickpt::storage::{MemStore, RecoverySource, SchemeSpec};
+use ickpt::storage::{DrainTopology, MemStore, RecoverySource, SchemeSpec};
 
 fn synthetic_layout() -> DataLayout {
     LayoutBuilder::new()
@@ -349,6 +349,7 @@ fn tiered_cfg(
             scheme,
             local_device: DevicePreset::NodeLocal,
             drain_every,
+            drain_topology: DrainTopology::Flat,
         }),
         ..synthetic_cfg(4, 15, failures)
     }

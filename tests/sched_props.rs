@@ -1,0 +1,239 @@
+//! Scheduler and aggregation properties behind the 16k-rank engine:
+//!
+//! * The calendar-queue [`EventWheel`] pops in exactly the order a
+//!   binary-heap reference would, under randomized schedules with
+//!   interleaved pushes and pops (including pushes into the past).
+//! * Tree-reduction of rank reports is byte-identical to the flat fold
+//!   at any fan-in arity.
+//! * The event-driven cluster engine produces byte-identical rank
+//!   reports to the legacy one-thread-per-rank reference, at any
+//!   worker count, across workloads with sends/receives, collectives
+//!   and wavefront dependencies.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ickpt::apps::Workload;
+use ickpt::cluster::{
+    characterize, characterize_model_threaded, reduce_reports, CharacterizationConfig,
+    ClusterAggregate, RankReport, ReportDetail, RunReport,
+};
+use ickpt::sim::{EventWheel, SimDuration, SimTime, SplitMix64};
+
+// ---------------------------------------------------------------------
+// Event wheel vs binary-heap reference
+// ---------------------------------------------------------------------
+
+/// Drive the wheel and a `BinaryHeap` through the same randomized
+/// push/pop schedule and compare every popped `(time, seq)` pair.
+fn wheel_vs_heap(seed: u64, ops: usize, horizon_ns: u64) {
+    let mut rng = SplitMix64::new(seed);
+    let mut wheel: EventWheel<u64> = EventWheel::new();
+    let mut heap: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut base = 0u64;
+    for _ in 0..ops {
+        match rng.next_below(3) {
+            // Push twice as often as we pop so the queue stays busy.
+            0 | 1 => {
+                // Mostly forward, occasionally into the already-popped
+                // past (a resolver waking a rank at its old clock).
+                let t = if rng.next_below(8) == 0 {
+                    SimTime(base.saturating_sub(rng.next_below(horizon_ns / 4)))
+                } else {
+                    SimTime(base + rng.next_below(horizon_ns))
+                };
+                wheel.push(t, seq);
+                heap.push(Reverse((t, seq)));
+                seq += 1;
+            }
+            _ => {
+                let got = wheel.pop();
+                let want = heap.pop().map(|Reverse((t, s))| (t, s));
+                assert_eq!(got, want, "seed {seed}: pop diverged after {seq} pushes");
+                if let Some((t, _)) = got {
+                    base = base.max(t.0);
+                }
+            }
+        }
+        assert_eq!(wheel.len(), heap.len(), "seed {seed}: length diverged");
+    }
+    // Drain both: the tail order must match too.
+    while let Some(Reverse((t, s))) = heap.pop() {
+        assert_eq!(wheel.pop(), Some((t, s)), "seed {seed}: drain diverged");
+    }
+    assert!(wheel.is_empty());
+}
+
+#[test]
+fn event_wheel_matches_binary_heap_reference() {
+    for seed in [1u64, 42, 0xDEAD, 0x1DC4_2004] {
+        // Horizons straddling the default bucket width (1 MiB ns)
+        // exercise intra-bucket sorting, year wraps and far jumps.
+        wheel_vs_heap(seed, 4000, 1 << 10);
+        wheel_vs_heap(seed, 4000, 1 << 21);
+        wheel_vs_heap(seed, 2000, 1 << 34);
+    }
+}
+
+#[test]
+fn event_wheel_fifo_on_time_ties() {
+    let mut wheel: EventWheel<u64> = EventWheel::new();
+    let t = SimTime(777);
+    for i in 0..100u64 {
+        wheel.push(t, i);
+    }
+    for i in 0..100u64 {
+        assert_eq!(wheel.pop(), Some((t, i)), "insertion order must break ties");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tree-reduce vs flat fold
+// ---------------------------------------------------------------------
+
+fn small_characterization(
+    nranks: usize,
+    detail: ReportDetail,
+    workers: Option<usize>,
+) -> RunReport {
+    let cfg = CharacterizationConfig {
+        nranks,
+        scale: 0.02,
+        run_for: SimDuration::from_secs(30),
+        epoch: Some(SimDuration::from_secs(5)),
+        track_iterations: true,
+        trace_ranks: 1,
+        workers,
+        detail,
+        ..Default::default()
+    };
+    characterize(Workload::Sage100, &cfg)
+}
+
+#[test]
+fn tree_reduce_matches_flat_merge_at_any_arity() {
+    let report = small_characterization(9, ReportDetail::Full, Some(2));
+    let mut flat = ClusterAggregate::default();
+    for r in &report.ranks {
+        flat.merge(&ClusterAggregate::from_rank(r));
+    }
+    for arity in [2, 3, 32, report.ranks.len(), 1000] {
+        assert_eq!(
+            reduce_reports(&report.ranks, arity),
+            flat,
+            "arity {arity} diverged from the flat fold"
+        );
+    }
+    assert_eq!(flat.ranks, 9);
+    assert!(flat.summary.windows > 0, "summaries must flow through the reduction");
+}
+
+// ---------------------------------------------------------------------
+// Event engine vs threaded reference
+// ---------------------------------------------------------------------
+
+/// Everything a characterization consumer can observe of a rank.
+fn rank_key(r: &RankReport) -> impl PartialEq + std::fmt::Debug + '_ {
+    (
+        (r.rank, &r.samples, &r.epoch_samples, &r.iteration_samples),
+        (r.total_faults, r.overhead, r.started_at, r.final_time, r.iterations),
+        (r.bytes_received, r.footprint_pages, r.excluded_pages, r.summary),
+        (&r.boundaries, &r.trace),
+    )
+}
+
+fn assert_reports_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.ranks.len(), b.ranks.len(), "{what}: rank count");
+    for (ra, rb) in a.ranks.iter().zip(&b.ranks) {
+        assert_eq!(rank_key(ra), rank_key(rb), "{what}: rank {} diverged", ra.rank);
+    }
+}
+
+#[test]
+fn engine_is_byte_identical_to_threaded_reference() {
+    // Sage: compute + allreduce. Sweep3d: wavefront sends/receives.
+    // NasBt: the remaining collective mix. Odd rank counts exercise
+    // non-power-of-two trees.
+    for (workload, nranks) in [(Workload::Sage100, 4), (Workload::Sweep3d, 6), (Workload::NasBt, 4)]
+    {
+        let cfg = CharacterizationConfig {
+            nranks,
+            scale: 0.02,
+            run_for: SimDuration::from_secs(30),
+            epoch: Some(SimDuration::from_secs(5)),
+            track_iterations: true,
+            trace_ranks: 1,
+            ..Default::default()
+        };
+        let reference = {
+            let layout = workload.layout(cfg.scale);
+            characterize_model_threaded(&cfg, layout, |rank| {
+                Box::new(workload.build(rank, cfg.nranks, cfg.scale, cfg.seed))
+            })
+        };
+        for workers in [1usize, 4, 8] {
+            let event = characterize(
+                workload,
+                &CharacterizationConfig { workers: Some(workers), ..cfg.clone() },
+            );
+            assert_reports_identical(
+                &reference,
+                &event,
+                &format!("{workload:?} x{nranks} @ {workers} workers"),
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_determinism_across_worker_counts_at_scale() {
+    // Big enough that batches exceed the parallel threshold and the
+    // wheel wraps; compare worker counts against each other.
+    let run = |workers: usize| small_characterization(96, ReportDetail::compact(), Some(workers));
+    let one = run(1);
+    for workers in [4usize, 8] {
+        assert_reports_identical(&one, &run(workers), &format!("96 ranks @ {workers} workers"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compact report detail
+// ---------------------------------------------------------------------
+
+#[test]
+fn compact_detail_keeps_exact_summaries_and_full_rank0() {
+    let full = small_characterization(8, ReportDetail::Full, Some(4));
+    let compact = small_characterization(8, ReportDetail::Compact { reservoir: 16 }, Some(4));
+    for (f, c) in full.ranks.iter().zip(&compact.ranks) {
+        // The integer roll-up is exact in both modes.
+        assert_eq!(f.summary, c.summary, "rank {} summary", f.rank);
+        assert_eq!(f.final_time, c.final_time);
+        assert_eq!(f.total_faults, c.total_faults);
+        assert_eq!(f.bytes_received, c.bytes_received);
+        if f.rank == 0 {
+            // Rank 0 feeds the figure pipelines: full detail always.
+            assert_eq!(f.samples, c.samples, "rank 0 keeps its full series");
+            assert_eq!(f.boundaries, c.boundaries);
+        } else {
+            assert!(
+                c.samples.len() <= 16,
+                "rank {}: reservoir exceeded: {}",
+                c.rank,
+                c.samples.len()
+            );
+            assert!(c.boundaries.len() <= 1, "compact ranks keep only the last boundary");
+            assert_eq!(
+                c.boundaries.last(),
+                f.boundaries.last(),
+                "the surviving boundary is the real last one"
+            );
+        }
+    }
+    // Tree-reducing either run gives the same cluster aggregate.
+    assert_eq!(
+        reduce_reports(&full.ranks, 32),
+        reduce_reports(&compact.ranks, 32),
+        "aggregation is detail-independent"
+    );
+}
