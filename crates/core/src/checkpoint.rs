@@ -34,19 +34,19 @@
 use ickpt_mem::{AddressSpace, PageRange, PageSource};
 use ickpt_obs::{CaptureKind, Event, Lane, Recorder};
 use ickpt_sim::SimTime;
-use ickpt_storage::hash::{page_block_hashes, zero_block_hash, BLOCKS_PER_PAGE, BLOCK_SIZE};
-use ickpt_storage::{Chunk, ChunkKind, DeltaRecord, PageRecord, CHUNK_PAGE_SIZE};
+use ickpt_storage::hash::{zero_block_hash, BLOCKS_PER_PAGE, BLOCK_SIZE};
+use ickpt_storage::{kernels, Chunk, ChunkKind, DeltaRecord, PageRecord, CHUNK_PAGE_SIZE};
 
 /// Whether a page's content is entirely zero (zero-page elision test).
 ///
-/// Scans machine words, not bytes: a 4 KiB page is 512 u64 compares,
-/// and the first nonzero word exits early (application pages are
-/// usually nonzero in their first words).
+/// Routed through the dispatched kernel facade (`ickpt-storage::
+/// kernels`): SIMD zero scan with early exit where the CPU has it, the
+/// word-at-a-time scan otherwise. When dedup is on, capture does not
+/// call this at all — the fused scan answers it as a byproduct of
+/// hashing.
 #[inline]
 fn is_zero_page(content: &[u8]) -> bool {
-    // SAFETY: u64 has no invalid bit patterns; align_to only reinterprets.
-    let (head, words, tail) = unsafe { content.align_to::<u64>() };
-    words.iter().all(|&w| w == 0) && head.iter().all(|&b| b == 0) && tail.iter().all(|&b| b == 0)
+    kernels::is_zero(content)
 }
 
 /// Tuning for the capture fast path.
@@ -366,7 +366,16 @@ fn build_records_into<S: PageSource>(
             let content = space
                 .read_page(page)
                 .unwrap_or_else(|| panic!("checkpoint of unmapped page {page}"));
-            if is_zero_page(content) {
+            // One fused sweep per page when the content layer needs
+            // hashes anyway (zero probe + page hash + 16 block hashes,
+            // each byte touched once); a plain dispatched zero scan
+            // with early exit when it does not.
+            let page_is_zero = if dedup.is_some() {
+                kernels::fused_scan(content, &mut fresh).is_zero
+            } else {
+                is_zero_page(content)
+            };
+            if page_is_zero {
                 if let Some(ctx) = &mut dedup {
                     let i = (page - ctx.base_page) as usize;
                     let slot = &mut ctx.hashes[i * BLOCKS_PER_PAGE..(i + 1) * BLOCKS_PER_PAGE];
@@ -391,10 +400,10 @@ fn build_records_into<S: PageSource>(
             if let Some(ctx) = &mut dedup {
                 let i = (page - ctx.base_page) as usize;
                 let slot = &mut ctx.hashes[i * BLOCKS_PER_PAGE..(i + 1) * BLOCKS_PER_PAGE];
-                page_block_hashes(content, &mut fresh);
+                // `fresh` was filled by the fused scan above.
                 out.stats.hashed_pages += 1;
                 if !ctx.refresh_only && ctx.flags[i] & DEDUP_VALID != 0 {
-                    if fresh[..] == slot[..] {
+                    if kernels::hashes_eq(&fresh, slot) {
                         out.stats.dropped_pages += 1;
                         continue;
                     }
@@ -883,7 +892,7 @@ mod tests {
     }
 
     #[test]
-    fn zero_page_word_scan_matches_byte_scan() {
+    fn zero_page_kernel_scan_matches_byte_scan() {
         let mut page = vec![0u8; PAGE_SIZE as usize];
         assert!(is_zero_page(&page));
         for pos in [0usize, 1, 7, 8, 4088, 4095] {

@@ -444,6 +444,8 @@ pub struct ParallelPageWriter<'a> {
 // to target disjoint pages; the lifetime ties the handle to an
 // exclusive borrow of the owning space.
 unsafe impl Send for ParallelPageWriter<'_> {}
+// SAFETY: as for Send — shared references only expose the unsafe write
+// methods, whose disjoint-pages contract is the caller's obligation.
 unsafe impl Sync for ParallelPageWriter<'_> {}
 
 impl ParallelPageWriter<'_> {
@@ -490,7 +492,18 @@ impl BackedSpace {
     fn zero_range(&mut self, range: PageRange) {
         let base = (range.start * PAGE_SIZE) as usize;
         let end = (range.end() * PAGE_SIZE) as usize;
-        self.arena[base..end].fill(0);
+        // Page-granular skip-if-already-zero through the dispatched
+        // zero-scan kernel: a freshly grown arena (and any remapped
+        // page that was never dirtied) already reads as zeros, so the
+        // common case is a read-only SIMD sweep instead of a
+        // guaranteed write sweep; a nonzero page bails on its first
+        // nonzero word and is memset as before. Byte-identical
+        // outcome either way.
+        for page in self.arena[base..end].chunks_exact_mut(PAGE_SIZE as usize) {
+            if !ickpt_storage::kernels::is_zero(page) {
+                page.fill(0);
+            }
+        }
     }
 }
 

@@ -34,6 +34,8 @@ pub struct TrackedRegion {
 // SAFETY: the region is an owned mapping; all shared mutation happens
 // through atomics (the bitmap) or the kernel (protections).
 unsafe impl Send for TrackedRegion {}
+// SAFETY: as for Send — shared access mutates only through the atomic
+// bitmap or kernel-mediated page protections.
 unsafe impl Sync for TrackedRegion {}
 
 impl TrackedRegion {

@@ -41,6 +41,9 @@ static INSTALL: Once = Once::new();
 
 /// Install the SIGSEGV handler (idempotent).
 pub fn ensure_handler() {
+    // SAFETY: sigaction with a zeroed struct and a handler whose
+    // signature matches SA_SIGINFO; both calls are checked for failure
+    // and Once guarantees single installation.
     INSTALL.call_once(|| unsafe {
         let mut action: libc::sigaction = std::mem::zeroed();
         action.sa_sigaction = handler
@@ -144,6 +147,8 @@ mod tests {
         let words: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
         let mut slots = Vec::new();
         for _ in 0..8 {
+            // SAFETY: `words` holds 4 AtomicU64s — enough bitmap words
+            // for one 4096-byte page — and outlives the registration.
             let s = unsafe { register(0x1000, 0x1000, words.as_ptr(), 4096) };
             slots.push(s);
         }
@@ -153,6 +158,7 @@ mod tests {
             unregister(s);
         }
         // Slots are reusable after unregistration.
+        // SAFETY: as above — `words` covers the single page registered.
         let s = unsafe { register(0x2000, 0x1000, words.as_ptr(), 4096) };
         unregister(s);
     }

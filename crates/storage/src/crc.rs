@@ -52,7 +52,7 @@ const fn build_tables() -> [[u32; 256]; 8] {
 
 /// Advance `state` over `data` one byte at a time (reference kernel).
 #[inline]
-fn update_bytewise(mut state: u32, data: &[u8]) -> u32 {
+pub(crate) fn update_bytewise(mut state: u32, data: &[u8]) -> u32 {
     for &b in data {
         state = TABLES[0][((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
     }
@@ -60,7 +60,7 @@ fn update_bytewise(mut state: u32, data: &[u8]) -> u32 {
 }
 
 /// Advance `state` over `data`, eight bytes per step.
-fn update_slice8(mut state: u32, data: &[u8]) -> u32 {
+pub(crate) fn update_slice8(mut state: u32, data: &[u8]) -> u32 {
     let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
         // Fold the current CRC into the first word's low half, then
@@ -101,10 +101,11 @@ impl Crc32 {
         Self { state: 0xFFFF_FFFF }
     }
 
-    /// Feed bytes.
+    /// Feed bytes (through the dispatched kernel: PCLMULQDQ folding
+    /// where the CPU has it, slice-by-8 otherwise — identical sums).
     #[inline]
     pub fn update(&mut self, data: &[u8]) {
-        self.state = update_slice8(self.state, data);
+        self.state = crate::kernels::crc32_advance(self.state, data);
     }
 
     /// Finish and return the checksum.
@@ -113,8 +114,16 @@ impl Crc32 {
     }
 }
 
-/// One-shot CRC-32 of a byte slice.
+/// One-shot CRC-32 of a byte slice (dispatched, like [`Crc32`]).
 pub fn crc32(data: &[u8]) -> u32 {
+    crate::kernels::crc32_advance(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// One-shot CRC-32 via slice-by-8, bypassing kernel dispatch.
+///
+/// The scalar backend's CRC kernel and the benchmark baseline the
+/// dispatched path is measured against.
+pub fn crc32_slice8(data: &[u8]) -> u32 {
     update_slice8(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
 }
 
@@ -181,6 +190,17 @@ mod tests {
             c.update(chunk);
         }
         assert_eq!(c.finalize(), crc32(&data));
+    }
+
+    #[test]
+    fn dispatched_equals_slice8() {
+        // Whatever backend dispatch resolved to, the public entry
+        // points must compute the same function as the scalar kernel.
+        let data: Vec<u8> =
+            (0..40_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        for len in [0usize, 1, 63, 64, 65, 4096, 40_000] {
+            assert_eq!(crc32(&data[..len]), crc32_slice8(&data[..len]), "len {len}");
+        }
     }
 
     #[test]

@@ -28,22 +28,24 @@ pub const BLOCK_SIZE: usize = 256;
 pub const BLOCKS_PER_PAGE: usize = CHUNK_PAGE_SIZE / BLOCK_SIZE;
 
 /// Per-lane multipliers (odd constants: golden ratio and friends).
-const M0: u64 = 0x9E37_79B9_7F4A_7C15;
-const M1: u64 = 0xC2B2_AE3D_27D4_EB4F;
-const M2: u64 = 0x1656_67B1_9E37_79F9;
-const M3: u64 = 0xD6E8_FEB8_6659_FD93;
+/// `pub(crate)` so the SIMD kernel backends compute the identical
+/// function (see [`crate::kernels`]).
+pub(crate) const M0: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const M1: u64 = 0xC2B2_AE3D_27D4_EB4F;
+pub(crate) const M2: u64 = 0x1656_67B1_9E37_79F9;
+pub(crate) const M3: u64 = 0xD6E8_FEB8_6659_FD93;
 
 /// Lane seeds: distinct so an all-zero input still produces non-trivial
 /// lane states.
-const S0: u64 = 0x243F_6A88_85A3_08D3;
-const S1: u64 = 0x1319_8A2E_0370_7344;
-const S2: u64 = 0xA409_3822_299F_31D0;
-const S3: u64 = 0x082E_FA98_EC4E_6C89;
+pub(crate) const S0: u64 = 0x243F_6A88_85A3_08D3;
+pub(crate) const S1: u64 = 0x1319_8A2E_0370_7344;
+pub(crate) const S2: u64 = 0xA409_3822_299F_31D0;
+pub(crate) const S3: u64 = 0x082E_FA98_EC4E_6C89;
 
 /// Final avalanche (the SplitMix64 finalizer): a single flipped input
 /// bit must be able to flip any output bit.
 #[inline]
-fn mix(mut x: u64) -> u64 {
+pub(crate) fn mix(mut x: u64) -> u64 {
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 27;
@@ -52,8 +54,16 @@ fn mix(mut x: u64) -> u64 {
 }
 
 #[inline]
-fn lane(acc: u64, word: u64, mult: u64) -> u64 {
+pub(crate) fn lane(acc: u64, word: u64, mult: u64) -> u64 {
     (acc ^ word).wrapping_mul(mult).rotate_left(23)
+}
+
+/// Combine four lane accumulators into the final digest of `len` bytes.
+/// Every backend — scalar, fused single-pass, SIMD — funnels through
+/// this exact finalization so digests are bit-identical across them.
+#[inline]
+pub(crate) fn finish_lanes(a0: u64, a1: u64, a2: u64, a3: u64, len: u64) -> u64 {
+    mix(a0 ^ a1.rotate_left(17) ^ a2.rotate_left(31) ^ a3.rotate_left(47) ^ len)
 }
 
 /// Hash `data` with the 4-lane multiply-xor kernel.
@@ -87,7 +97,7 @@ pub fn hash64(data: &[u8]) -> u64 {
         a2 = lane(a2, u64::from_le_bytes(tail[16..24].try_into().unwrap()), M2);
         a3 = lane(a3, u64::from_le_bytes(tail[24..32].try_into().unwrap()), M3);
     }
-    mix(a0 ^ a1.rotate_left(17) ^ a2.rotate_left(31) ^ a3.rotate_left(47) ^ data.len() as u64)
+    finish_lanes(a0, a1, a2, a3, data.len() as u64)
 }
 
 /// Straight-line reference implementation of the same function: one
@@ -112,11 +122,7 @@ pub fn hash64_reference(data: &[u8]) -> u64 {
         tail[..data.len() % 32].copy_from_slice(&data[quads * 32..]);
         fold(&mut acc, &tail);
     }
-    mix(acc[0]
-        ^ acc[1].rotate_left(17)
-        ^ acc[2].rotate_left(31)
-        ^ acc[3].rotate_left(47)
-        ^ data.len() as u64)
+    finish_lanes(acc[0], acc[1], acc[2], acc[3], data.len() as u64)
 }
 
 /// Digest of one all-zero [`BLOCK_SIZE`] block. Pages elided into zero
@@ -124,6 +130,37 @@ pub fn hash64_reference(data: &[u8]) -> u64 {
 /// update a memset-style fill instead of a rehash of 4 KiB of zeros.
 pub fn zero_block_hash() -> u64 {
     hash64(&[0u8; BLOCK_SIZE])
+}
+
+/// Page identity digest: [`hash64`] over the little-endian byte
+/// encoding of the page's block digests (merkle-style).
+///
+/// Deriving the page hash from the block hashes instead of rehashing
+/// the raw page means a fused scan produces the whole identity triple
+/// (zero flag, page hash, block hashes) without a second serial chain
+/// over the data — the block chains are independent and vectorize,
+/// while a full-page chain would be latency-bound. The digest is
+/// endianness-stable: big-endian hosts pay a small copy.
+pub fn page_hash_of_blocks(block_hashes: &[u64]) -> u64 {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: reinterpreting `u64`s as their 8 constituent bytes is
+        // always valid (no alignment or validity constraints on u8),
+        // and on a little-endian host the in-memory order matches the
+        // `to_le_bytes` encoding the digest is defined over.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(block_hashes.as_ptr().cast::<u8>(), block_hashes.len() * 8)
+        };
+        hash64(bytes)
+    }
+    #[cfg(target_endian = "big")]
+    {
+        let mut bytes = Vec::with_capacity(block_hashes.len() * 8);
+        for h in block_hashes {
+            bytes.extend_from_slice(&h.to_le_bytes());
+        }
+        hash64(&bytes)
+    }
 }
 
 /// Compute the [`BLOCKS_PER_PAGE`] block digests of one page into `out`.
@@ -207,6 +244,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn page_hash_of_blocks_is_hash64_of_le_bytes() {
+        let page = splitmix_buf(99, CHUNK_PAGE_SIZE);
+        let mut hashes = [0u64; BLOCKS_PER_PAGE];
+        page_block_hashes(&page, &mut hashes);
+        let mut bytes = Vec::new();
+        for h in &hashes {
+            bytes.extend_from_slice(&h.to_le_bytes());
+        }
+        assert_eq!(page_hash_of_blocks(&hashes), hash64(&bytes));
+        // Any block digest change propagates into the page digest.
+        let before = page_hash_of_blocks(&hashes);
+        hashes[7] ^= 1;
+        assert_ne!(page_hash_of_blocks(&hashes), before);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Runtime-dispatched byte-touching kernels for the capture hot path.
+//!
+//! Every captured page used to be swept several times — zero scan, page
+//! hash, 16 block hashes, CRC inside chunk encode, XOR for parity — and
+//! every sweep was scalar. This module makes each sweep run at hardware
+//! speed and, where it matters most, fuses them so each byte is touched
+//! once:
+//!
+//! * [`fused_scan`] — the headline kernel: zero-page detection, all
+//!   per-256 B-block hashes, and the page hash (derived merkle-style
+//!   from the block digests, see
+//!   [`crate::hash::page_hash_of_blocks`]) in **one** pass over the
+//!   page, bit-identical to computing the triple separately.
+//! * [`is_zero`] / [`bytes_eq`] / [`xor_acc`] — vectorized zero scan,
+//!   silent-store block compare, and parity XOR accumulate.
+//! * [`crc32_advance`] — dispatched CRC-32 state advance (PCLMULQDQ
+//!   folding on x86_64 when available, slice-by-8 otherwise).
+//!
+//! # Dispatch
+//!
+//! CPU features are detected once and resolved into a function-pointer
+//! table ([`Kernels`]) stored in a [`OnceLock`]. The tiers are:
+//!
+//! | table      | arch          | requires                          |
+//! |------------|---------------|-----------------------------------|
+//! | `scalar`   | any           | nothing — the reference backend   |
+//! | `portable` | any           | nothing (single-pass fused scan)  |
+//! | `sse2`     | x86_64        | baseline (always present)         |
+//! | `avx2`     | x86_64        | runtime `avx2`                    |
+//! | `avx512vl` | x86_64        | runtime `avx512f`+`dq`+`bw`+`vl`  |
+//! | `+pclmul`  | x86_64        | runtime `pclmulqdq` + `sse4.1`    |
+//! | `neon`     | aarch64       | baseline (always present)         |
+//!
+//! Every accelerated kernel computes the *identical function* to the
+//! scalar reference — same hashes, same CRC, same bytes — pinned by the
+//! property suite in `tests/kernel_props.rs` (misaligned slices, odd
+//! lengths, all-backends-agree). `ICKPT_KERNELS=scalar` forces the
+//! reference backend; `auto` (or unset) picks the best detected tier; a
+//! malformed value exits with status 2, matching the `ICKPT_BENCH_*`
+//! knob convention.
+
+use std::sync::OnceLock;
+
+use crate::hash::BLOCK_SIZE;
+
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon;
+pub(crate) mod scalar;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86;
+
+/// Environment knob selecting the kernel backend.
+pub const KERNELS_ENV: &str = "ICKPT_KERNELS";
+
+/// Result of the fused single-pass page scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedScan {
+    /// True iff every scanned byte was zero.
+    pub is_zero: bool,
+    /// Page identity digest, derived from the block digests
+    /// ([`crate::hash::page_hash_of_blocks`]).
+    pub page_hash: u64,
+}
+
+/// One resolved backend: a table of kernel function pointers.
+///
+/// All entries compute bit-identical results across backends; only the
+/// instructions differ. The table is `Copy` so composite tiers (e.g.
+/// AVX2 hashing + PCLMULQDQ CRC) are built by overriding fields.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernels {
+    /// Backend name, e.g. `"scalar"`, `"avx2+pclmul"`.
+    pub name: &'static str,
+    /// True iff the slice is all zero bytes.
+    pub is_zero: fn(&[u8]) -> bool,
+    /// Fused zero + page hash + block hashes; `data.len()` must equal
+    /// `out.len() * BLOCK_SIZE` (checked by the [`fused_scan`] facade).
+    pub fused_scan: fn(&[u8], &mut [u64]) -> FusedScan,
+    /// `acc[i] ^= data[i]` over two equal-length slices.
+    pub xor_acc: fn(&mut [u8], &[u8]),
+    /// Advance a raw (pre-finalize) CRC-32 state over `data`.
+    pub crc32_advance: fn(u32, &[u8]) -> u32,
+    /// Slice equality (length + bytes).
+    pub bytes_eq: fn(&[u8], &[u8]) -> bool,
+}
+
+/// The always-available reference backend: the existing scalar
+/// implementations, composed. `fused_scan` here really is the
+/// three-pass sequence — it *is* the executable specification the
+/// accelerated tiers are tested against.
+pub static SCALAR: Kernels = Kernels {
+    name: "scalar",
+    is_zero: scalar::is_zero,
+    fused_scan: scalar::fused_scan_threepass,
+    xor_acc: scalar::xor_acc,
+    crc32_advance: crate::crc::update_slice8,
+    bytes_eq: scalar::bytes_eq,
+};
+
+/// Portable tier: scalar instructions, but the fused scan walks the
+/// page once (interleaved page/block hash chains + zero accumulate).
+/// The fallback on architectures with no SIMD backend.
+pub static PORTABLE: Kernels = Kernels {
+    name: "portable",
+    is_zero: scalar::is_zero,
+    fused_scan: scalar::fused_scan_onepass,
+    xor_acc: scalar::xor_acc,
+    crc32_advance: crate::crc::update_slice8,
+    bytes_eq: scalar::bytes_eq,
+};
+
+/// Backend selection parsed from [`KERNELS_ENV`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Force the scalar reference backend.
+    Scalar,
+    /// Best tier the CPU supports (the default).
+    Auto,
+}
+
+/// Parse an `ICKPT_KERNELS` value. Pure so strictness is unit-testable
+/// without spawning a process.
+pub fn parse_backend(raw: &str) -> Result<BackendChoice, String> {
+    match raw.trim() {
+        "scalar" => Ok(BackendChoice::Scalar),
+        "auto" => Ok(BackendChoice::Auto),
+        _ => Err(format!("{KERNELS_ENV}={raw:?} is invalid: expected \"scalar\" or \"auto\"")),
+    }
+}
+
+// The one sanctioned stderr write in this crate: a malformed env knob
+// must abort loudly before any experiment runs half-configured, exactly
+// like the ICKPT_BENCH_* knobs (exit status 2 with a message).
+#[allow(clippy::disallowed_macros)]
+fn backend_from_env() -> BackendChoice {
+    match std::env::var(KERNELS_ENV) {
+        Err(_) => BackendChoice::Auto,
+        Ok(raw) => parse_backend(&raw).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Best table the host supports, ignoring the env knob.
+fn best() -> Kernels {
+    #[cfg(target_arch = "x86_64")]
+    {
+        x86::best()
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        neon::table()
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        PORTABLE
+    }
+}
+
+/// Every table that can run on this host, scalar reference first.
+/// Property tests iterate this to assert all-backends-agree.
+pub fn available() -> Vec<Kernels> {
+    let mut tables = vec![SCALAR, PORTABLE];
+    #[cfg(target_arch = "x86_64")]
+    tables.extend(x86::available());
+    #[cfg(target_arch = "aarch64")]
+    tables.push(neon::table());
+    tables
+}
+
+static ACTIVE: OnceLock<Kernels> = OnceLock::new();
+
+/// The resolved dispatch table: detected once, then a plain indirect
+/// call per kernel invocation.
+#[inline]
+pub fn active() -> &'static Kernels {
+    ACTIVE.get_or_init(|| match backend_from_env() {
+        BackendChoice::Scalar => SCALAR,
+        BackendChoice::Auto => best(),
+    })
+}
+
+/// Name of the active backend (for reports and logs).
+pub fn backend_name() -> &'static str {
+    active().name
+}
+
+/// True iff `data` is entirely zero bytes.
+#[inline]
+pub fn is_zero(data: &[u8]) -> bool {
+    (active().is_zero)(data)
+}
+
+/// Fused single-pass page scan: zero detection, one block hash per
+/// [`BLOCK_SIZE`] bytes, and the derived page hash, touching each data
+/// byte once.
+///
+/// Bit-identical to the separate calls it replaces:
+/// `out[i] == hash64(&data[i*256..][..256])`,
+/// `page_hash == page_hash_of_blocks(out)`,
+/// `is_zero == data.iter().all(|b| *b == 0)`.
+///
+/// Panics unless `data.len() == block_hashes.len() * BLOCK_SIZE`.
+#[inline]
+pub fn fused_scan(data: &[u8], block_hashes: &mut [u64]) -> FusedScan {
+    assert_eq!(
+        data.len(),
+        block_hashes.len() * BLOCK_SIZE,
+        "fused_scan needs one hash slot per {BLOCK_SIZE}-byte block"
+    );
+    (active().fused_scan)(data, block_hashes)
+}
+
+/// XOR-accumulate `data` into `acc` (`acc[i] ^= data[i]`).
+///
+/// Panics unless the slices have equal length — callers slice to the
+/// overlap they mean to fold.
+#[inline]
+pub fn xor_acc(acc: &mut [u8], data: &[u8]) {
+    assert_eq!(acc.len(), data.len(), "xor_acc needs equal-length slices");
+    (active().xor_acc)(acc, data)
+}
+
+/// Advance a raw CRC-32 state (pre-inversion form, as stored in
+/// [`crate::crc::Crc32`]) over `data`.
+#[inline]
+pub fn crc32_advance(state: u32, data: &[u8]) -> u32 {
+    (active().crc32_advance)(state, data)
+}
+
+/// Vectorized slice equality — the silent-store block compare.
+#[inline]
+pub fn bytes_eq(a: &[u8], b: &[u8]) -> bool {
+    (active().bytes_eq)(a, b)
+}
+
+/// Vectorized equality of two hash arrays (the per-page silent-store
+/// check compares 16 block digests at once).
+#[inline]
+pub fn hashes_eq(a: &[u64], b: &[u64]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    // SAFETY: any initialized `u64` slice is a valid `u8` slice of 8×
+    // the length at the same address; alignment only loosens (8 → 1)
+    // and the lifetime is inherited from the borrow.
+    let ab = unsafe { std::slice::from_raw_parts(a.as_ptr().cast::<u8>(), a.len() * 8) };
+    // SAFETY: as above.
+    let bb = unsafe { std::slice::from_raw_parts(b.as_ptr().cast::<u8>(), b.len() * 8) };
+    (active().bytes_eq)(ab, bb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_backend_is_strict() {
+        assert_eq!(parse_backend("scalar"), Ok(BackendChoice::Scalar));
+        assert_eq!(parse_backend("auto"), Ok(BackendChoice::Auto));
+        assert_eq!(parse_backend(" auto "), Ok(BackendChoice::Auto));
+        for bad in ["", "Scalar", "AUTO", "avx2", "scalar,auto", "1", "simd"] {
+            let err = parse_backend(bad).unwrap_err();
+            assert!(err.contains(KERNELS_ENV), "error names the knob: {err}");
+            assert!(err.contains("expected"), "error says what was expected: {err}");
+        }
+    }
+
+    #[test]
+    fn scalar_table_is_always_available() {
+        let tables = available();
+        assert_eq!(tables[0].name, "scalar");
+        assert!(tables.len() >= 2, "portable tier always rides along");
+    }
+
+    #[test]
+    fn active_backend_has_a_name() {
+        assert!(!backend_name().is_empty());
+    }
+}

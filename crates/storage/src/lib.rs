@@ -9,6 +9,10 @@
 //! * [`hash`] — the content layer's 4-lane multiply-xor 64-bit hash:
 //!   sub-page block digests that detect silent same-value writes and
 //!   drive delta encoding of partially-written pages.
+//! * [`kernels`] — runtime-dispatched SIMD kernels for the byte-touching
+//!   hot paths (fused single-pass page scan, zero detection, XOR
+//!   accumulate, CRC folding, block compare), bit-identical to the
+//!   scalar reference at every backend; `ICKPT_KERNELS=scalar|auto`.
 //! * [`chunk`] — the on-disk checkpoint chunk format: a header
 //!   describing rank/generation/lineage and the mapping state, followed
 //!   by page records, closed with a CRC.
@@ -35,6 +39,7 @@ pub mod chunk;
 pub mod crc;
 pub mod gc;
 pub mod hash;
+pub mod kernels;
 pub mod manifest;
 pub mod plan;
 pub mod redundancy;
@@ -46,6 +51,7 @@ pub use chunk::{
     RecordRef, CHUNK_PAGE_SIZE,
 };
 pub use hash::{hash64, page_block_hashes, zero_block_hash, BLOCKS_PER_PAGE, BLOCK_SIZE};
+pub use kernels::FusedScan;
 pub use manifest::{Manifest, RankEntry};
 pub use plan::{
     shard_segments, ChunkPlanStats, DeltaBase, PlanSegment, PlanSource, RestorePlan, SegmentSource,

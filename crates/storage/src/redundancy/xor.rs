@@ -33,6 +33,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 
 use crate::crc::{crc32, Crc32};
+use crate::kernels;
 use crate::store::{ChunkKey, StorageError};
 
 use super::{LocalStores, RedundancyScheme, SchemeSpec};
@@ -67,9 +68,8 @@ pub fn xor_encode(group: u32, generation: u64, members: &[(u32, &[u8])]) -> Vec<
     let parity_at = out.len();
     out.resize(parity_at + max_len, 0);
     for (_, data) in &table {
-        for (acc, b) in out[parity_at..].iter_mut().zip(data.iter()) {
-            *acc ^= b;
-        }
+        // Shorter members fold into the zero-padded prefix only.
+        kernels::xor_acc(&mut out[parity_at..parity_at + data.len()], data);
     }
     let crc = crc32(&out);
     out.put_u32_le(crc);
@@ -156,9 +156,7 @@ pub fn xor_reconstruct(
                 data.len()
             )));
         }
-        for (a, b) in acc.iter_mut().zip(data.iter()) {
-            *a ^= b;
-        }
+        kernels::xor_acc(&mut acc[..data.len()], data);
         seen += 1;
     }
     if seen + 1 != view.members.len() {

@@ -1,0 +1,225 @@
+//! Property suite for the dispatched kernels (`ickpt_storage::kernels`).
+//!
+//! The contract is bit-identity: every backend the host can run must
+//! compute exactly the function the scalar reference computes, on
+//! every length class and alignment. The suite drives deterministic
+//! SplitMix64-filled buffers through each table from
+//! `kernels::available()` — on an AVX-512 x86_64 host that exercises
+//! scalar, portable, sse2(+pclmul), avx2(+pclmul), and
+//! avx512vl(+pclmul).
+
+use ickpt_storage::hash::{
+    hash64, page_block_hashes, page_hash_of_blocks, BLOCKS_PER_PAGE, BLOCK_SIZE,
+};
+use ickpt_storage::kernels::{self, BackendChoice};
+use ickpt_storage::CHUNK_PAGE_SIZE;
+
+fn splitmix_buf(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed;
+    let mut out = Vec::with_capacity(len + 8);
+    while out.len() < len {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        out.extend_from_slice(&z.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Lengths that cross every stride the kernels use (8/16/32/64/128-byte
+/// inner loops, 256-byte blocks, 4 KiB pages) plus odd stragglers.
+const LENGTHS: &[usize] = &[
+    0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129, 255, 256, 257, 511, 512,
+    1023, 4096, 4097, 16384, 16411,
+];
+
+/// Misalignment offsets applied to a shared backing buffer.
+const OFFSETS: &[usize] = &[0, 1, 3, 8, 13];
+
+#[test]
+fn all_backends_agree_is_zero_and_bytes_eq() {
+    for table in kernels::available() {
+        for &len in LENGTHS {
+            for &off in OFFSETS {
+                let buf = splitmix_buf(0xA11 ^ len as u64, len + off);
+                let data = &buf[off..];
+                // Random data: equality with itself, not with a flipped copy.
+                assert!(!(table.is_zero)(data) || data.iter().all(|&b| b == 0));
+                assert!((table.bytes_eq)(data, data), "{}: self-eq len {len}", table.name);
+                let zeros = vec![0u8; len + off];
+                assert!((table.is_zero)(&zeros[off..]), "{}: zeros len {len}", table.name);
+                if len > 0 {
+                    // Flip one byte at every stride boundary the SIMD
+                    // loops care about, front, middle and back.
+                    for pos in [0, len / 2, len - 1, len.saturating_sub(17).min(len - 1)] {
+                        let mut one = zeros.clone();
+                        one[off + pos] = 1;
+                        assert!(
+                            !(table.is_zero)(&one[off..]),
+                            "{}: missed byte at {pos}/{len}",
+                            table.name
+                        );
+                        let mut other = buf.clone();
+                        other[off + pos] ^= 0x80;
+                        assert!(
+                            !(table.bytes_eq)(data, &other[off..]),
+                            "{}: missed diff at {pos}/{len}",
+                            table.name
+                        );
+                    }
+                }
+                // Length mismatch is never equal.
+                if len > 0 {
+                    assert!(!(table.bytes_eq)(data, &data[..len - 1]), "{}", table.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_backends_agree_xor_acc() {
+    for table in kernels::available() {
+        for &len in LENGTHS {
+            for &off in OFFSETS {
+                let acc0 = splitmix_buf(0xACC ^ len as u64, len + off);
+                let data = splitmix_buf(0xDA7A ^ len as u64, len + off);
+                let mut got = acc0.clone();
+                (table.xor_acc)(&mut got[off..], &data[off..]);
+                let mut want = acc0.clone();
+                for i in off..off + len {
+                    want[i] ^= data[i];
+                }
+                assert_eq!(got, want, "{}: xor len {len} off {off}", table.name);
+                // XOR twice round-trips to the original.
+                (table.xor_acc)(&mut got[off..], &data[off..]);
+                assert_eq!(got, acc0, "{}: xor involution len {len}", table.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn all_backends_agree_crc32() {
+    for table in kernels::available() {
+        for &len in LENGTHS {
+            for &off in OFFSETS {
+                let buf = splitmix_buf(0xC4C ^ len as u64, len + off);
+                let data = &buf[off..];
+                let want = (kernels::SCALAR.crc32_advance)(0xFFFF_FFFF, data);
+                let got = (table.crc32_advance)(0xFFFF_FFFF, data);
+                assert_eq!(got, want, "{}: crc len {len} off {off}", table.name);
+                // Streaming splits must agree with one-shot, at split
+                // points that land mid-way through the folding strides.
+                for split in [1usize, 15, 16, 63, 64, 65, 129] {
+                    if split <= len {
+                        let s1 = (table.crc32_advance)(0xFFFF_FFFF, &data[..split]);
+                        let s2 = (table.crc32_advance)(s1, &data[split..]);
+                        assert_eq!(s2, want, "{}: split {split} len {len}", table.name);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_backends_agree_fused_scan() {
+    for table in kernels::available() {
+        // Block counts that hit the AVX2 pair loop (even), the odd
+        // trailing block, the empty input, and full pages.
+        for &blocks in &[0usize, 1, 2, 3, 4, 7, 15, 16, 64] {
+            for &off in OFFSETS {
+                let len = blocks * BLOCK_SIZE;
+                let buf = splitmix_buf(0xF5D ^ blocks as u64, len + off);
+                let data = &buf[off..];
+                let mut got = vec![0u64; blocks];
+                let scan = (table.fused_scan)(data, &mut got);
+                let mut want = vec![0u64; blocks];
+                let want_scan = (kernels::SCALAR.fused_scan)(data, &mut want);
+                assert_eq!(got, want, "{}: blocks {blocks} off {off}", table.name);
+                assert_eq!(scan, want_scan, "{}: blocks {blocks} off {off}", table.name);
+                // And against the primitive calls directly.
+                assert_eq!(scan.page_hash, page_hash_of_blocks(&want), "{}", table.name);
+                assert_eq!(scan.is_zero, data.iter().all(|&b| b == 0), "{}", table.name);
+                for (i, h) in got.iter().enumerate() {
+                    assert_eq!(
+                        *h,
+                        hash64(&data[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE]),
+                        "{}: block {i}",
+                        table.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_scan_zero_pages_report_zero() {
+    for table in kernels::available() {
+        let zeros = vec![0u8; CHUNK_PAGE_SIZE];
+        let mut hashes = vec![0u64; BLOCKS_PER_PAGE];
+        let scan = (table.fused_scan)(&zeros, &mut hashes);
+        assert!(scan.is_zero, "{}", table.name);
+        assert_eq!(scan.page_hash, page_hash_of_blocks(&hashes), "{}", table.name);
+        // One bit anywhere flips is_zero, including in the last block
+        // (the odd-tail path on SIMD backends with odd block counts).
+        for pos in [0usize, 255, 256, 4095] {
+            let mut page = zeros.clone();
+            page[pos] = 2;
+            let scan = (table.fused_scan)(&page, &mut hashes);
+            assert!(!scan.is_zero, "{}: bit at {pos}", table.name);
+        }
+    }
+}
+
+/// The satellite contract verbatim: fused-scan output equals the
+/// (zero-scan, `page_hash_of_blocks`, `page_block_hashes`) triple on
+/// whole pages, through the public facade (whatever backend is
+/// active).
+#[test]
+fn facade_fused_scan_matches_the_triple() {
+    for seed in 0..8u64 {
+        let page = splitmix_buf(seed, CHUNK_PAGE_SIZE);
+        let mut fused = [0u64; BLOCKS_PER_PAGE];
+        let scan = kernels::fused_scan(&page, &mut fused);
+        let mut separate = [0u64; BLOCKS_PER_PAGE];
+        page_block_hashes(&page, &mut separate);
+        assert_eq!(fused, separate);
+        assert_eq!(scan.page_hash, page_hash_of_blocks(&separate));
+        assert_eq!(scan.is_zero, page.iter().all(|&b| b == 0));
+        assert_eq!(scan.is_zero, kernels::is_zero(&page));
+    }
+}
+
+#[test]
+fn facade_rejects_mismatched_fused_lengths() {
+    let data = [0u8; BLOCK_SIZE];
+    let mut out = [0u64; 2];
+    let err = std::panic::catch_unwind(move || {
+        let mut out = out;
+        kernels::fused_scan(&data, &mut out);
+    });
+    assert!(err.is_err(), "one block of data cannot fill two hash slots");
+    let mut one = [0u64; 1];
+    kernels::fused_scan(&data, &mut one);
+    let _ = &mut out;
+}
+
+#[test]
+fn env_knob_parses_strictly() {
+    // Mirrors `knob_parsing_is_strict` in ickpt-bench: the parse is a
+    // pure function so strictness is testable without a subprocess;
+    // the process-exit path in `active()` wraps exactly this parser.
+    assert_eq!(kernels::parse_backend("scalar"), Ok(BackendChoice::Scalar));
+    assert_eq!(kernels::parse_backend("auto"), Ok(BackendChoice::Auto));
+    assert!(kernels::parse_backend("fast").is_err());
+    assert!(kernels::parse_backend("").is_err());
+    let msg = kernels::parse_backend("avx512").unwrap_err();
+    assert!(msg.contains("ICKPT_KERNELS=\"avx512\""), "{msg}");
+    assert!(msg.contains("expected"), "{msg}");
+}

@@ -47,6 +47,30 @@ bench_smoke() {
         target/release/repro --only "Effective IB" >/tmp/ickpt_dedup_t4.txt 2>/dev/null
     run diff /tmp/ickpt_dedup_t1.txt /tmp/ickpt_dedup_t4.txt
 
+    # Kernel-dispatch identity: every capture/restore artifact must be
+    # byte-identical whether the SIMD tiers or the scalar reference
+    # computed it. The scalar run of the effective-IB experiment (its
+    # report folds page hashes, dedup decisions, chunk CRCs, and byte
+    # counters) must match the auto run bit for bit.
+    echo "==> repro --only 'Effective IB' with ICKPT_KERNELS=scalar vs auto"
+    ICKPT_KERNELS=scalar ICKPT_BENCH_THREADS=1 \
+        target/release/repro --only "Effective IB" >/tmp/ickpt_kern_scalar.txt 2>/dev/null
+    ICKPT_KERNELS=auto ICKPT_BENCH_THREADS=1 \
+        target/release/repro --only "Effective IB" >/tmp/ickpt_kern_auto.txt 2>/dev/null
+    run diff /tmp/ickpt_kern_scalar.txt /tmp/ickpt_kern_auto.txt
+
+    # A malformed ICKPT_KERNELS value must abort with exit status 2
+    # before any experiment runs half-configured.
+    echo "==> repro with malformed ICKPT_KERNELS must exit 2"
+    set +e
+    ICKPT_KERNELS=bogus target/release/repro --only "Effective IB" >/dev/null 2>/dev/null
+    rc=$?
+    set -e
+    if [[ "$rc" -ne 2 ]]; then
+        echo "expected exit 2 for ICKPT_KERNELS=bogus, got $rc" >&2
+        exit 1
+    fi
+
     # Flight-recorder determinism: the exported trace files (Chrome
     # JSON + JSONL) for a live-instrumented experiment must be
     # byte-identical at 1 and 4 scheduler threads — with the content
@@ -63,6 +87,17 @@ bench_smoke() {
         target/release/repro --only "Ablations" --trace-out /tmp/ickpt_trace_t4 \
         >/dev/null 2>/dev/null
     run diff -r /tmp/ickpt_trace_t1 /tmp/ickpt_trace_t4
+
+    # Same trace export under the forced scalar backend: the recorded
+    # event stream (hashes, dedup skips, delta encodes) must not depend
+    # on which kernel tier computed it.
+    echo "==> repro --trace-out with ICKPT_KERNELS=scalar (ICKPT_DEDUP=1)"
+    rm -rf /tmp/ickpt_trace_scalar
+    ICKPT_KERNELS=scalar ICKPT_DEDUP=1 ICKPT_BENCH_RANKS=4 ICKPT_BENCH_SCALE=0.05 \
+        ICKPT_BENCH_PERIODS=4 ICKPT_BENCH_THREADS=1 \
+        target/release/repro --only "Ablations" --trace-out /tmp/ickpt_trace_scalar \
+        >/dev/null 2>/dev/null
+    run diff -r /tmp/ickpt_trace_t1 /tmp/ickpt_trace_scalar
     run cargo build --release -p ickpt-bench --bin inspect
     run target/release/inspect --trace \
         /tmp/ickpt_trace_t1/ablations-checkpoint-system.jsonl >/dev/null
@@ -83,6 +118,10 @@ bench_smoke() {
     # the binary exits non-zero).
     run cargo build --release -p ickpt-bench --bin redundancy_smoke
     run target/release/redundancy_smoke
+    # And the same loss/reconstruct cycle on the scalar backend: XOR
+    # parity encode/reconstruct must be tier-independent too.
+    echo "==> redundancy_smoke with ICKPT_KERNELS=scalar"
+    run env ICKPT_KERNELS=scalar target/release/redundancy_smoke
 }
 
 if [[ "${1:-}" == "--bench-smoke" ]]; then
