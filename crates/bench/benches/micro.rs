@@ -778,6 +778,57 @@ fn bench_cluster_ranks(c: &mut Criterion) {
     g.finish();
 }
 
+/// Multi-tenant service hot paths: the admission decision (token
+/// refill + charge), a DRR scheduler pick under a populated 64-tenant
+/// ring, and striped-drain throughput at 1/2/4 devices (bytes/s here
+/// is *virtual* bytes charged per host second — the simulation cost of
+/// a drain, not the modeled array speed).
+fn bench_svc(c: &mut Criterion) {
+    use ickpt::sim::StripedArray;
+    use ickpt::svc::{AdmissionConfig, ChunkJob, SchedPolicy, Scheduler, TokenBucket};
+
+    let mut g = c.benchmark_group("svc");
+    g.bench_function("admission_decision", |b| {
+        let cfg = AdmissionConfig::default();
+        let mut bucket = TokenBucket::for_weight(&cfg, 2);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1_000_000;
+            black_box(bucket.admit(SimTime(now), 1_000_000))
+        });
+    });
+    g.bench_function("drr_pick_64_tenants", |b| {
+        let weights = vec![2u32; 64];
+        let mut s = Scheduler::new(SchedPolicy::FairShare, &weights, 4_000_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            // Keep the ring populated: one enqueue per pick.
+            i += 1;
+            s.enqueue(ChunkJob { tenant: (i % 64) as u32, req: i, bytes: 4_000_000 });
+            black_box(s.pick())
+        });
+    });
+    for devices in [1usize, 2, 4] {
+        // One 64 MB drain split into 4 MB stripe chunks.
+        let total = 64u64 << 20;
+        g.throughput(Throughput::Bytes(total));
+        g.bench_function(&format!("striped_drain_64mb_{devices}dev"), |b| {
+            let mut arr = StripedArray::homogeneous(
+                devices,
+                320_000_000,
+                SimDuration::from_millis(4),
+                4 << 20,
+            );
+            let mut now = 0u64;
+            b.iter(|| {
+                now += 1_000_000_000;
+                black_box(arr.write(SimTime(now), total).done)
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_bitmap,
@@ -794,6 +845,7 @@ criterion_group!(
     bench_xor_parity,
     bench_native_fault,
     bench_obs,
-    bench_cluster_ranks
+    bench_cluster_ranks,
+    bench_svc
 );
 criterion_main!(benches);

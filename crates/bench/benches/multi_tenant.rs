@@ -1,0 +1,10 @@
+//! Multi-tenant service study: aggregate throughput and stall tails
+//! when N jobs share one striped durable array, plus the fair-share /
+//! FIFO / strict-priority interference ablation.
+// Terminal-facing target: printing is its job.
+#![allow(clippy::disallowed_macros)]
+
+fn main() {
+    let rows = ickpt_bench::experiments::multi_tenant::run_and_print();
+    println!("{}", ickpt_analysis::compare::comparison_table("service QoS claims", &rows));
+}

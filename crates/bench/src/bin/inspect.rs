@@ -175,13 +175,137 @@ fn trace_report(path: &str) -> i32 {
     0
 }
 
+/// Nearest-rank percentile of sorted ns samples.
+fn pct_sorted(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct.min(100) * sorted.len() as u64).div_ceil(100).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+/// `inspect --tenants`: the per-tenant service view of a JSONL trace
+/// written by `repro --trace-out` — checkpoints, effective IB,
+/// admission rejections, stall percentiles and each tenant's share of
+/// the drained bytes, per run group.
+fn tenants_report(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let events = match ickpt::obs::parse_jsonl(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("{path}: malformed trace: {e}");
+            return 1;
+        }
+    };
+    println!("tenant service view: {path}");
+    #[derive(Default)]
+    struct Acc {
+        checkpoints: u64,
+        rejections: u64,
+        admitted_bytes: u64,
+        drained_bytes: u64,
+        stalls_ns: Vec<u64>,
+        extent_ns: u64,
+    }
+    // (run, tenant id) → accumulator, from the tenant-lane events.
+    let mut tenants: std::collections::BTreeMap<(String, u32), Acc> =
+        std::collections::BTreeMap::new();
+    let arg = |ev: &ickpt::obs::ParsedEvent, key: &str| -> u64 {
+        ev.args.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.parse().ok()).unwrap_or(0)
+    };
+    for ev in &events {
+        let Some(id) = ev.track.strip_prefix("tenant").and_then(|t| t.parse().ok()) else {
+            continue;
+        };
+        let a = tenants.entry((ev.run.clone(), id)).or_default();
+        a.extent_ns = a.extent_ns.max(ev.ts + ev.dur);
+        match ev.name.as_str() {
+            "admit" => a.admitted_bytes += arg(ev, "bytes"),
+            "reject" => a.rejections += 1,
+            "tenant_stall" => {
+                a.checkpoints += 1;
+                a.drained_bytes += arg(ev, "bytes");
+                a.stalls_ns.push(ev.dur);
+            }
+            _ => {}
+        }
+    }
+    if tenants.is_empty() {
+        println!("no tenant tracks in this trace (was the run multi-tenant?)");
+        return 1;
+    }
+    let runs: std::collections::BTreeSet<String> = tenants.keys().map(|(r, _)| r.clone()).collect();
+    for run in &runs {
+        let in_run: Vec<(&u32, &Acc)> =
+            tenants.iter().filter(|((r, _), _)| r == run).map(|((_, id), a)| (id, a)).collect();
+        let fleet_drained: u64 = in_run.iter().map(|(_, a)| a.drained_bytes).sum();
+        let mut t = TextTable::new(format!("run {run}: {} tenants", in_run.len())).header(&[
+            "tenant",
+            "ckpts",
+            "eff IB (MB/s)",
+            "rejects",
+            "p50 stall (ms)",
+            "p99 stall (ms)",
+            "drained share (%)",
+        ]);
+        // Listings elide past the threshold like rank tables; the
+        // totals line still covers every tenant.
+        for (i, (id, a)) in in_run.iter().enumerate() {
+            if i >= MAX_LISTED_RANKS {
+                t.row(vec![
+                    format!("… {} more tenants elided", in_run.len() - MAX_LISTED_RANKS),
+                    "".into(),
+                    "".into(),
+                    "".into(),
+                    "".into(),
+                    "".into(),
+                    "".into(),
+                ]);
+                break;
+            }
+            let mut stalls = a.stalls_ns.clone();
+            stalls.sort_unstable();
+            t.row(vec![
+                id.to_string(),
+                a.checkpoints.to_string(),
+                fnum(a.drained_bytes as f64 / 1e6 / (a.extent_ns.max(1) as f64 / 1e9), 2),
+                a.rejections.to_string(),
+                fnum(pct_sorted(&stalls, 50) as f64 / 1e6, 1),
+                fnum(pct_sorted(&stalls, 99) as f64 / 1e6, 1),
+                fnum(a.drained_bytes as f64 * 100.0 / fleet_drained.max(1) as f64, 1),
+            ]);
+        }
+        println!("{}", t.render());
+        println!(
+            "  totals: {} checkpoints, {} rejections, {} MB drained across {} tenants",
+            in_run.iter().map(|(_, a)| a.checkpoints).sum::<u64>(),
+            in_run.iter().map(|(_, a)| a.rejections).sum::<u64>(),
+            fnum(fleet_drained as f64 / 1e6, 1),
+            in_run.len(),
+        );
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(path) = args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)) {
         std::process::exit(trace_report(path));
     }
+    if let Some(path) = args.iter().position(|a| a == "--tenants").and_then(|i| args.get(i + 1)) {
+        std::process::exit(tenants_report(path));
+    }
     let Some(dir) = args.get(1).filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: inspect <checkpoint-dir> [--rank N] | inspect --trace <file.jsonl>");
+        eprintln!(
+            "usage: inspect <checkpoint-dir> [--rank N] | inspect --trace <file.jsonl> | \
+             inspect --tenants <file.jsonl>"
+        );
         std::process::exit(2);
     };
     let only_rank: Option<u32> = args

@@ -67,6 +67,7 @@ fn main() {
         ("Ablations (checkpoint system)", experiments::ablation::report),
         ("Availability under failures", experiments::availability::report),
         ("Effective IB vs dirty IB (dedup + delta)", experiments::effective_ib::report),
+        ("Multi-tenant service (shared striped array)", experiments::multi_tenant::report),
     ];
     if args.iter().any(|a| a == "--list") {
         for (name, _) in &experiments {

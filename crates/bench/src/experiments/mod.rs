@@ -19,6 +19,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig5_extended;
 pub mod intrusive;
+pub mod multi_tenant;
 pub mod table2;
 pub mod table3;
 pub mod table4;

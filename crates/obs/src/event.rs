@@ -45,6 +45,8 @@ pub enum Lane {
     Rank(u32),
     /// One modeled device's timeline.
     Device(DeviceKind, u32),
+    /// One service tenant's timeline (multi-tenant checkpoint store).
+    Tenant(u32),
     /// The asynchronous drain pipeline to durable storage.
     Drain,
 }
@@ -56,6 +58,7 @@ impl Lane {
             Lane::Run => "run".to_string(),
             Lane::Rank(r) => format!("rank{r}"),
             Lane::Device(kind, idx) => format!("dev:{}:{idx}", kind.token()),
+            Lane::Tenant(t) => format!("tenant{t}"),
             Lane::Drain => "drain".to_string(),
         }
     }
@@ -75,6 +78,7 @@ impl Lane {
                 } as u64;
                 1_000_000 + k * 100_000 + *idx as u64
             }
+            Lane::Tenant(t) => 8_000_000 + *t as u64,
             Lane::Drain => 9_000_000,
         }
     }
@@ -277,6 +281,35 @@ pub enum Event {
         /// Generations waiting to drain.
         depth: u64,
     },
+    /// A tenant's checkpoint request passed service admission and its
+    /// stripe chunks were queued on the scheduler.
+    AdmissionGrant {
+        /// Tenant id within the service.
+        tenant: u32,
+        /// Request payload bytes admitted.
+        bytes: u64,
+        /// Stripe chunks the request was split into.
+        chunks: u64,
+    },
+    /// A tenant's checkpoint request was deferred by admission (token
+    /// debt or the global in-flight cap).
+    AdmissionReject {
+        /// Tenant id within the service.
+        tenant: u32,
+        /// Request payload bytes that were refused for now.
+        bytes: u64,
+        /// Virtual ns until the scheduled retry.
+        retry_ns: u64,
+    },
+    /// A tenant job was blocked from its request instant until the
+    /// service made the checkpoint durable; the span covers the whole
+    /// blocked interval.
+    TenantStall {
+        /// Tenant id within the service.
+        tenant: u32,
+        /// Request payload bytes the tenant waited on.
+        bytes: u64,
+    },
     /// Bytes a recovery read charged against one tier.
     RecoveryRead {
         /// Which tier served the read.
@@ -341,6 +374,9 @@ impl Event {
             Event::RedundancyReconstruct { .. } => "reconstruct",
             Event::DrainBatch { .. } => "drain_batch",
             Event::DrainQueueDepth { .. } => "drain_depth",
+            Event::AdmissionGrant { .. } => "admit",
+            Event::AdmissionReject { .. } => "reject",
+            Event::TenantStall { .. } => "tenant_stall",
             Event::RecoveryRead { .. } => "recovery_read",
             Event::RecoveryPlan { .. } => "recovery_plan",
             Event::Restore { .. } => "restore",
@@ -426,6 +462,16 @@ impl Event {
             }
             Event::DrainQueueDepth { depth } => {
                 let _ = write!(out, "\"depth\":{depth}");
+            }
+            Event::AdmissionGrant { tenant, bytes, chunks } => {
+                let _ = write!(out, "\"tenant\":{tenant},\"bytes\":{bytes},\"chunks\":{chunks}");
+            }
+            Event::AdmissionReject { tenant, bytes, retry_ns } => {
+                let _ =
+                    write!(out, "\"tenant\":{tenant},\"bytes\":{bytes},\"retry_ns\":{retry_ns}");
+            }
+            Event::TenantStall { tenant, bytes } => {
+                let _ = write!(out, "\"tenant\":{tenant},\"bytes\":{bytes}");
             }
             Event::RecoveryRead { tier, bytes } => {
                 let _ = write!(out, "\"tier\":\"{}\",\"bytes\":{bytes}", tier.token());

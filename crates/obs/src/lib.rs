@@ -29,4 +29,6 @@ pub use log::{
     Counter, EventLog, FlightRecorder, NullSink, ObsSink, Recorder, Span, TraceSnapshot,
     DEFAULT_TRACK_CAPACITY, MIN_TRACK_CAPACITY, TRACK_EVENT_BUDGET,
 };
-pub use summary::{DeviceStats, ObsSummary, RankStats, TierRecoveryStats, SUMMARY_REDUCE_ARITY};
+pub use summary::{
+    DeviceStats, ObsSummary, RankStats, TenantStats, TierRecoveryStats, SUMMARY_REDUCE_ARITY,
+};

@@ -55,6 +55,25 @@ pub struct RankStats {
     pub delta_bytes_saved: u64,
 }
 
+/// One service tenant's aggregate activity (multi-tenant runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant id within the service.
+    pub tenant: u32,
+    /// Checkpoint requests that completed (stall spans observed).
+    pub checkpoints: u64,
+    /// Admission grants.
+    pub admitted: u64,
+    /// Admission rejections (deferred requests).
+    pub rejections: u64,
+    /// Payload bytes admitted into the service.
+    pub admitted_bytes: u64,
+    /// Total virtual ns the tenant was blocked on its requests.
+    pub stall_ns: u64,
+    /// Largest single blocked interval, virtual ns.
+    pub stall_max_ns: u64,
+}
+
 /// Aggregate recovery activity for one tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TierRecoveryStats {
@@ -81,6 +100,8 @@ pub struct ObsSummary {
     pub devices: Vec<DeviceStats>,
     /// Per-rank aggregates, rank order.
     pub ranks: Vec<RankStats>,
+    /// Per-tenant aggregates, tenant order (multi-tenant service runs).
+    pub tenants: Vec<TenantStats>,
     /// Drain batches flushed.
     pub drain_batches: u64,
     /// Bytes drained to the durable array.
@@ -119,6 +140,7 @@ impl ObsSummary {
     fn from_track(key: &TrackKey, events: &[TimedEvent], dropped: u64) -> Self {
         let mut devices: BTreeMap<String, DeviceStats> = BTreeMap::new();
         let mut ranks: BTreeMap<u32, RankStats> = BTreeMap::new();
+        let mut tenants: BTreeMap<u32, TenantStats> = BTreeMap::new();
         let mut depth_hist: BTreeMap<u64, u64> = BTreeMap::new();
         let mut recovery: BTreeMap<RecoveryTier, TierRecoveryStats> = BTreeMap::new();
         let mut s = ObsSummary { dropped, ..ObsSummary::default() };
@@ -181,6 +203,20 @@ impl ObsSummary {
                     Event::DrainQueueDepth { depth } => {
                         *depth_hist.entry(depth).or_insert(0) += 1;
                     }
+                    Event::AdmissionGrant { tenant, bytes, .. } => {
+                        let e = tenant_entry(&mut tenants, tenant);
+                        e.admitted += 1;
+                        e.admitted_bytes += bytes;
+                    }
+                    Event::AdmissionReject { tenant, .. } => {
+                        tenant_entry(&mut tenants, tenant).rejections += 1;
+                    }
+                    Event::TenantStall { tenant, .. } => {
+                        let e = tenant_entry(&mut tenants, tenant);
+                        e.checkpoints += 1;
+                        e.stall_ns += ev.dur.0;
+                        e.stall_max_ns = e.stall_max_ns.max(ev.dur.0);
+                    }
                     Event::RecoveryRead { tier, bytes } => {
                         let e = recovery.entry(tier).or_default();
                         e.reads += 1;
@@ -201,6 +237,7 @@ impl ObsSummary {
 
         s.devices = devices.into_values().collect();
         s.ranks = ranks.into_values().collect();
+        s.tenants = tenants.into_values().collect();
         s.drain_depth_histogram = depth_hist.into_iter().collect();
         s.recovery = recovery.into_iter().collect();
         s
@@ -259,6 +296,25 @@ impl ObsSummary {
             }
         }
         self.ranks = ranks.into_values().collect();
+
+        let mut tenants: BTreeMap<u32, TenantStats> =
+            std::mem::take(&mut self.tenants).into_iter().map(|t| (t.tenant, t)).collect();
+        for o in &other.tenants {
+            match tenants.get_mut(&o.tenant) {
+                Some(t) => {
+                    t.checkpoints += o.checkpoints;
+                    t.admitted += o.admitted;
+                    t.rejections += o.rejections;
+                    t.admitted_bytes += o.admitted_bytes;
+                    t.stall_ns += o.stall_ns;
+                    t.stall_max_ns = t.stall_max_ns.max(o.stall_max_ns);
+                }
+                None => {
+                    tenants.insert(o.tenant, *o);
+                }
+            }
+        }
+        self.tenants = tenants.into_values().collect();
 
         let mut hist: BTreeMap<u64, u64> =
             std::mem::take(&mut self.drain_depth_histogram).into_iter().collect();
@@ -343,6 +399,22 @@ impl ObsSummary {
                 }
             }
         }
+        if !self.tenants.is_empty() {
+            let _ = writeln!(out, "  tenant service:");
+            for t in &self.tenants {
+                let _ = writeln!(
+                    out,
+                    "    tenant{:<4} {} ckpts, {} admitted ({} bytes), {} rejected, stall {} ms (max {} ms)",
+                    t.tenant,
+                    t.checkpoints,
+                    t.admitted,
+                    t.admitted_bytes,
+                    t.rejections,
+                    t.stall_ns / 1_000_000,
+                    t.stall_max_ns / 1_000_000
+                );
+            }
+        }
         if self.drain_batches > 0 || !self.drain_depth_histogram.is_empty() {
             let _ = writeln!(
                 out,
@@ -380,6 +452,18 @@ impl ObsSummary {
         }
         out
     }
+}
+
+fn tenant_entry(map: &mut BTreeMap<u32, TenantStats>, tenant: u32) -> &mut TenantStats {
+    map.entry(tenant).or_insert_with(|| TenantStats {
+        tenant,
+        checkpoints: 0,
+        admitted: 0,
+        rejections: 0,
+        admitted_bytes: 0,
+        stall_ns: 0,
+        stall_max_ns: 0,
+    })
 }
 
 fn rank_entry(map: &mut BTreeMap<u32, RankStats>, rank: u32) -> &mut RankStats {
@@ -481,6 +565,45 @@ mod tests {
         let rendered = s.render();
         assert!(rendered.contains("dev:array:0"));
         assert!(rendered.contains("depth histogram: 2:2"));
+    }
+
+    #[test]
+    fn tenant_events_aggregate_per_tenant() {
+        let fr = FlightRecorder::new(128);
+        let rec = Recorder::new(fr.clone());
+        rec.emit(
+            Lane::Tenant(3),
+            SimTime(0),
+            Event::AdmissionGrant { tenant: 3, bytes: 1000, chunks: 2 },
+        );
+        rec.emit(
+            Lane::Tenant(3),
+            SimTime(5),
+            Event::AdmissionReject { tenant: 3, bytes: 500, retry_ns: 40 },
+        );
+        rec.emit_span(
+            Lane::Tenant(3),
+            SimTime(10),
+            SimDuration(30),
+            Event::TenantStall { tenant: 3, bytes: 1000 },
+        );
+        rec.emit_span(
+            Lane::Tenant(7),
+            SimTime(0),
+            SimDuration(90),
+            Event::TenantStall { tenant: 7, bytes: 64 },
+        );
+        let s = ObsSummary::from_snapshot(&fr.snapshot());
+        assert_eq!(s.tenants.len(), 2);
+        let t3 = &s.tenants[0];
+        assert_eq!((t3.tenant, t3.admitted, t3.rejections), (3, 1, 1));
+        assert_eq!(t3.admitted_bytes, 1000);
+        assert_eq!((t3.checkpoints, t3.stall_ns, t3.stall_max_ns), (1, 30, 30));
+        assert_eq!(s.tenants[1].tenant, 7);
+        assert_eq!(s.tenants[1].stall_max_ns, 90);
+        let rendered = s.render();
+        assert!(rendered.contains("tenant service:"));
+        assert!(rendered.contains("tenant3"));
     }
 
     /// A synthetic many-rank snapshot for partition-invariance tests.

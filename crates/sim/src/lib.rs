@@ -28,6 +28,9 @@
 //!   byte-identical to a flat fold for associative integer merges.
 //! * [`gate`] — a counting semaphore capping how many rank threads of
 //!   the legacy thread-per-rank paths execute concurrently.
+//! * [`stripe`] — a striped multi-device array: round-robin stripe
+//!   chunks over M FIFO devices, the storage shape of a shared
+//!   checkpoint service.
 
 pub mod clock;
 pub mod device;
@@ -36,6 +39,7 @@ pub mod reduce;
 pub mod rendezvous;
 pub mod rng;
 pub mod sched;
+pub mod stripe;
 
 pub use clock::{SimDuration, SimTime};
 pub use device::{BandwidthDevice, DevicePreset, SharedDevice, Transfer};
@@ -44,3 +48,4 @@ pub use reduce::{flat_reduce, tree_reduce};
 pub use rendezvous::Rendezvous;
 pub use rng::SplitMix64;
 pub use sched::EventWheel;
+pub use stripe::{StripeTransfer, StripedArray};

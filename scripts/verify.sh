@@ -112,6 +112,44 @@ bench_smoke() {
         target/release/repro --only "Figure 5 extended" >/tmp/ickpt_ext_w4.txt 2>/dev/null
     run diff /tmp/ickpt_ext_w1.txt /tmp/ickpt_ext_w4.txt
 
+    # Multi-tenant service determinism: the shared-array experiment
+    # fans its sweep cells over host threads, yet stdout must be
+    # byte-identical at 1 and 4 threads (the service itself is one
+    # serial event wheel per cell).
+    echo "==> repro --only 'Multi-tenant' at 1 and 4 host threads"
+    ICKPT_BENCH_TENANTS=1,4,16 ICKPT_BENCH_SVC_SECONDS=60 ICKPT_BENCH_THREADS=1 \
+        target/release/repro --only "Multi-tenant" >/tmp/ickpt_svc_t1.txt 2>/dev/null
+    ICKPT_BENCH_TENANTS=1,4,16 ICKPT_BENCH_SVC_SECONDS=60 ICKPT_BENCH_THREADS=4 \
+        target/release/repro --only "Multi-tenant" >/tmp/ickpt_svc_t4.txt 2>/dev/null
+    run diff /tmp/ickpt_svc_t1.txt /tmp/ickpt_svc_t4.txt
+
+    # Tenant lanes in the flight recorder: the ablation's trace must
+    # carry per-tenant tracks, and `inspect --tenants` must fold them
+    # into the per-tenant table without erroring.
+    echo "==> repro --trace-out tenant tracks + inspect --tenants"
+    rm -rf /tmp/ickpt_trace_svc
+    ICKPT_BENCH_TENANTS=1,4,16 ICKPT_BENCH_SVC_SECONDS=60 ICKPT_BENCH_THREADS=1 \
+        target/release/repro --only "Multi-tenant" --trace-out /tmp/ickpt_trace_svc \
+        >/dev/null 2>/dev/null
+    svc_jsonl=$(ls /tmp/ickpt_trace_svc/*.jsonl)
+    if ! grep -q '"tenant' "$svc_jsonl"; then
+        echo "expected tenant tracks in $svc_jsonl" >&2
+        exit 1
+    fi
+    run target/release/inspect --tenants "$svc_jsonl" >/dev/null
+
+    # A malformed tenant sweep must abort with exit status 2.
+    echo "==> repro with malformed ICKPT_BENCH_TENANTS must exit 2"
+    set +e
+    ICKPT_BENCH_TENANTS=4,frogs target/release/repro --only "Multi-tenant" \
+        >/dev/null 2>/dev/null
+    rc=$?
+    set -e
+    if [[ "$rc" -ne 2 ]]; then
+        echo "expected exit 2 for ICKPT_BENCH_TENANTS=4,frogs, got $rc" >&2
+        exit 1
+    fi
+
     # Multilevel redundancy: inject a node loss mid-run, recover the
     # wiped rank by partner reconstruction, and diff the final
     # application state against a failure-free run (byte-identical or

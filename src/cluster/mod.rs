@@ -33,8 +33,10 @@
 
 mod engine;
 pub mod report;
+pub mod tenant;
 
 pub use report::{reduce_reports, ClusterAggregate, ReportDetail, DEFAULT_REDUCE_ARITY};
+pub use tenant::{fleet_profiles, mixed_fleet, TenantHandle, TenantStall, TenantStallAccount};
 
 use std::sync::{Arc, Mutex};
 

@@ -63,5 +63,6 @@ pub use ickpt_net as net;
 pub use ickpt_obs as obs;
 pub use ickpt_sim as sim;
 pub use ickpt_storage as storage;
+pub use ickpt_svc as svc;
 
 pub mod cluster;
