@@ -18,6 +18,9 @@ pub struct TraceArtifacts {
     pub jsonl: String,
     /// Rendered aggregate summary (utilization, stalls, recovery paths).
     pub summary: String,
+    /// Prometheus-style metrics text snapshot, when `ICKPT_METRICS`
+    /// attached a metrics plane to the run.
+    pub metrics: Option<String>,
 }
 
 /// Everything an experiment produces: the rendered table/figure text

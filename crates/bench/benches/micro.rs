@@ -740,6 +740,141 @@ fn bench_obs(c: &mut Criterion) {
     g.finish();
 }
 
+/// Metrics-plane overhead: one event ingested through the recorder tee
+/// with only the plane attached (counter + window + histogram updates)
+/// vs the fully disabled recorder (two pointer tests), a raw log₂
+/// histogram record and quantile, the text-snapshot export over a
+/// populated plane, and the instrumented-vs-off delta of a 16 MB
+/// capture with the plane teed in — the tentpole's "sub-ns when off,
+/// bounded when on" claim, with `ickpt_meta_*` op counts from any run
+/// multiplying against these per-op rows.
+fn bench_metrics(c: &mut Criterion) {
+    use ickpt::obs::{
+        CaptureKind, Event, Lane, LogHistogram, MetricsPlane, Recorder, HIST_BUCKETS,
+    };
+
+    let event = |i: u64| Event::Capture {
+        kind: CaptureKind::Incremental,
+        generation: i,
+        pages: 64,
+        payload_bytes: 64 * PAGE_SIZE,
+    };
+    let stall = |i: u64| Event::CheckpointStall { generation: i };
+
+    let mut g = c.benchmark_group("metrics");
+    g.bench_function("event_ingest_enabled", |b| {
+        let plane = MetricsPlane::new(SimDuration::from_secs(1));
+        plane.name_group(0, "bench");
+        let rec = Recorder::disabled().with_metrics(plane);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            rec.emit(Lane::Rank(0), SimTime(i * 1_000_000), event(i));
+            black_box(i)
+        });
+    });
+    g.bench_function("span_ingest_enabled", |b| {
+        let plane = MetricsPlane::new(SimDuration::from_secs(1));
+        plane.name_group(0, "bench");
+        let rec = Recorder::disabled().with_metrics(plane);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            rec.emit_span(Lane::Rank(0), SimTime(i * 1_000_000), SimDuration(500_000), stall(i));
+            black_box(i)
+        });
+    });
+    g.bench_function("event_ingest_disabled", |b| {
+        let rec = Recorder::disabled();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            rec.emit(Lane::Rank(0), SimTime(i * 1_000_000), event(i));
+            black_box(i)
+        });
+    });
+    g.bench_function("hist_record", |b| {
+        let mut h = LogHistogram::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+            h.record(black_box(i));
+            black_box(h.count())
+        });
+    });
+    g.bench_function("hist_quantile_p99", |b| {
+        let mut h = LogHistogram::new();
+        for i in 0..10_000u64 {
+            h.record(i.wrapping_mul(0x9E37_79B9) >> 20);
+        }
+        b.iter(|| black_box(h.quantile(99)));
+    });
+    g.bench_function("hist_merge_65buckets", |b| {
+        let mut a = LogHistogram::new();
+        let mut o = LogHistogram::new();
+        for i in 0..HIST_BUCKETS as u64 {
+            a.record(1 << (i % 40));
+            o.record(3 << (i % 40));
+        }
+        b.iter(|| {
+            a.merge(black_box(&o));
+            black_box(a.count())
+        });
+    });
+
+    // Snapshot export over a populated plane: 2 groups, mixed event
+    // kinds across 60 virtual seconds of 1 s windows.
+    let plane = MetricsPlane::new(SimDuration::from_secs(1));
+    for group in 0..2u32 {
+        plane.name_group(group, if group == 0 { "warm" } else { "cold" });
+        let rec = Recorder::disabled().with_group(group).with_metrics(plane.clone());
+        for i in 0..5_000u64 {
+            let at = SimTime(i * 12_000_000);
+            rec.emit(Lane::Rank((i % 4) as u32), at, event(i));
+            rec.emit_span(Lane::Rank((i % 4) as u32), at, SimDuration(500_000), stall(i));
+        }
+    }
+    g.bench_function("render_text_2groups", |b| b.iter(|| black_box(plane.render_text().len())));
+
+    // Instrumented vs off: a 16 MB capture with the metrics plane teed
+    // into the capture path's recorder. Pairs with the flight-recorder
+    // rows in `obs/capture_16mb_*`; the regression gate compares the
+    // `_off` row against the previous PR's baseline.
+    let pages = 16 * (1 << 20) / PAGE_SIZE;
+    let layout = LayoutBuilder::new()
+        .static_bytes(4 * PAGE_SIZE)
+        .heap_capacity_bytes(pages * PAGE_SIZE)
+        .mmap_capacity_bytes(4 * PAGE_SIZE)
+        .build();
+    let mut space = BackedSpace::new(layout);
+    space.heap_grow(pages - 4).unwrap();
+    for r in space.mapped_ranges() {
+        for p in r.iter() {
+            space.fill_page(p, p.wrapping_mul(0x9E37_79B9)).unwrap();
+        }
+    }
+    let metered = {
+        let plane = MetricsPlane::new(SimDuration::from_secs(1));
+        plane.name_group(0, "bench");
+        Recorder::disabled().with_metrics(plane)
+    };
+    g.throughput(Throughput::Bytes(space.mapped_pages() * PAGE_SIZE));
+    for (id, obs) in [("capture_16mb_off", Recorder::disabled()), ("capture_16mb_metered", metered)]
+    {
+        let cfg = CaptureConfig { obs, ..Default::default() };
+        let mut scratch = CaptureScratch::new();
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let chunk = capture_full_with(&space, 0, 1, SimTime::ZERO, &cfg, &mut scratch);
+                let pages = chunk.payload_pages();
+                scratch.recycle(chunk);
+                black_box(pages)
+            })
+        });
+    }
+    g.finish();
+}
+
 /// Ranks-per-second of the two characterization paths: the
 /// event-wheel engine (the default) vs the legacy one-thread-per-rank
 /// reference. Criterion's elements/s readout IS ranks/s here. The
@@ -845,6 +980,7 @@ criterion_group!(
     bench_xor_parity,
     bench_native_fault,
     bench_obs,
+    bench_metrics,
     bench_cluster_ranks,
     bench_svc
 );

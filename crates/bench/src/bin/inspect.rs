@@ -4,12 +4,22 @@
 //! ```text
 //! cargo run --release -p ickpt-bench --bin inspect -- <dir> [--rank N]
 //! cargo run --release -p ickpt-bench --bin inspect -- --trace <file.jsonl>
+//! cargo run --release -p ickpt-bench --bin inspect -- --metrics <file.jsonl> [--windows]
 //! ```
 //!
 //! `--trace` switches to flight-recorder mode: parse a JSONL trace
 //! written by `repro --trace-out` / `redundancy_smoke --trace-out` and
 //! print per-run, per-track event statistics (event counts, busy span
-//! time, virtual extent) plus an event-type histogram.
+//! time, virtual extent) plus an event-type histogram and a drain
+//! overview (batches, bytes, queue depth, torn rollbacks).
+//!
+//! `--metrics` replays the same JSONL into a fresh metrics plane
+//! ([`ickpt::obs::MetricsPlane`]) and prints each run's end-of-run
+//! metric totals, latency quantiles and SLO health verdicts;
+//! `--windows` adds the per-window rate series (IB, drain throughput,
+//! device busy fraction, stalls). `ICKPT_METRICS=window=<secs>` picks
+//! the window size (default 1 s). Output is deterministic for a given
+//! trace file.
 //!
 //! Prints the committed generations (from manifests), each rank's
 //! chunk chain with kinds, payload/zero-page sizes and lineage, and
@@ -166,6 +176,60 @@ fn trace_report(path: &str) -> i32 {
         k.row(vec![name.clone(), count.to_string()]);
     }
     println!("{}", k.render());
+    // Drain overview per run: batches, bytes, deepest queue and —
+    // when failures rolled drained generations back below the durable
+    // horizon — the torn totals.
+    #[derive(Default)]
+    struct DrainAcc {
+        batches: u64,
+        generations: u64,
+        bytes: u64,
+        depth_max: u64,
+        torn_generations: u64,
+        torn_bytes: u64,
+    }
+    let arg = |ev: &ickpt::obs::ParsedEvent, key: &str| ev.arg_u64(key).unwrap_or(0);
+    let mut drains: std::collections::BTreeMap<String, DrainAcc> =
+        std::collections::BTreeMap::new();
+    for ev in events.iter().filter(|ev| ev.track == "drain") {
+        let a = drains.entry(ev.run.clone()).or_default();
+        match ev.name.as_str() {
+            "drain_batch" => {
+                a.batches += 1;
+                a.generations += arg(ev, "generations");
+                a.bytes += arg(ev, "bytes");
+            }
+            "drain_depth" => a.depth_max = a.depth_max.max(arg(ev, "depth")),
+            "drain_torn" => {
+                a.torn_generations += arg(ev, "generations");
+                a.torn_bytes += arg(ev, "bytes");
+            }
+            _ => {}
+        }
+    }
+    if !drains.is_empty() {
+        let mut d = TextTable::new("drain overview").header(&[
+            "run",
+            "batches",
+            "gens",
+            "MB drained",
+            "depth max",
+            "torn gens",
+            "MB torn",
+        ]);
+        for (run, a) in &drains {
+            d.row(vec![
+                run.clone(),
+                a.batches.to_string(),
+                a.generations.to_string(),
+                fnum(a.bytes as f64 / 1e6, 2),
+                a.depth_max.to_string(),
+                a.torn_generations.to_string(),
+                fnum(a.torn_bytes as f64 / 1e6, 2),
+            ]);
+        }
+        println!("{}", d.render());
+    }
     println!(
         "total: {} events across {} tracks in {} runs",
         events.len(),
@@ -182,6 +246,197 @@ fn pct_sorted(sorted: &[u64], pct: u64) -> u64 {
     }
     let rank = (pct.min(100) * sorted.len() as u64).div_ceil(100).max(1);
     sorted[(rank - 1) as usize]
+}
+
+/// `inspect --metrics`: replay a JSONL trace into a fresh metrics
+/// plane and print each run's end-of-run totals, latency quantiles
+/// and SLO health verdicts; `--windows` adds the per-window rate
+/// series. Groups are assigned by first appearance in line order, so
+/// the output is deterministic for a given file.
+fn metrics_report(path: &str, show_windows: bool) -> i32 {
+    use ickpt::obs::{HealthMonitor, MetricLabel, MetricsConfig, MetricsPlane};
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let events = match ickpt::obs::parse_jsonl(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("{path}: malformed trace: {e}");
+            return 1;
+        }
+    };
+    let plane = MetricsPlane::new(MetricsConfig::from_env().window);
+    let mut group_of: Vec<String> = Vec::new(); // index = group id
+    let mut skipped = 0usize;
+    for ev in &events {
+        let Some((lane, timed)) = ev.to_timed() else {
+            skipped += 1;
+            continue;
+        };
+        let group = match group_of.iter().position(|r| *r == ev.run) {
+            Some(g) => g as u32,
+            None => {
+                let g = group_of.len() as u32;
+                group_of.push(ev.run.clone());
+                plane.name_group(g, &ev.run);
+                g
+            }
+        };
+        plane.ingest(group, lane, &timed);
+    }
+    println!(
+        "metrics view: {path}  (window {} s, {} events replayed{})",
+        plane.window_ns() / 1_000_000_000,
+        events.len() - skipped,
+        if skipped > 0 { format!(", {skipped} derived lines skipped") } else { String::new() }
+    );
+
+    let label_str = |l: &MetricLabel| match l {
+        MetricLabel::None => String::new(),
+        MetricLabel::Device(kind, idx) => format!(" [{}:{idx}]", kind.token()),
+        MetricLabel::Tier(tier) => format!(" [{}]", tier.token()),
+    };
+    let monitor = HealthMonitor::standard();
+    for group in plane.groups() {
+        let Some(view) = plane.view(group) else { continue };
+        let mut t =
+            TextTable::new(format!("run {}: totals", view.name())).header(&["metric", "value"]);
+        let mut row = |name: &str, value: String| {
+            t.row(vec![name.to_string(), value]);
+        };
+        let counter_mb =
+            |view: &ickpt::obs::MetricsView, n: &str| fnum(view.counter(n) as f64 / 1e6, 2);
+        if view.gauge("ranks") > 0 {
+            row("ranks", view.gauge("ranks").to_string());
+        }
+        for name in ["iterations", "captures", "commits", "restores", "failures"] {
+            if view.counter(name) > 0 {
+                row(name, view.counter(name).to_string());
+            }
+        }
+        let (eff, dirty) = (view.counter("capture_bytes"), view.counter("dirty_bytes"));
+        if dirty > 0 {
+            row("effective IB (MB)", counter_mb(&view, "capture_bytes"));
+            row("dirty-bit IB (MB)", counter_mb(&view, "dirty_bytes"));
+            row("content ratio", fnum(eff as f64 / dirty as f64, 3));
+        }
+        if view.counter("drain_batches") > 0 {
+            row("drain batches", view.counter("drain_batches").to_string());
+            row("drained (MB)", counter_mb(&view, "drain_bytes"));
+            row("drain depth max", view.gauge("drain_depth_max").to_string());
+        }
+        if view.counter("drain_torn_generations") > 0 {
+            row("torn generations", view.counter("drain_torn_generations").to_string());
+            row("torn (MB)", counter_mb(&view, "drain_torn_bytes"));
+        }
+        if view.counter("stall_ns") > 0 {
+            row("stall total (s)", fnum(view.counter("stall_ns") as f64 / 1e9, 3));
+        }
+        for name in ["admits", "rejects", "tenant_checkpoints"] {
+            if view.counter(name) > 0 {
+                row(name, view.counter(name).to_string());
+            }
+        }
+        for (label, v) in view.counters_labeled("recovery_plans") {
+            row(&format!("recovery plans{}", label_str(&label)), v.to_string());
+        }
+        for (label, v) in view.counters_labeled("device_busy_ns") {
+            row(&format!("device busy (s){}", label_str(&label)), fnum(v as f64 / 1e9, 3));
+        }
+        println!("{}", t.render());
+
+        let mut q = TextTable::new(format!("run {}: latency quantiles", view.name())).header(&[
+            "histogram",
+            "samples",
+            "p50 (ms)",
+            "p90 (ms)",
+            "p99 (ms)",
+            "max (ms)",
+        ]);
+        let mut any = false;
+        for name in [
+            "stall_ns",
+            "capture_cost_ns",
+            "drain_batch_ns",
+            "admission_wait_ns",
+            "tenant_stall_ns",
+        ] {
+            let Some(h) = view.histogram(name) else { continue };
+            any = true;
+            let ms = |v: Option<u64>| fnum(v.unwrap_or(0) as f64 / 1e6, 2);
+            q.row(vec![
+                name.to_string(),
+                h.count().to_string(),
+                ms(h.quantile(50)),
+                ms(h.quantile(90)),
+                ms(h.quantile(99)),
+                ms(h.max()),
+            ]);
+        }
+        if any {
+            println!("{}", q.render());
+        }
+
+        let breaches = monitor.evaluate(&view);
+        if breaches.is_empty() {
+            println!(
+                "  health: all {} SLO rules pass over {} windows",
+                monitor.rules().len(),
+                view.window_count()
+            );
+        } else {
+            let mut b = TextTable::new(format!("run {}: SLO breaches", view.name()))
+                .header(&["rule", "window", "value", "limit"]);
+            for r in &breaches {
+                b.row(vec![
+                    r.rule.to_string(),
+                    r.window.to_string(),
+                    r.value.to_string(),
+                    r.limit.to_string(),
+                ]);
+            }
+            println!("{}", b.render());
+        }
+
+        if show_windows {
+            let wns = view.window_ns();
+            let mut w = TextTable::new(format!("run {}: windows", view.name())).header(&[
+                "window",
+                "t (s)",
+                "captures",
+                "eff IB (MB/s)",
+                "dirty IB (MB/s)",
+                "drain (MB/s)",
+                "depth",
+                "busy (%)",
+                "stall p99 (ms)",
+                "rejects",
+            ]);
+            let per_s = |bytes: u64| fnum(bytes as f64 / 1e6 / (wns as f64 / 1e9), 2);
+            for (i, acc) in view.windows() {
+                w.row(vec![
+                    i.to_string(),
+                    fnum(i as f64 * wns as f64 / 1e9, 1),
+                    acc.captures.to_string(),
+                    per_s(acc.effective_ib_bytes),
+                    per_s(acc.dirty_ib_bytes),
+                    per_s(acc.drain_bytes),
+                    acc.drain_depth_max.to_string(),
+                    fnum(acc.busy_bp(wns) as f64 / 100.0, 1),
+                    fnum(acc.stall.quantile(99).unwrap_or(0) as f64 / 1e6, 2),
+                    acc.rejects.to_string(),
+                ]);
+            }
+            println!("{}", w.render());
+        }
+    }
+    println!("{} runs", group_of.len());
+    0
 }
 
 /// `inspect --tenants`: the per-tenant service view of a JSONL trace
@@ -301,10 +556,14 @@ fn main() {
     if let Some(path) = args.iter().position(|a| a == "--tenants").and_then(|i| args.get(i + 1)) {
         std::process::exit(tenants_report(path));
     }
+    if let Some(path) = args.iter().position(|a| a == "--metrics").and_then(|i| args.get(i + 1)) {
+        let show_windows = args.iter().any(|a| a == "--windows");
+        std::process::exit(metrics_report(path, show_windows));
+    }
     let Some(dir) = args.get(1).filter(|a| !a.starts_with("--")) else {
         eprintln!(
             "usage: inspect <checkpoint-dir> [--rank N] | inspect --trace <file.jsonl> | \
-             inspect --tenants <file.jsonl>"
+             inspect --tenants <file.jsonl> | inspect --metrics <file.jsonl> [--windows]"
         );
         std::process::exit(2);
     };

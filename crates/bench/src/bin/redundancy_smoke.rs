@@ -121,15 +121,26 @@ fn main() -> ExitCode {
         summary.redundancy_overhead_percent()
     );
 
-    if let (Some(dir), Some(trace)) = (&trace_out, tb.finish()) {
-        let (chrome, jsonl) = ickpt_bench::obs_glue::write_trace_files(
-            std::path::Path::new(dir),
-            "redundancy smoke",
-            &trace,
-        )
-        .expect("write trace files");
-        println!("trace: {} + {}", chrome.display(), jsonl.display());
+    if let Some(trace) = tb.finish() {
+        if let Some(dir) = &trace_out {
+            let dir = std::path::Path::new(dir);
+            if !trace.chrome_json.is_empty() {
+                let (chrome, jsonl) =
+                    ickpt_bench::obs_glue::write_trace_files(dir, "redundancy smoke", &trace)
+                        .expect("write trace files");
+                println!("trace: {} + {}", chrome.display(), jsonl.display());
+            }
+            if let Some(path) =
+                ickpt_bench::obs_glue::write_metrics_file(dir, "redundancy smoke", &trace)
+                    .expect("write metrics file")
+            {
+                println!("metrics: {}", path.display());
+            }
+        }
         print!("{}", trace.summary);
+        if let Some(metrics) = &trace.metrics {
+            print!("{metrics}");
+        }
     }
 
     if ok {

@@ -19,6 +19,12 @@
 //!   deterministic: same seed and knobs ⇒ byte-identical files at any
 //!   `ICKPT_BENCH_THREADS`.
 //!
+//! With `ICKPT_METRICS=on` (or `window=<secs>`) each experiment also
+//! carries a metrics-plane text snapshot: it is printed after the
+//! experiment body and, under `--trace-out`, written to
+//! `<dir>/<slug>.metrics.txt`. Snapshots are byte-identical at any
+//! worker count, so they diff cleanly in CI.
+//!
 //! Respects the `ICKPT_BENCH_*` environment knobs documented in
 //! `ickpt-bench`. Experiments run concurrently on
 //! `ICKPT_BENCH_THREADS` workers, but stdout and the markdown report
@@ -116,14 +122,27 @@ fn main() {
         );
         writeln!(md, "### {name}\n").unwrap();
         writeln!(md, "{}", comparison_markdown(&report.comparisons)).unwrap();
-        if let (Some(dir), Some(trace)) = (&trace_out, &report.trace) {
-            let (chrome, jsonl) =
-                ickpt_bench::obs_glue::write_trace_files(dir.as_ref(), name, trace)
-                    .expect("write trace files");
-            println!("trace: {} + {}", chrome.display(), jsonl.display());
+        if let Some(trace) = &report.trace {
+            if let Some(dir) = &trace_out {
+                if !trace.chrome_json.is_empty() {
+                    let (chrome, jsonl) =
+                        ickpt_bench::obs_glue::write_trace_files(dir.as_ref(), name, trace)
+                            .expect("write trace files");
+                    println!("trace: {} + {}", chrome.display(), jsonl.display());
+                    writeln!(md, "Trace: `{}`, `{}`\n", chrome.display(), jsonl.display()).unwrap();
+                    writeln!(md, "```text\n{}```\n", trace.summary).unwrap();
+                }
+                if let Some(path) =
+                    ickpt_bench::obs_glue::write_metrics_file(dir.as_ref(), name, trace)
+                        .expect("write metrics file")
+                {
+                    println!("metrics: {}", path.display());
+                }
+            }
             print!("{}", trace.summary);
-            writeln!(md, "Trace: `{}`, `{}`\n", chrome.display(), jsonl.display()).unwrap();
-            writeln!(md, "```text\n{}```\n", trace.summary).unwrap();
+            if let Some(metrics) = &trace.metrics {
+                print!("{metrics}");
+            }
         }
         all_rows.extend(report.comparisons);
     }

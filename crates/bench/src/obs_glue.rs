@@ -26,7 +26,8 @@ use ickpt::cluster::{FailureKind, RunReport};
 use ickpt::sim::SimTime;
 use ickpt_analysis::TraceArtifacts;
 use ickpt_obs::{
-    chrome_trace, jsonl, Event, FlightRecorder, Lane, ObsSummary, Recorder, RecoveryTier,
+    chrome_trace, jsonl, Event, FlightRecorder, HealthMonitor, Lane, MetricsConfig, MetricsPlane,
+    ObsSummary, Recorder, RecoveryTier,
 };
 
 static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
@@ -46,16 +47,28 @@ pub fn trace_enabled() -> bool {
 /// Per-experiment trace capture: one flight recorder, one group per
 /// run. All methods are no-ops when tracing is disabled, so call sites
 /// stay unconditional.
+///
+/// When `ICKPT_METRICS` enables the metrics plane, the builder also
+/// owns one [`MetricsPlane`] per experiment and tees every recorder it
+/// hands out into it; [`TraceBuilder::finish`] then evaluates the
+/// standard SLO envelope over each run's windows (emitting
+/// `slo_breach` events back into the trace), replays the plane's
+/// self-profile as `metrics_*` counters, and attaches the rendered
+/// text snapshot to the artifacts. A metrics-only builder (knob on,
+/// `--trace-out` absent) aggregates without retaining events.
 pub struct TraceBuilder {
     fr: Option<Arc<FlightRecorder>>,
+    plane: Option<Arc<MetricsPlane>>,
     next_group: u32,
 }
 
 impl TraceBuilder {
-    /// Start a builder; records only if [`set_trace_enabled`] was set.
+    /// Start a builder; records only if [`set_trace_enabled`] was set
+    /// or `ICKPT_METRICS` enabled the metrics plane.
     pub fn begin() -> Self {
         let fr = trace_enabled().then(FlightRecorder::with_default_capacity);
-        Self { fr, next_group: 0 }
+        let plane = MetricsPlane::from_config(&MetricsConfig::from_env());
+        Self { fr, plane, next_group: 0 }
     }
 
     /// Like [`TraceBuilder::begin`], but ring capacity is scaled down
@@ -64,12 +77,14 @@ impl TraceBuilder {
     /// exports bounded for the 16k-rank extended experiments.
     pub fn begin_scaled(nranks: usize) -> Self {
         let fr = trace_enabled().then(|| FlightRecorder::for_ranks(nranks));
-        Self { fr, next_group: 0 }
+        let plane = MetricsPlane::from_config(&MetricsConfig::from_env());
+        Self { fr, plane, next_group: 0 }
     }
 
-    /// True when this builder actually records.
+    /// True when this builder actually records (trace, metrics, or
+    /// both).
     pub fn enabled(&self) -> bool {
-        self.fr.is_some()
+        self.fr.is_some() || self.plane.is_some()
     }
 
     /// A recorder for the next run, its group named `name`. Groups are
@@ -79,13 +94,18 @@ impl TraceBuilder {
     pub fn recorder(&mut self, name: &str) -> Recorder {
         let group = self.next_group;
         self.next_group += 1;
-        match &self.fr {
+        let mut rec = match &self.fr {
             Some(fr) => {
                 fr.name_group(group, name);
                 Recorder::new(fr.clone()).with_group(group)
             }
-            None => Recorder::disabled(),
+            None => Recorder::disabled().with_group(group),
+        };
+        if let Some(plane) = &self.plane {
+            plane.name_group(group, name);
+            rec = rec.with_metrics(plane.clone());
         }
+        rec
     }
 
     /// Replay a finished run's report as trace events under a new
@@ -99,15 +119,63 @@ impl TraceBuilder {
         synthesize_into(&rec, report);
     }
 
-    /// Snapshot, export and summarize everything recorded.
+    /// Snapshot, export and summarize everything recorded. With a
+    /// metrics plane attached this first runs the standard
+    /// [`HealthMonitor`] over every group (breach events land on each
+    /// run lane, in the trace and the `slo_breaches` counter) and
+    /// replays the plane's deterministic self-profile as a
+    /// `metrics_*` counter track, *then* snapshots — so the exports
+    /// include the health verdicts.
     pub fn finish(self) -> Option<TraceArtifacts> {
-        let fr = self.fr?;
-        let snap = fr.snapshot();
-        Some(TraceArtifacts {
-            chrome_json: chrome_trace(&snap),
-            jsonl: jsonl(&snap),
-            summary: ObsSummary::from_snapshot(&snap).render(),
-        })
+        if !self.enabled() {
+            return None;
+        }
+        let metrics = self.plane.map(|plane| {
+            let monitor = HealthMonitor::standard();
+            let recorder_for = |group: u32| {
+                let rec = match &self.fr {
+                    Some(fr) => Recorder::new(fr.clone()),
+                    None => Recorder::disabled(),
+                };
+                rec.with_group(group).with_metrics(plane.clone())
+            };
+            let groups = plane.groups();
+            for &group in &groups {
+                let Some(view) = plane.view(group) else { continue };
+                monitor.evaluate_into(&view, &recorder_for(group));
+            }
+            // Self-profile: account the plane's own work (health
+            // evaluation included) as a monotone counter track on the
+            // first group's run lane, stamped at the overall horizon.
+            if let Some(&first) = groups.first() {
+                let meta = plane.meta();
+                let at = SimTime(
+                    groups
+                        .iter()
+                        .filter_map(|g| plane.view(*g))
+                        .map(|v| v.horizon_ns())
+                        .max()
+                        .unwrap_or(0),
+                );
+                let rec = recorder_for(first);
+                for (name, value) in [
+                    ("metrics_events_ingested", meta.events_ingested),
+                    ("metrics_updates", meta.metric_updates),
+                    ("metrics_hist_records", meta.hist_records),
+                ] {
+                    rec.emit(Lane::Run, at, Event::Counter { name, value });
+                }
+            }
+            plane.render_text()
+        });
+        let (chrome_json, jsonl, summary) = match self.fr {
+            Some(fr) => {
+                let snap = fr.snapshot();
+                (chrome_trace(&snap), jsonl(&snap), ObsSummary::from_snapshot(&snap).render())
+            }
+            None => (String::new(), String::new(), String::new()),
+        };
+        Some(TraceArtifacts { chrome_json, jsonl, summary, metrics })
     }
 }
 
@@ -203,6 +271,21 @@ pub fn write_trace_files(
     std::fs::write(&chrome, &t.chrome_json)?;
     std::fs::write(&lines, &t.jsonl)?;
     Ok((chrome, lines))
+}
+
+/// Write one experiment's metrics snapshot into `dir` as
+/// `<slug>.metrics.txt`, when the artifacts carry one. Returns the
+/// path written, or `None` when the metrics plane was off.
+pub fn write_metrics_file(
+    dir: &std::path::Path,
+    name: &str,
+    t: &TraceArtifacts,
+) -> std::io::Result<Option<std::path::PathBuf>> {
+    let Some(metrics) = &t.metrics else { return Ok(None) };
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.metrics.txt", trace_slug(name)));
+    std::fs::write(&path, metrics)?;
+    Ok(Some(path))
 }
 
 #[cfg(test)]

@@ -31,6 +31,17 @@ impl DeviceKind {
             DeviceKind::Array => "array",
         }
     }
+
+    /// Inverse of [`DeviceKind::token`].
+    pub fn parse(tok: &str) -> Option<Self> {
+        match tok {
+            "storage" => Some(DeviceKind::Storage),
+            "local" => Some(DeviceKind::Local),
+            "nic" => Some(DeviceKind::Nic),
+            "array" => Some(DeviceKind::Array),
+            _ => None,
+        }
+    }
 }
 
 /// A horizontal track in the trace: one timeline the UI draws.
@@ -61,6 +72,27 @@ impl Lane {
             Lane::Tenant(t) => format!("tenant{t}"),
             Lane::Drain => "drain".to_string(),
         }
+    }
+
+    /// Inverse of [`Lane::label`] — used to rebuild lanes (and
+    /// therefore metrics) from a parsed JSONL export.
+    pub fn parse(label: &str) -> Option<Lane> {
+        match label {
+            "run" => return Some(Lane::Run),
+            "drain" => return Some(Lane::Drain),
+            _ => {}
+        }
+        if let Some(r) = label.strip_prefix("rank") {
+            return r.parse().ok().map(Lane::Rank);
+        }
+        if let Some(t) = label.strip_prefix("tenant") {
+            return t.parse().ok().map(Lane::Tenant);
+        }
+        if let Some(rest) = label.strip_prefix("dev:") {
+            let (kind, idx) = rest.rsplit_once(':')?;
+            return Some(Lane::Device(DeviceKind::parse(kind)?, idx.parse().ok()?));
+        }
+        None
     }
 
     /// Deterministic Chrome-trace `tid` for this lane. Chosen so the
@@ -120,6 +152,17 @@ impl RecoveryTier {
             RecoveryTier::ColdRestart => "cold_restart",
         }
     }
+
+    /// Inverse of [`RecoveryTier::token`].
+    pub fn parse(tok: &str) -> Option<Self> {
+        match tok {
+            "local" => Some(RecoveryTier::Local),
+            "reconstructed" => Some(RecoveryTier::Reconstructed),
+            "durable" => Some(RecoveryTier::Durable),
+            "cold_restart" => Some(RecoveryTier::ColdRestart),
+            _ => None,
+        }
+    }
 }
 
 /// Full vs incremental capture.
@@ -137,6 +180,15 @@ impl CaptureKind {
         match self {
             CaptureKind::Full => "full",
             CaptureKind::Incremental => "incremental",
+        }
+    }
+
+    /// Inverse of [`CaptureKind::token`].
+    pub fn parse(tok: &str) -> Option<Self> {
+        match tok {
+            "full" => Some(CaptureKind::Full),
+            "incremental" => Some(CaptureKind::Incremental),
+            _ => None,
         }
     }
 }
@@ -281,6 +333,15 @@ pub enum Event {
         /// Generations waiting to drain.
         depth: u64,
     },
+    /// In-flight drain batches rolled back by a failure: their
+    /// generations were partially written ("torn") and must re-drain
+    /// after recovery.
+    DrainTorn {
+        /// Generations whose drain was interrupted.
+        generations: u64,
+        /// Bytes of partially-written batch data discarded.
+        bytes: u64,
+    },
     /// A tenant's checkpoint request passed service admission and its
     /// stripe chunks were queued on the scheduler.
     AdmissionGrant {
@@ -352,6 +413,18 @@ pub enum Event {
         /// Sampled value.
         value: u64,
     },
+    /// A health-monitor SLO rule was violated in one metrics window
+    /// (emitted on the run lane at the window's end).
+    SloBreach {
+        /// Violated rule's name (static so events stay `Copy`).
+        rule: &'static str,
+        /// Metrics window index (`ts / window_ns`).
+        window: u64,
+        /// Measured value (unit depends on the rule).
+        value: u64,
+        /// The rule's limit in the same unit.
+        limit: u64,
+    },
 }
 
 impl Event {
@@ -374,6 +447,7 @@ impl Event {
             Event::RedundancyReconstruct { .. } => "reconstruct",
             Event::DrainBatch { .. } => "drain_batch",
             Event::DrainQueueDepth { .. } => "drain_depth",
+            Event::DrainTorn { .. } => "drain_torn",
             Event::AdmissionGrant { .. } => "admit",
             Event::AdmissionReject { .. } => "reject",
             Event::TenantStall { .. } => "tenant_stall",
@@ -382,6 +456,7 @@ impl Event {
             Event::Restore { .. } => "restore",
             Event::Failure { .. } => "failure",
             Event::Counter { .. } => "counter",
+            Event::SloBreach { .. } => "slo_breach",
         }
     }
 
@@ -463,6 +538,9 @@ impl Event {
             Event::DrainQueueDepth { depth } => {
                 let _ = write!(out, "\"depth\":{depth}");
             }
+            Event::DrainTorn { generations, bytes } => {
+                let _ = write!(out, "\"generations\":{generations},\"bytes\":{bytes}");
+            }
             Event::AdmissionGrant { tenant, bytes, chunks } => {
                 let _ = write!(out, "\"tenant\":{tenant},\"bytes\":{bytes},\"chunks\":{chunks}");
             }
@@ -494,6 +572,12 @@ impl Event {
             }
             Event::Counter { name, value } => {
                 let _ = write!(out, "\"counter\":\"{name}\",\"value\":{value}");
+            }
+            Event::SloBreach { rule, window, value, limit } => {
+                let _ = write!(
+                    out,
+                    "\"rule\":\"{rule}\",\"window\":{window},\"value\":{value},\"limit\":{limit}"
+                );
             }
         }
         out.push('}');

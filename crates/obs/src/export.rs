@@ -8,7 +8,9 @@
 
 use std::fmt::Write;
 
-use crate::event::{TimedEvent, TrackKey};
+use ickpt_sim::{SimDuration, SimTime};
+
+use crate::event::{CaptureKind, Event, Lane, RecoveryTier, TimedEvent, TrackKey};
 use crate::log::TraceSnapshot;
 
 /// Append a Chrome-trace timestamp: microseconds with nanosecond
@@ -158,6 +160,132 @@ pub struct ParsedEvent {
     pub name: String,
     /// Argument key/value pairs; values kept as raw JSON tokens.
     pub args: Vec<(String, String)>,
+}
+
+impl ParsedEvent {
+    /// Raw value of argument `key`, if present.
+    pub fn arg(&self, key: &str) -> Option<&str> {
+        self.args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Integer value of argument `key`, if present and numeric.
+    pub fn arg_u64(&self, key: &str) -> Option<u64> {
+        self.arg(key)?.parse().ok()
+    }
+
+    /// Rebuild the typed `(lane, timed event)` this line serialized,
+    /// so a JSONL export can be replayed into a
+    /// [`MetricsPlane`](crate::MetricsPlane) or summary after the
+    /// fact (`inspect --metrics`). Events whose payload holds a
+    /// `&'static str` (`counter`, `slo_breach`) and unknown names
+    /// return `None` — post-hoc metrics skip them.
+    pub fn to_timed(&self) -> Option<(Lane, TimedEvent)> {
+        let lane = Lane::parse(&self.track)?;
+        let event = match self.name.as_str() {
+            "run_start" => Event::RunStart { ranks: self.arg_u64("ranks")? as u32 },
+            "iteration" => Event::IterationBoundary { iteration: self.arg_u64("iteration")? },
+            "tracker_window" => Event::TrackerWindow {
+                index: self.arg_u64("index")?,
+                iws_pages: self.arg_u64("iws_pages")?,
+                footprint_pages: self.arg_u64("footprint_pages")?,
+                faults: self.arg_u64("faults")?,
+            },
+            "capture" => Event::Capture {
+                kind: CaptureKind::parse(self.arg("kind")?)?,
+                generation: self.arg_u64("generation")?,
+                pages: self.arg_u64("pages")?,
+                payload_bytes: self.arg_u64("payload_bytes")?,
+            },
+            "dedup_skip" => Event::DedupSkip {
+                generation: self.arg_u64("generation")?,
+                pages: self.arg_u64("pages")?,
+                bytes_saved: self.arg_u64("bytes_saved")?,
+            },
+            "delta_encode" => Event::DeltaEncode {
+                generation: self.arg_u64("generation")?,
+                pages: self.arg_u64("pages")?,
+                blocks: self.arg_u64("blocks")?,
+                bytes_saved: self.arg_u64("bytes_saved")?,
+            },
+            "ckpt_stall" => Event::CheckpointStall { generation: self.arg_u64("generation")? },
+            "commit" => Event::CommitBarrier { generation: self.arg_u64("generation")? },
+            "chunk_put" => Event::ChunkPut {
+                generation: self.arg_u64("generation")?,
+                bytes: self.arg_u64("bytes")?,
+                queue_wait_ns: self.arg_u64("queue_wait_ns")?,
+                service_ns: self.arg_u64("service_ns")?,
+            },
+            "chunk_get" => Event::ChunkGet {
+                generation: self.arg_u64("generation")?,
+                bytes: self.arg_u64("bytes")?,
+                queue_wait_ns: self.arg_u64("queue_wait_ns")?,
+                service_ns: self.arg_u64("service_ns")?,
+            },
+            "manifest_put" => Event::ManifestPut {
+                generation: self.arg_u64("generation")?,
+                bytes: self.arg_u64("bytes")?,
+            },
+            "transfer" => Event::DeviceTransfer {
+                bytes: self.arg_u64("bytes")?,
+                queue_wait_ns: self.arg_u64("queue_wait_ns")?,
+                service_ns: self.arg_u64("service_ns")?,
+            },
+            "publish" => Event::RedundancyPublish {
+                generation: self.arg_u64("generation")?,
+                bytes: self.arg_u64("bytes")?,
+            },
+            "reconstruct" => Event::RedundancyReconstruct {
+                generation: self.arg_u64("generation")?,
+                pieces: self.arg_u64("pieces")? as u32,
+                bytes: self.arg_u64("bytes")?,
+            },
+            "drain_batch" => Event::DrainBatch {
+                generations: self.arg_u64("generations")?,
+                chunks: self.arg_u64("chunks")?,
+                bytes: self.arg_u64("bytes")?,
+            },
+            "drain_depth" => Event::DrainQueueDepth { depth: self.arg_u64("depth")? },
+            "drain_torn" => Event::DrainTorn {
+                generations: self.arg_u64("generations")?,
+                bytes: self.arg_u64("bytes")?,
+            },
+            "admit" => Event::AdmissionGrant {
+                tenant: self.arg_u64("tenant")? as u32,
+                bytes: self.arg_u64("bytes")?,
+                chunks: self.arg_u64("chunks")?,
+            },
+            "reject" => Event::AdmissionReject {
+                tenant: self.arg_u64("tenant")? as u32,
+                bytes: self.arg_u64("bytes")?,
+                retry_ns: self.arg_u64("retry_ns")?,
+            },
+            "tenant_stall" => Event::TenantStall {
+                tenant: self.arg_u64("tenant")? as u32,
+                bytes: self.arg_u64("bytes")?,
+            },
+            "recovery_read" => Event::RecoveryRead {
+                tier: RecoveryTier::parse(self.arg("tier")?)?,
+                bytes: self.arg_u64("bytes")?,
+            },
+            "recovery_plan" => Event::RecoveryPlan {
+                rank: self.arg_u64("rank")? as u32,
+                tier: RecoveryTier::parse(self.arg("tier")?)?,
+                generation: self.arg_u64("generation")?,
+            },
+            "restore" => Event::Restore {
+                generation: self.arg_u64("generation")?,
+                chain: self.arg_u64("chain")?,
+                pages: self.arg_u64("pages")?,
+                bytes: self.arg_u64("bytes")?,
+            },
+            "failure" => Event::Failure {
+                rank: self.arg_u64("rank")? as u32,
+                node_loss: self.arg_u64("node_loss")? as u32,
+            },
+            _ => return None,
+        };
+        Some((lane, TimedEvent { ts: SimTime(self.ts), dur: SimDuration(self.dur), event }))
+    }
 }
 
 /// Parse the exporter's own JSONL back into events — enough JSON for
@@ -529,6 +657,96 @@ mod tests {
         let events = parse_jsonl(&jsonl(&fr.snapshot())).unwrap();
         let ts: Vec<u64> = events.iter().map(|e| e.ts).collect();
         assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn parsed_events_rebuild_typed_events() {
+        let fr = FlightRecorder::new(128);
+        let rec = Recorder::new(fr.clone());
+        let originals: Vec<(Lane, TimedEvent)> = vec![
+            (
+                Lane::Rank(2),
+                TimedEvent {
+                    ts: SimTime(10),
+                    dur: SimDuration(5),
+                    event: Event::Capture {
+                        kind: crate::event::CaptureKind::Incremental,
+                        generation: 3,
+                        pages: 9,
+                        payload_bytes: 4096,
+                    },
+                },
+            ),
+            (
+                Lane::Device(DeviceKind::Array, 1),
+                TimedEvent {
+                    ts: SimTime(20),
+                    dur: SimDuration::ZERO,
+                    event: Event::DeviceTransfer { bytes: 7, queue_wait_ns: 1, service_ns: 2 },
+                },
+            ),
+            (
+                Lane::Drain,
+                TimedEvent {
+                    ts: SimTime(30),
+                    dur: SimDuration::ZERO,
+                    event: Event::DrainTorn { generations: 2, bytes: 555 },
+                },
+            ),
+            (
+                Lane::Tenant(4),
+                TimedEvent {
+                    ts: SimTime(40),
+                    dur: SimDuration(9),
+                    event: Event::TenantStall { tenant: 4, bytes: 64 },
+                },
+            ),
+            (
+                Lane::Run,
+                TimedEvent {
+                    ts: SimTime(50),
+                    dur: SimDuration::ZERO,
+                    event: Event::RecoveryPlan {
+                        rank: 1,
+                        tier: crate::event::RecoveryTier::Durable,
+                        generation: 2,
+                    },
+                },
+            ),
+        ];
+        for (lane, ev) in &originals {
+            rec.emit_span(*lane, ev.ts, ev.dur, ev.event);
+        }
+        let parsed = parse_jsonl(&jsonl(&fr.snapshot())).unwrap();
+        let mut rebuilt: Vec<(Lane, TimedEvent)> =
+            parsed.iter().map(|p| p.to_timed().expect("reconstructible")).collect();
+        rebuilt.sort_by_key(|(_, ev)| ev.ts);
+        let mut want = originals;
+        want.sort_by_key(|(_, ev)| ev.ts);
+        assert_eq!(rebuilt, want);
+        // Static-str payloads are deliberately not reconstructible.
+        rec.emit(Lane::Run, SimTime(60), Event::Counter { name: "x", value: 1 });
+        let parsed = parse_jsonl(&jsonl(&fr.snapshot())).unwrap();
+        let counter = parsed.iter().find(|p| p.name == "counter").unwrap();
+        assert!(counter.to_timed().is_none());
+    }
+
+    #[test]
+    fn lane_labels_roundtrip() {
+        for lane in [
+            Lane::Run,
+            Lane::Rank(0),
+            Lane::Rank(16383),
+            Lane::Device(DeviceKind::Local, 3),
+            Lane::Device(DeviceKind::Storage, 0),
+            Lane::Tenant(63),
+            Lane::Drain,
+        ] {
+            assert_eq!(Lane::parse(&lane.label()), Some(lane));
+        }
+        assert_eq!(Lane::parse("dev:bogus:0"), None);
+        assert_eq!(Lane::parse("rankx"), None);
+        assert_eq!(Lane::parse(""), None);
     }
 
     #[test]

@@ -20,14 +20,21 @@
 
 pub mod event;
 pub mod export;
+pub mod health;
 pub mod log;
+pub mod metrics;
 pub mod summary;
 
 pub use event::{CaptureKind, DeviceKind, Event, Lane, RecoveryTier, TimedEvent, TrackKey};
 pub use export::{chrome_trace, jsonl, parse_jsonl, validate_json, ParsedEvent};
+pub use health::{HealthMonitor, SloBreachRecord, SloCheck, SloRule, WindowField, WindowHist};
 pub use log::{
     Counter, EventLog, FlightRecorder, NullSink, ObsSink, Recorder, Span, TraceSnapshot,
     DEFAULT_TRACK_CAPACITY, MIN_TRACK_CAPACITY, TRACK_EVENT_BUDGET,
+};
+pub use metrics::{
+    bucket_bound, bucket_of, LogHistogram, MetaStats, MetricLabel, MetricsConfig, MetricsPlane,
+    MetricsView, WindowAccum, HIST_BUCKETS, METRICS_ENV,
 };
 pub use summary::{
     DeviceStats, ObsSummary, RankStats, TenantStats, TierRecoveryStats, SUMMARY_REDUCE_ARITY,

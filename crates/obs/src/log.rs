@@ -19,6 +19,7 @@ use ickpt_sim::{SimDuration, SimTime};
 use parking_lot::Mutex;
 
 use crate::event::{Event, Lane, TimedEvent, TrackKey};
+use crate::metrics::MetricsPlane;
 
 /// Default per-track ring capacity: enough for hours of 1 s tracker
 /// windows or tens of thousands of chunk transfers before the ring
@@ -229,10 +230,13 @@ impl ObsSink for FlightRecorder {
 
 /// The handle every instrumented config carries: either disabled
 /// (default — all emits are a test-and-return) or bound to a
-/// [`FlightRecorder`] and a run group.
+/// [`FlightRecorder`] and a run group, optionally teeing every event
+/// into a [`MetricsPlane`] (which sees *all* events — it aggregates on
+/// ingest, so it is never subject to ring eviction).
 #[derive(Clone, Default)]
 pub struct Recorder {
     sink: Option<Arc<FlightRecorder>>,
+    metrics: Option<Arc<MetricsPlane>>,
     group: u32,
 }
 
@@ -244,19 +248,29 @@ impl Recorder {
 
     /// A recorder feeding `sink` under group 0.
     pub fn new(sink: Arc<FlightRecorder>) -> Self {
-        Self { sink: Some(sink), group: 0 }
+        Self { sink: Some(sink), metrics: None, group: 0 }
     }
 
-    /// The same sink, but events land in `group` (one group per
+    /// The same recorder, additionally folding every emitted event
+    /// into `plane` (live metrics without a second set of hook
+    /// points). A recorder may carry a plane without a flight-recorder
+    /// sink: metrics-only runs aggregate without retaining events.
+    pub fn with_metrics(mut self, plane: Arc<MetricsPlane>) -> Self {
+        self.metrics = Some(plane);
+        self
+    }
+
+    /// The same sink(s), but events land in `group` (one group per
     /// simulated run when exporting several runs together).
     pub fn with_group(&self, group: u32) -> Self {
-        Self { sink: self.sink.clone(), group }
+        Self { sink: self.sink.clone(), metrics: self.metrics.clone(), group }
     }
 
-    /// Whether events are being kept.
+    /// Whether events are being kept (by the ring log, the metrics
+    /// plane, or both).
     #[inline]
     pub fn is_enabled(&self) -> bool {
-        self.sink.is_some()
+        self.sink.is_some() || self.metrics.is_some()
     }
 
     /// The group events land in.
@@ -269,22 +283,36 @@ impl Recorder {
         self.sink.as_ref()
     }
 
+    /// The attached metrics plane, if any.
+    pub fn metrics_plane(&self) -> Option<&Arc<MetricsPlane>> {
+        self.metrics.as_ref()
+    }
+
     /// Record an instant on `lane` at `ts`.
     #[inline]
     pub fn emit(&self, lane: Lane, ts: SimTime, event: Event) {
-        if let Some(sink) = &self.sink {
-            sink.record(
-                TrackKey { group: self.group, lane },
-                TimedEvent { ts, dur: SimDuration::ZERO, event },
-            );
+        if self.is_enabled() {
+            self.record(lane, TimedEvent { ts, dur: SimDuration::ZERO, event });
         }
     }
 
     /// Record a complete slice `[ts, ts+dur]` on `lane`.
     #[inline]
     pub fn emit_span(&self, lane: Lane, ts: SimTime, dur: SimDuration, event: Event) {
+        if self.is_enabled() {
+            self.record(lane, TimedEvent { ts, dur, event });
+        }
+    }
+
+    /// The shared slow path behind `emit`/`emit_span`: deliver to the
+    /// ring log and/or the metrics plane. Out of line so the disabled
+    /// fast path stays a pair of pointer tests.
+    fn record(&self, lane: Lane, ev: TimedEvent) {
         if let Some(sink) = &self.sink {
-            sink.record(TrackKey { group: self.group, lane }, TimedEvent { ts, dur, event });
+            sink.record(TrackKey { group: self.group, lane }, ev);
+        }
+        if let Some(plane) = &self.metrics {
+            plane.ingest(self.group, lane, &ev);
         }
     }
 

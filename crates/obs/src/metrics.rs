@@ -1,0 +1,925 @@
+//! The live metrics plane: streaming counters, gauges, windowed rate
+//! meters and deterministic log₂ histograms fed from the same
+//! [`Recorder`](crate::Recorder) hook points the flight recorder uses.
+//!
+//! The flight recorder answers "what happened, in time order"; the
+//! metrics plane answers "how much, how fast, how bad is the tail" —
+//! the signals ROADMAP item 4's adaptive controller needs while a run
+//! is still in flight. Every accumulator is a commutative, associative
+//! integer operation (sum, max, bucket add) keyed by
+//! `(metric name, label)` and — for windowed series — by the *virtual*
+//! window index `ts / window_ns`. Ingestion order therefore cannot
+//! change any value, so the [text snapshot](MetricsPlane::render_text)
+//! is byte-identical at any `ICKPT_SIM_WORKERS` / `ICKPT_BENCH_THREADS`
+//! setting, exactly like the trace exporters.
+//!
+//! Quantiles come from [`LogHistogram`]: 65 fixed power-of-two buckets
+//! whose nearest-rank quantile is bit-reproducible and lands within
+//! one log₂ bucket of the exact nearest-rank statistic (property-pinned
+//! in `tests/metrics_props.rs`). Histogram merge is an element-wise
+//! vector add, so tree-reduced and flat folds agree exactly.
+//!
+//! The plane profiles itself: every ingest bumps deterministic
+//! op counters ([`MetaStats`]) exported under `ickpt_meta_*`, and the
+//! glue layer replays them as a `metrics_*` counter track so the
+//! plane's own footprint is visible in the trace it annotates. The
+//! disabled path stays in the recorder's ~sub-ns regime: a config
+//! without a plane attached costs one pointer test per emit.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+use std::sync::Arc;
+
+use ickpt_sim::{SimDuration, SimTime};
+use parking_lot::Mutex;
+
+use crate::event::{DeviceKind, Event, Lane, RecoveryTier, TimedEvent};
+
+/// Environment knob controlling the metrics plane in the bench/repro
+/// binaries: `off` (default), `on` (1 s windows) or `window=<secs>`.
+pub const METRICS_ENV: &str = "ICKPT_METRICS";
+
+/// Number of fixed histogram buckets: bucket 0 holds zeros, bucket
+/// `b ≥ 1` holds values in `[2^(b-1), 2^b - 1]`, up to bucket 64.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Parsed [`METRICS_ENV`] setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Whether a [`MetricsPlane`] should be attached at all.
+    pub enabled: bool,
+    /// Virtual-time window for the rate meters and SLO evaluation.
+    pub window: SimDuration,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        Self { enabled: false, window: SimDuration::from_secs(1) }
+    }
+}
+
+impl MetricsConfig {
+    /// Parse a [`METRICS_ENV`] value. Pure so strictness is
+    /// unit-testable without spawning a process.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let err = || {
+            format!(
+                "{METRICS_ENV}={raw:?} is invalid: expected \"off\", \"on\" or \"window=<secs>\""
+            )
+        };
+        match raw.trim() {
+            "off" => Ok(Self { enabled: false, ..Self::default() }),
+            "on" => Ok(Self { enabled: true, ..Self::default() }),
+            v => match v.strip_prefix("window=") {
+                None => Err(err()),
+                Some(secs) => {
+                    let secs: u64 = secs.parse().map_err(|_| err())?;
+                    if secs == 0 || secs > u64::MAX / 1_000_000_000 {
+                        return Err(err());
+                    }
+                    Ok(Self { enabled: true, window: SimDuration::from_secs(secs) })
+                }
+            },
+        }
+    }
+
+    // The one sanctioned stderr write in this crate: a malformed env
+    // knob must abort loudly before any experiment runs
+    // half-configured, exactly like ICKPT_KERNELS and the
+    // ICKPT_BENCH_* knobs (exit status 2 with a message).
+    /// Read [`METRICS_ENV`], exiting with status 2 on a malformed
+    /// value. Absent means disabled.
+    #[allow(clippy::disallowed_macros)]
+    pub fn from_env() -> Self {
+        match std::env::var(METRICS_ENV) {
+            Err(_) => Self::default(),
+            Ok(raw) => Self::parse(&raw).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }),
+        }
+    }
+}
+
+/// Index of the bucket `v` falls in: 0 for 0, else `1 + floor(log2 v)`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `b` — the value a quantile lookup
+/// reports for samples that landed in it.
+pub fn bucket_bound(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        1..=63 => (1u64 << b) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// A fixed-bucket log₂ histogram with bit-reproducible quantiles.
+///
+/// Recording is a bucket increment plus min/max/sum updates — all
+/// commutative, so any interleaving of recorders yields the same
+/// state. [`LogHistogram::merge`] is an element-wise add, making the
+/// histogram a CRDT the summary tree-reduce can fold in any shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; HIST_BUCKETS],
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self { counts: [0; HIST_BUCKETS], total: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold `other` in (associative and commutative).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Raw bucket counts (index by [`bucket_of`]).
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.counts
+    }
+
+    /// Nearest-rank quantile at `pct` percent (1..=100), reported as
+    /// the inclusive upper bound of the bucket holding the rank-`⌈pct
+    /// · n / 100⌉` sample. Exact value and estimate share a bucket by
+    /// construction, so the estimate is within one log₂ bucket of the
+    /// true nearest-rank statistic. `None` when empty.
+    pub fn quantile(&self, pct: u8) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let pct = u64::from(pct.clamp(1, 100));
+        // ceil(pct * total / 100), computed in u128 to dodge overflow.
+        let rank = ((pct as u128 * self.total as u128).div_ceil(100)) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp the reported bound into the observed range so
+                // p100 equals the true max when the top bucket is wide.
+                return Some(bucket_bound(b).min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+/// Dimension attached to a metric beyond its name — which device lane,
+/// recovery tier or tenant the value belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MetricLabel {
+    /// Unlabeled (run-wide) metric.
+    None,
+    /// Per-device metric (`dev="local:0"`).
+    Device(DeviceKind, u32),
+    /// Per-recovery-tier metric (`tier="durable"`).
+    Tier(RecoveryTier),
+}
+
+impl MetricLabel {
+    /// Append the label's `key="value"` form (empty for
+    /// [`MetricLabel::None`]).
+    fn write(&self, out: &mut String) {
+        match self {
+            MetricLabel::None => {}
+            MetricLabel::Device(kind, idx) => {
+                let _ = write!(out, ",dev=\"{}:{idx}\"", kind.token());
+            }
+            MetricLabel::Tier(tier) => {
+                let _ = write!(out, ",tier=\"{}\"", tier.token());
+            }
+        }
+    }
+}
+
+type MetricKey = (&'static str, MetricLabel);
+
+/// One virtual-time window's accumulated rates and distributions. All
+/// fields fold element-wise (sums and maxes), so windows are as
+/// order-independent as the scalar metrics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WindowAccum {
+    /// Checkpoint captures whose span started in the window.
+    pub captures: u64,
+    /// Encoded capture payload bytes — the *effective* IB the storage
+    /// path actually carried.
+    pub effective_ib_bytes: u64,
+    /// What dirty-bit accounting would have shipped: payload plus the
+    /// bytes the content layer deduped or delta-encoded away.
+    pub dirty_ib_bytes: u64,
+    /// Drain batches completing commit→durable in this window.
+    pub drain_batches: u64,
+    /// Bytes those batches pushed to the durable array.
+    pub drain_bytes: u64,
+    /// Deepest drain queue observed in the window.
+    pub drain_depth_max: u64,
+    /// Virtual ns ranks spent blocked on in-flight checkpoints.
+    pub stall_ns: u64,
+    /// Device service (busy) virtual ns, summed across device lanes.
+    pub device_busy_ns: u64,
+    /// Service admission grants.
+    pub admits: u64,
+    /// Service admission rejections (deferred requests).
+    pub rejects: u64,
+    /// Rank checkpoint-stall span durations.
+    pub stall: LogHistogram,
+    /// Tenant request-blocked span durations.
+    pub tenant_stall: LogHistogram,
+}
+
+impl WindowAccum {
+    /// Fold `other` in (associative and commutative).
+    pub fn merge(&mut self, other: &WindowAccum) {
+        self.captures += other.captures;
+        self.effective_ib_bytes += other.effective_ib_bytes;
+        self.dirty_ib_bytes += other.dirty_ib_bytes;
+        self.drain_batches += other.drain_batches;
+        self.drain_bytes += other.drain_bytes;
+        self.drain_depth_max = self.drain_depth_max.max(other.drain_depth_max);
+        self.stall_ns += other.stall_ns;
+        self.device_busy_ns += other.device_busy_ns;
+        self.admits += other.admits;
+        self.rejects += other.rejects;
+        self.stall.merge(&other.stall);
+        self.tenant_stall.merge(&other.tenant_stall);
+    }
+
+    /// Device busy fraction over a window of `window_ns`, in basis
+    /// points (may exceed 10 000 when several devices are busy at
+    /// once — it is a *sum* over device lanes).
+    pub fn busy_bp(&self, window_ns: u64) -> u64 {
+        if window_ns == 0 {
+            return 0;
+        }
+        (self.device_busy_ns as u128 * 10_000 / window_ns as u128) as u64
+    }
+}
+
+/// One run group's metric state: the value behind a [`MetricsView`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GroupMetrics {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges_max: BTreeMap<MetricKey, u64>,
+    hists: BTreeMap<MetricKey, LogHistogram>,
+    windows: BTreeMap<u64, WindowAccum>,
+    horizon_ns: u64,
+}
+
+impl GroupMetrics {
+    #[inline]
+    fn add(&mut self, name: &'static str, label: MetricLabel, delta: u64) -> u64 {
+        *self.counters.entry((name, label)).or_insert(0) += delta;
+        1
+    }
+
+    #[inline]
+    fn gauge_max(&mut self, name: &'static str, label: MetricLabel, v: u64) -> u64 {
+        let g = self.gauges_max.entry((name, label)).or_insert(0);
+        *g = (*g).max(v);
+        1
+    }
+
+    #[inline]
+    fn hist(&mut self, name: &'static str, v: u64) -> u64 {
+        self.hists.entry((name, MetricLabel::None)).or_default().record(v);
+        1
+    }
+
+    fn window(&mut self, ts: SimTime, window_ns: u64) -> &mut WindowAccum {
+        self.windows.entry(ts.0 / window_ns.max(1)).or_default()
+    }
+
+    /// Apply one event; returns `(cell updates, histogram records)`
+    /// for the plane's self-profile.
+    fn apply(&mut self, lane: Lane, ev: &TimedEvent, window_ns: u64) -> (u64, u64) {
+        let mut updates = 0u64;
+        let mut hists = 0u64;
+        self.horizon_ns = self.horizon_ns.max(ev.ts.0 + ev.dur.0);
+        let dur = ev.dur.0;
+        match ev.event {
+            Event::RunStart { ranks } => {
+                updates += self.gauge_max("ranks", MetricLabel::None, u64::from(ranks));
+            }
+            Event::IterationBoundary { .. } => {
+                updates += self.add("iterations", MetricLabel::None, 1);
+            }
+            Event::TrackerWindow { faults, .. } => {
+                updates += self.add("tracker_windows", MetricLabel::None, 1);
+                updates += self.add("tracker_faults", MetricLabel::None, faults);
+            }
+            Event::Capture { pages, payload_bytes, .. } => {
+                updates += self.add("captures", MetricLabel::None, 1);
+                updates += self.add("capture_pages", MetricLabel::None, pages);
+                updates += self.add("capture_bytes", MetricLabel::None, payload_bytes);
+                updates += self.add("dirty_bytes", MetricLabel::None, payload_bytes);
+                let w = self.window(ev.ts, window_ns);
+                w.captures += 1;
+                w.effective_ib_bytes += payload_bytes;
+                w.dirty_ib_bytes += payload_bytes;
+                updates += 3;
+            }
+            Event::DedupSkip { pages, bytes_saved, .. } => {
+                updates += self.add("dedup_pages", MetricLabel::None, pages);
+                updates += self.add("dedup_bytes_saved", MetricLabel::None, bytes_saved);
+                updates += self.add("dirty_bytes", MetricLabel::None, bytes_saved);
+                self.window(ev.ts, window_ns).dirty_ib_bytes += bytes_saved;
+                updates += 1;
+            }
+            Event::DeltaEncode { pages, bytes_saved, .. } => {
+                updates += self.add("delta_pages", MetricLabel::None, pages);
+                updates += self.add("delta_bytes_saved", MetricLabel::None, bytes_saved);
+                updates += self.add("dirty_bytes", MetricLabel::None, bytes_saved);
+                self.window(ev.ts, window_ns).dirty_ib_bytes += bytes_saved;
+                updates += 1;
+            }
+            Event::CheckpointStall { .. } => {
+                updates += self.add("stall_ns", MetricLabel::None, dur);
+                hists += self.hist("stall_ns", dur);
+                let w = self.window(ev.ts, window_ns);
+                w.stall_ns += dur;
+                w.stall.record(dur);
+                updates += 1;
+                hists += 1;
+            }
+            Event::CommitBarrier { .. } => {
+                updates += self.add("commits", MetricLabel::None, 1);
+            }
+            Event::ChunkPut { bytes, queue_wait_ns, service_ns, .. } => {
+                updates += self.add("chunk_puts", MetricLabel::None, 1);
+                updates += self.add("chunk_put_bytes", MetricLabel::None, bytes);
+                hists += self.hist("capture_cost_ns", queue_wait_ns + service_ns);
+            }
+            Event::ChunkGet { bytes, .. } => {
+                updates += self.add("chunk_gets", MetricLabel::None, 1);
+                updates += self.add("chunk_get_bytes", MetricLabel::None, bytes);
+            }
+            Event::ManifestPut { .. } => {
+                updates += self.add("manifest_puts", MetricLabel::None, 1);
+            }
+            Event::DeviceTransfer { bytes, queue_wait_ns, service_ns } => {
+                let label = match lane {
+                    Lane::Device(kind, idx) => MetricLabel::Device(kind, idx),
+                    _ => MetricLabel::None,
+                };
+                updates += self.add("device_transfers", label, 1);
+                updates += self.add("device_bytes", label, bytes);
+                updates += self.add("device_busy_ns", label, service_ns);
+                updates += self.add("device_queue_wait_ns", label, queue_wait_ns);
+                self.window(ev.ts, window_ns).device_busy_ns += service_ns;
+                updates += 1;
+            }
+            Event::RedundancyPublish { bytes, .. } => {
+                updates += self.add("publish_bytes", MetricLabel::None, bytes);
+            }
+            Event::RedundancyReconstruct { bytes, .. } => {
+                updates += self.add("reconstruct_bytes", MetricLabel::None, bytes);
+            }
+            Event::DrainBatch { generations, bytes, .. } => {
+                updates += self.add("drain_batches", MetricLabel::None, 1);
+                updates += self.add("drain_generations", MetricLabel::None, generations);
+                updates += self.add("drain_bytes", MetricLabel::None, bytes);
+                hists += self.hist("drain_batch_ns", dur);
+                let w = self.window(ev.ts, window_ns);
+                w.drain_batches += 1;
+                w.drain_bytes += bytes;
+                updates += 2;
+            }
+            Event::DrainQueueDepth { depth } => {
+                updates += self.gauge_max("drain_depth_max", MetricLabel::None, depth);
+                let w = self.window(ev.ts, window_ns);
+                w.drain_depth_max = w.drain_depth_max.max(depth);
+                updates += 1;
+            }
+            Event::DrainTorn { generations, bytes } => {
+                updates += self.add("drain_torn_generations", MetricLabel::None, generations);
+                updates += self.add("drain_torn_bytes", MetricLabel::None, bytes);
+            }
+            Event::AdmissionGrant { bytes, .. } => {
+                updates += self.add("admits", MetricLabel::None, 1);
+                updates += self.add("admit_bytes", MetricLabel::None, bytes);
+                self.window(ev.ts, window_ns).admits += 1;
+                updates += 1;
+            }
+            Event::AdmissionReject { retry_ns, .. } => {
+                updates += self.add("rejects", MetricLabel::None, 1);
+                hists += self.hist("admission_wait_ns", retry_ns);
+                self.window(ev.ts, window_ns).rejects += 1;
+                updates += 1;
+            }
+            Event::TenantStall { .. } => {
+                updates += self.add("tenant_checkpoints", MetricLabel::None, 1);
+                updates += self.add("tenant_stall_ns", MetricLabel::None, dur);
+                hists += self.hist("tenant_stall_ns", dur);
+                self.window(ev.ts, window_ns).tenant_stall.record(dur);
+                hists += 1;
+            }
+            Event::RecoveryRead { tier, bytes } => {
+                updates += self.add("recovery_reads", MetricLabel::Tier(tier), 1);
+                updates += self.add("recovery_read_bytes", MetricLabel::Tier(tier), bytes);
+            }
+            Event::RecoveryPlan { tier, .. } => {
+                updates += self.add("recovery_plans", MetricLabel::Tier(tier), 1);
+            }
+            Event::Restore { bytes, .. } => {
+                updates += self.add("restores", MetricLabel::None, 1);
+                updates += self.add("restore_ns", MetricLabel::None, dur);
+                updates += self.add("restore_bytes", MetricLabel::None, bytes);
+            }
+            Event::Failure { .. } => {
+                updates += self.add("failures", MetricLabel::None, 1);
+            }
+            Event::Counter { name, value } => {
+                updates += self.gauge_max(name, MetricLabel::None, value);
+            }
+            Event::SloBreach { .. } => {
+                updates += self.add("slo_breaches", MetricLabel::None, 1);
+            }
+        }
+        (updates, hists)
+    }
+}
+
+/// Deterministic op counts the plane keeps about itself. Multiplied by
+/// the `metrics` micro-bench rows they bound the plane's own overhead
+/// without putting host time (a determinism hazard) in any snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetaStats {
+    /// Events offered to [`MetricsPlane::ingest`].
+    pub events_ingested: u64,
+    /// Counter/gauge/window cell updates those events caused.
+    pub metric_updates: u64,
+    /// Histogram samples recorded.
+    pub hist_records: u64,
+}
+
+#[derive(Default)]
+struct PlaneState {
+    groups: BTreeMap<u32, GroupMetrics>,
+    names: BTreeMap<u32, String>,
+    meta: MetaStats,
+}
+
+/// The shared metrics store: per-group accumulators behind one mutex,
+/// same concurrency story as [`FlightRecorder`](crate::FlightRecorder)
+/// (a handful of events per virtual second per rank — ordering, not
+/// contention, is the thing to engineer for, and every update being
+/// commutative makes ordering irrelevant).
+pub struct MetricsPlane {
+    window_ns: u64,
+    state: Mutex<PlaneState>,
+}
+
+impl MetricsPlane {
+    /// A plane bucketing windowed series at `window`.
+    pub fn new(window: SimDuration) -> Arc<Self> {
+        Arc::new(Self { window_ns: window.0.max(1), state: Mutex::new(PlaneState::default()) })
+    }
+
+    /// A plane configured from `cfg`; `None` when metrics are off.
+    pub fn from_config(cfg: &MetricsConfig) -> Option<Arc<Self>> {
+        cfg.enabled.then(|| Self::new(cfg.window))
+    }
+
+    /// The virtual-time window, ns.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Give `group` a human-readable name (mirrors
+    /// [`FlightRecorder::name_group`](crate::FlightRecorder::name_group)).
+    pub fn name_group(&self, group: u32, name: &str) {
+        self.state.lock().names.insert(group, name.to_string());
+    }
+
+    /// Fold one event in. Called by the recorder tee on every emit;
+    /// also usable directly (e.g. replaying a parsed JSONL export).
+    pub fn ingest(&self, group: u32, lane: Lane, ev: &TimedEvent) {
+        let mut st = self.state.lock();
+        let (updates, hists) = st.groups.entry(group).or_default().apply(lane, ev, self.window_ns);
+        st.meta.events_ingested += 1;
+        st.meta.metric_updates += updates;
+        st.meta.hist_records += hists;
+    }
+
+    /// Self-profile counters accumulated so far.
+    pub fn meta(&self) -> MetaStats {
+        self.state.lock().meta
+    }
+
+    /// Groups with any data, id order.
+    pub fn groups(&self) -> Vec<u32> {
+        self.state.lock().groups.keys().copied().collect()
+    }
+
+    /// A point-in-time read view of `group` (the controller contract —
+    /// see DESIGN.md §17), or `None` if the group has no data.
+    pub fn view(&self, group: u32) -> Option<MetricsView> {
+        let st = self.state.lock();
+        st.groups.get(&group).map(|g| MetricsView {
+            group,
+            name: st.names.get(&group).cloned().unwrap_or_else(|| format!("run{group}")),
+            window_ns: self.window_ns,
+            metrics: g.clone(),
+        })
+    }
+
+    /// Render the deterministic Prometheus-style text snapshot: every
+    /// counter, gauge and histogram quantile for every group in key
+    /// order, integer-valued, plus the plane's `ickpt_meta_*`
+    /// self-profile. Byte-identical for identical ingested event sets
+    /// regardless of ingestion order or thread count.
+    pub fn render_text(&self) -> String {
+        let st = self.state.lock();
+        let mut out = String::with_capacity(4096);
+        let _ = writeln!(out, "# ickpt metrics snapshot v1 (virtual-time, integer-valued)");
+        let _ = writeln!(out, "ickpt_window_ns {}", self.window_ns);
+        for (group, g) in &st.groups {
+            let run = st.names.get(group).cloned().unwrap_or_else(|| format!("run{group}"));
+            let mut labels = String::new();
+            escape_label(&mut labels, &run);
+            let run = labels;
+            let _ = writeln!(out, "ickpt_horizon_ns{{run=\"{run}\"}} {}", g.horizon_ns);
+            let _ = writeln!(out, "ickpt_windows{{run=\"{run}\"}} {}", g.windows.len());
+            for ((name, label), v) in &g.counters {
+                let mut l = String::new();
+                label.write(&mut l);
+                let _ = writeln!(out, "ickpt_{name}_total{{run=\"{run}\"{l}}} {v}");
+            }
+            for ((name, label), v) in &g.gauges_max {
+                let mut l = String::new();
+                label.write(&mut l);
+                let _ = writeln!(out, "ickpt_{name}{{run=\"{run}\"{l}}} {v}");
+            }
+            for ((name, _), h) in &g.hists {
+                let _ = writeln!(out, "ickpt_{name}_count{{run=\"{run}\"}} {}", h.count());
+                let _ = writeln!(out, "ickpt_{name}_sum{{run=\"{run}\"}} {}", h.sum());
+                for (q, pct) in [("0.5", 50u8), ("0.9", 90), ("0.99", 99)] {
+                    let v = h.quantile(pct).unwrap_or(0);
+                    let _ = writeln!(out, "ickpt_{name}{{run=\"{run}\",quantile=\"{q}\"}} {v}");
+                }
+            }
+        }
+        let _ = writeln!(out, "ickpt_meta_groups {}", st.groups.len());
+        let _ = writeln!(out, "ickpt_meta_events_ingested {}", st.meta.events_ingested);
+        let _ = writeln!(out, "ickpt_meta_metric_updates {}", st.meta.metric_updates);
+        let _ = writeln!(out, "ickpt_meta_hist_records {}", st.meta.hist_records);
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("MetricsPlane")
+            .field("window_ns", &self.window_ns)
+            .field("groups", &st.groups.len())
+            .field("events", &st.meta.events_ingested)
+            .finish()
+    }
+}
+
+fn escape_label(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// A point-in-time, read-only view of one run group's metrics — the
+/// API contract the ROADMAP item 4 adaptive controller consumes.
+/// Lookups iterate small ordered maps; windows come back in index
+/// order. Cloned out of the plane, so holding a view never blocks
+/// ingestion.
+#[derive(Debug, Clone)]
+pub struct MetricsView {
+    group: u32,
+    name: String,
+    window_ns: u64,
+    metrics: GroupMetrics,
+}
+
+impl MetricsView {
+    /// The run group this view reads.
+    pub fn group(&self) -> u32 {
+        self.group
+    }
+
+    /// The group's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The windowed series' bucket width, virtual ns.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Latest instant covered by any ingested event, virtual ns.
+    pub fn horizon_ns(&self) -> u64 {
+        self.metrics.horizon_ns
+    }
+
+    /// Value of the unlabeled counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counter_labeled(name, MetricLabel::None)
+    }
+
+    /// Value of counter `name` with `label`.
+    pub fn counter_labeled(&self, name: &str, label: MetricLabel) -> u64 {
+        self.metrics
+            .counters
+            .iter()
+            .find(|((n, l), _)| *n == name && *l == label)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// High-water value of gauge `name` (0 if never touched).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.metrics
+            .gauges_max
+            .iter()
+            .find(|((n, l), _)| *n == name && *l == MetricLabel::None)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// The run-wide histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.metrics
+            .hists
+            .iter()
+            .find(|((n, _), _)| *n == name)
+            .map(|(_, h)| h)
+            .filter(|h| !h.is_empty())
+    }
+
+    /// Nearest-rank quantile of histogram `name` at `pct` percent.
+    pub fn quantile(&self, name: &str, pct: u8) -> Option<u64> {
+        self.histogram(name)?.quantile(pct)
+    }
+
+    /// All labeled variants of counter `name`, label order.
+    pub fn counters_labeled(&self, name: &str) -> Vec<(MetricLabel, u64)> {
+        self.metrics
+            .counters
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|((_, l), v)| (*l, *v))
+            .collect()
+    }
+
+    /// Windowed series, `(window index, accumulator)` in index order.
+    /// Windows nothing happened in are absent.
+    pub fn windows(&self) -> impl Iterator<Item = (u64, &WindowAccum)> {
+        self.metrics.windows.iter().map(|(i, w)| (*i, w))
+    }
+
+    /// One window's accumulator.
+    pub fn window(&self, index: u64) -> Option<&WindowAccum> {
+        self.metrics.windows.get(&index)
+    }
+
+    /// Number of populated windows.
+    pub fn window_count(&self) -> usize {
+        self.metrics.windows.len()
+    }
+
+    /// All populated windows merged into one accumulator (whole-run
+    /// totals in window form — used by the re-bin consistency tests).
+    pub fn merged_windows(&self) -> WindowAccum {
+        let mut acc = WindowAccum::default();
+        for (_, w) in self.windows() {
+            acc.merge(w);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CaptureKind;
+
+    #[test]
+    fn knob_parsing_is_strict() {
+        assert!(!MetricsConfig::parse("off").unwrap().enabled);
+        let on = MetricsConfig::parse("on").unwrap();
+        assert!(on.enabled);
+        assert_eq!(on.window, SimDuration::from_secs(1));
+        let w = MetricsConfig::parse("window=5").unwrap();
+        assert!(w.enabled);
+        assert_eq!(w.window, SimDuration::from_secs(5));
+        assert_eq!(MetricsConfig::parse(" on ").unwrap(), on);
+        for bad in ["", "On", "1", "window=", "window=0", "window=-1", "window=2s", "yes"] {
+            assert!(MetricsConfig::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn bucket_shape_is_fixed() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 17, 4095, 4096, u64::MAX] {
+            assert!(v <= bucket_bound(bucket_of(v)));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_bounds() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1060);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(1000));
+        // rank ceil(0.5*4)=2 → 20 lives in bucket 5 (16..=31) → 31.
+        assert_eq!(h.quantile(50), Some(31));
+        // p100 is clamped to the observed max.
+        assert_eq!(h.quantile(100), Some(1000));
+        assert!(LogHistogram::new().quantile(50).is_none());
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for (i, v) in [5u64, 0, 77, 1 << 40, 12, 12, 9000].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+            both.record(*v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, both);
+        // Commutative.
+        let mut rev = b;
+        rev.merge(&a);
+        assert_eq!(rev, both);
+    }
+
+    #[test]
+    fn ingestion_order_cannot_change_the_snapshot() {
+        let events: Vec<(Lane, TimedEvent)> = (0..40u64)
+            .map(|i| {
+                let ev = if i % 3 == 0 {
+                    Event::Capture {
+                        kind: CaptureKind::Incremental,
+                        generation: i,
+                        pages: i + 1,
+                        payload_bytes: 1000 * (i + 1),
+                    }
+                } else {
+                    Event::CheckpointStall { generation: i }
+                };
+                (
+                    Lane::Rank((i % 4) as u32),
+                    TimedEvent {
+                        ts: SimTime(i * 300_000_000),
+                        dur: SimDuration(i * 1_000),
+                        event: ev,
+                    },
+                )
+            })
+            .collect();
+        let ingest_all = |order: &[usize]| {
+            let plane = MetricsPlane::new(SimDuration::from_secs(1));
+            plane.name_group(0, "demo");
+            for &i in order {
+                let (lane, ev) = &events[i];
+                plane.ingest(0, *lane, ev);
+            }
+            plane.render_text()
+        };
+        let forward: Vec<usize> = (0..events.len()).collect();
+        let backward: Vec<usize> = (0..events.len()).rev().collect();
+        let shuffled: Vec<usize> = (0..events.len()).map(|i| (i * 23) % events.len()).collect();
+        let a = ingest_all(&forward);
+        assert_eq!(a, ingest_all(&backward));
+        assert_eq!(a, ingest_all(&shuffled));
+        assert!(a.contains("ickpt_captures_total{run=\"demo\"}"));
+    }
+
+    #[test]
+    fn windows_bucket_by_virtual_time() {
+        let plane = MetricsPlane::new(SimDuration::from_secs(1));
+        for (ts, bytes) in [(0u64, 100u64), (999_999_999, 50), (1_000_000_000, 7)] {
+            plane.ingest(
+                0,
+                Lane::Rank(0),
+                &TimedEvent {
+                    ts: SimTime(ts),
+                    dur: SimDuration::ZERO,
+                    event: Event::Capture {
+                        kind: CaptureKind::Incremental,
+                        generation: 1,
+                        pages: 1,
+                        payload_bytes: bytes,
+                    },
+                },
+            );
+        }
+        let view = plane.view(0).unwrap();
+        assert_eq!(view.window_count(), 2);
+        assert_eq!(view.window(0).unwrap().effective_ib_bytes, 150);
+        assert_eq!(view.window(1).unwrap().effective_ib_bytes, 7);
+        assert_eq!(view.counter("capture_bytes"), 157);
+        assert_eq!(view.merged_windows().effective_ib_bytes, 157);
+    }
+
+    #[test]
+    fn meta_counts_are_deterministic() {
+        let plane = MetricsPlane::new(SimDuration::from_secs(1));
+        plane.ingest(
+            0,
+            Lane::Rank(0),
+            &TimedEvent {
+                ts: SimTime(5),
+                dur: SimDuration(10),
+                event: Event::CheckpointStall { generation: 1 },
+            },
+        );
+        let meta = plane.meta();
+        assert_eq!(meta.events_ingested, 1);
+        assert!(meta.metric_updates >= 2);
+        assert_eq!(meta.hist_records, 2);
+    }
+}

@@ -108,8 +108,15 @@ pub struct ObsSummary {
     pub drain_bytes: u64,
     /// Virtual ns from commit to drain completion, summed over batches.
     pub drain_latency_ns: u64,
+    /// Generations whose in-flight drain a failure tore (rolled back
+    /// and re-drained after recovery).
+    pub torn_generations: u64,
+    /// Bytes of partially-written drain batches discarded by rollback.
+    pub torn_bytes: u64,
     /// `(queue depth, samples observed at that depth)`, depth order.
     pub drain_depth_histogram: Vec<(u64, u64)>,
+    /// Health-monitor SLO breaches recorded on the run lane.
+    pub slo_breaches: u64,
     /// Recovery activity per tier: (tier, stats), tier order.
     pub recovery: Vec<(RecoveryTier, TierRecoveryStats)>,
     /// Restore spans observed: (count, total ns, pages, bytes).
@@ -203,6 +210,13 @@ impl ObsSummary {
                     Event::DrainQueueDepth { depth } => {
                         *depth_hist.entry(depth).or_insert(0) += 1;
                     }
+                    Event::DrainTorn { generations, bytes } => {
+                        s.torn_generations += generations;
+                        s.torn_bytes += bytes;
+                    }
+                    Event::SloBreach { .. } => {
+                        s.slo_breaches += 1;
+                    }
                     Event::AdmissionGrant { tenant, bytes, .. } => {
                         let e = tenant_entry(&mut tenants, tenant);
                         e.admitted += 1;
@@ -255,6 +269,9 @@ impl ObsSummary {
         self.drain_batches += other.drain_batches;
         self.drain_bytes += other.drain_bytes;
         self.drain_latency_ns += other.drain_latency_ns;
+        self.torn_generations += other.torn_generations;
+        self.torn_bytes += other.torn_bytes;
+        self.slo_breaches += other.slo_breaches;
         self.restores += other.restores;
         self.restore_ns += other.restore_ns;
 
@@ -415,7 +432,10 @@ impl ObsSummary {
                 );
             }
         }
-        if self.drain_batches > 0 || !self.drain_depth_histogram.is_empty() {
+        if self.drain_batches > 0
+            || self.torn_generations > 0
+            || !self.drain_depth_histogram.is_empty()
+        {
             let _ = writeln!(
                 out,
                 "  drain: {} batches, {} bytes, commit→durable latency {} ms total",
@@ -423,6 +443,13 @@ impl ObsSummary {
                 self.drain_bytes,
                 self.drain_latency_ns / 1_000_000
             );
+            if self.torn_generations > 0 {
+                let _ = writeln!(
+                    out,
+                    "    torn by failures: {} generations, {} bytes rolled back",
+                    self.torn_generations, self.torn_bytes
+                );
+            }
             if !self.drain_depth_histogram.is_empty() {
                 let _ = write!(out, "    depth histogram:");
                 for (depth, count) in &self.drain_depth_histogram {
@@ -430,6 +457,9 @@ impl ObsSummary {
                 }
                 out.push('\n');
             }
+        }
+        if self.slo_breaches > 0 {
+            let _ = writeln!(out, "  health: {} SLO breach windows", self.slo_breaches);
         }
         if !self.recovery.is_empty() || self.restores > 0 {
             let _ = writeln!(

@@ -390,6 +390,7 @@ impl DrainQueue {
         fail_time: SimTime,
         shared: &Arc<dyn StableStorage>,
     ) -> Result<(), StorageError> {
+        let obs = self.obs.lock().clone();
         let mut state = self.state.lock();
         state.arrivals.clear();
         let in_flight: Vec<u64> = state
@@ -408,6 +409,14 @@ impl DrainQueue {
             state.stats.drained_generations -= batch.generations.len() as u64;
             state.stats.torn_bytes += batch.bytes;
             state.stats.torn_generations += batch.generations.len() as u64;
+            obs.emit(
+                Lane::Drain,
+                fail_time,
+                Event::DrainTorn {
+                    generations: batch.generations.len() as u64,
+                    bytes: batch.bytes,
+                },
+            );
             for gen in batch.generations {
                 for rank in 0..self.nranks {
                     shared.delete_chunk(ChunkKey::new(rank as u32, gen))?;
@@ -586,6 +595,8 @@ mod tests {
         let (locals, shared) = setup(2);
         let array = shared_device(BandwidthDevice::new(1_000, SimDuration::ZERO));
         let q = DrainQueue::new(2, 1);
+        let fr = ickpt_obs::FlightRecorder::new(64);
+        q.attach_obs(Recorder::new(fr.clone()));
         commit_gen(&locals, 0, 1000);
         for _ in 0..2 {
             q.note_committed(0, SimTime::from_secs(10), &locals, &shared, &array).unwrap();
@@ -596,6 +607,19 @@ mod tests {
         // Fail while the batch is in flight: it is torn, not drained.
         q.rollback(Some(0), SimTime::from_secs(11), &shared).unwrap();
         let torn = q.stats();
+        // The tear surfaces as a typed event on the drain lane.
+        let snap = fr.snapshot();
+        let tears: Vec<_> = snap
+            .tracks
+            .iter()
+            .filter(|(k, _, _)| k.lane == Lane::Drain)
+            .flat_map(|(_, evs, _)| evs.iter())
+            .filter_map(|ev| match ev.event {
+                Event::DrainTorn { generations, bytes } => Some((ev.ts, generations, bytes)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tears, vec![(SimTime::from_secs(11), 1, flushed.drained_bytes)]);
         assert_eq!(torn.drained_generations, 0);
         assert_eq!(torn.drained_bytes, 0);
         assert_eq!(torn.torn_generations, 1);

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare two ickpt-bench-baseline JSON files and flag regressions.
+
+Usage:
+    scripts/bench_delta.py OLD.json NEW.json [--tolerance PCT]
+                           [--metric best_ns_per_iter|ns_per_iter]
+
+Both inputs are `cargo bench ... --save-json` outputs (schema
+`ickpt-bench-baseline/1`, e.g. the checked-in BENCH_PR<N>.json
+baselines). For every bench id present in both files the per-iteration
+time delta is printed, worst first; a delta above the tolerance band is
+a REGRESSION and makes the script exit 1. Rows only in one file are
+listed as added/removed, never failed — new benches are expected as
+the codebase grows.
+
+The default metric is `best_ns_per_iter` (fastest observed pass):
+single-pass medians on busy CI hosts carry multi-x noise, and the
+fastest pass is the closest thing a one-shot run has to a noise floor.
+The default tolerance is deliberately wide for the same reason — this
+gate exists to catch order-of-magnitude cliffs (an accidental O(n²),
+a lost SIMD dispatch), not single-digit drift, which only a quiet
+host and many passes can resolve.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "ickpt-bench-baseline/1"
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != SCHEMA:
+        sys.exit(f"{path}: expected schema {SCHEMA!r}, got {data.get('schema')!r}")
+    return data
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", help="baseline JSON (previous PR)")
+    ap.add_argument("new", help="candidate JSON (this PR)")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=100.0,
+        help="max allowed slowdown in percent before a row fails (default 100 = 2x)",
+    )
+    ap.add_argument(
+        "--metric",
+        choices=["best_ns_per_iter", "ns_per_iter"],
+        default="best_ns_per_iter",
+        help="which per-iteration time to compare (default best_ns_per_iter)",
+    )
+    args = ap.parse_args()
+
+    old = load(args.old)
+    new = load(args.new)
+    old_by_id = {b["id"]: b for b in old["benches"]}
+    new_by_id = {b["id"]: b for b in new["benches"]}
+
+    common = sorted(set(old_by_id) & set(new_by_id))
+    added = sorted(set(new_by_id) - set(old_by_id))
+    removed = sorted(set(old_by_id) - set(new_by_id))
+
+    rows = []
+    for bench_id in common:
+        before = old_by_id[bench_id][args.metric]
+        after = new_by_id[bench_id][args.metric]
+        if before <= 0:
+            continue
+        delta = 100.0 * (after - before) / before
+        rows.append((delta, bench_id, before, after))
+    rows.sort(reverse=True)
+
+    print(
+        f"bench delta: {args.old} (pr {old.get('pr', '?')}) -> "
+        f"{args.new} (pr {new.get('pr', '?')}), metric {args.metric}, "
+        f"tolerance +{args.tolerance:g}%"
+    )
+    width = max((len(r[1]) for r in rows), default=8)
+    regressions = []
+    for delta, bench_id, before, after in rows:
+        flag = ""
+        if delta > args.tolerance:
+            flag = "  REGRESSION"
+            regressions.append(bench_id)
+        print(f"  {bench_id:<{width}}  {before:>12.1f} -> {after:>12.1f} ns  {delta:+7.1f}%{flag}")
+    if added:
+        print(f"  new rows ({len(added)}): " + ", ".join(added))
+    if removed:
+        print(f"  removed rows ({len(removed)}): " + ", ".join(removed))
+
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} row(s) regressed past +{args.tolerance:g}%: "
+            + ", ".join(regressions)
+        )
+        return 1
+    print(f"OK: {len(rows)} rows within +{args.tolerance:g}% " f"({len(added)} new)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -150,6 +150,55 @@ bench_smoke() {
         exit 1
     fi
 
+    # Metrics-plane determinism: with ICKPT_METRICS=on the
+    # Prometheus-style text snapshot (printed to stdout and written as
+    # <slug>.metrics.txt under --trace-out, so the diff -r covers it)
+    # must be byte-identical at 1 and 4 scheduler threads.
+    echo "==> repro --only 'table 4' with ICKPT_METRICS=on at 1 and 4 threads"
+    rm -rf /tmp/ickpt_metrics_t1 /tmp/ickpt_metrics_t4
+    ICKPT_METRICS=on ICKPT_BENCH_RANKS=4 ICKPT_BENCH_SCALE=0.05 ICKPT_BENCH_THREADS=1 \
+        target/release/repro --only "table 4" --trace-out /tmp/ickpt_metrics_t1 \
+        >/tmp/ickpt_metrics_t1.txt 2>/dev/null
+    ICKPT_METRICS=on ICKPT_BENCH_RANKS=4 ICKPT_BENCH_SCALE=0.05 ICKPT_BENCH_THREADS=4 \
+        target/release/repro --only "table 4" --trace-out /tmp/ickpt_metrics_t4 \
+        >/tmp/ickpt_metrics_t4.txt 2>/dev/null
+    # The stdout echoes the --trace-out paths, which differ by design;
+    # normalize them so the diff compares only the experiment + snapshot.
+    sed -i 's|/tmp/ickpt_metrics_t[14]|OUTDIR|g' \
+        /tmp/ickpt_metrics_t1.txt /tmp/ickpt_metrics_t4.txt
+    run diff /tmp/ickpt_metrics_t1.txt /tmp/ickpt_metrics_t4.txt
+    run diff -r /tmp/ickpt_metrics_t1 /tmp/ickpt_metrics_t4
+    # Table 4 is characterization-only (no checkpoint captures), so the
+    # live counters it feeds are the tracker's; the capture-path counters
+    # are exercised by the inspect --metrics replay below.
+    if ! grep -q '^ickpt_tracker_windows_total' \
+        /tmp/ickpt_metrics_t1/table-4-*.metrics.txt; then
+        echo "expected tracker counters in the metrics snapshot" >&2
+        exit 1
+    fi
+
+    # Post-hoc metrics view: replay the ablation's JSONL trace into a
+    # fresh plane; per-run totals, window series and SLO verdicts must
+    # render without erroring.
+    run target/release/inspect --metrics \
+        /tmp/ickpt_trace_t1/ablations-checkpoint-system.jsonl --windows >/dev/null
+
+    # A malformed ICKPT_METRICS value must abort with exit status 2.
+    echo "==> repro with malformed ICKPT_METRICS must exit 2"
+    set +e
+    ICKPT_METRICS=every-5s target/release/repro --only "table 4" >/dev/null 2>/dev/null
+    rc=$?
+    set -e
+    if [[ "$rc" -ne 2 ]]; then
+        echo "expected exit 2 for ICKPT_METRICS=every-5s, got $rc" >&2
+        exit 1
+    fi
+
+    # PR-over-PR micro-bench drift: compare the two checked-in
+    # baselines (deterministic — no benches run here). The wide band
+    # catches order-of-magnitude cliffs, not host noise.
+    run python3 scripts/bench_delta.py BENCH_PR9.json BENCH_PR10.json --tolerance 100
+
     # Multilevel redundancy: inject a node loss mid-run, recover the
     # wiped rank by partner reconstruction, and diff the final
     # application state against a failure-free run (byte-identical or

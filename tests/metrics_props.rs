@@ -1,0 +1,240 @@
+//! Property pins for the live metrics plane (`ickpt::obs::metrics`):
+//! snapshots must be byte-identical at any worker count or OS
+//! schedule, histogram folding must be associative (tree-reduce ≡
+//! flat fold), quantile estimates must land in the same log₂ bucket
+//! as the exact nearest-rank reference, and windowed accumulators
+//! must re-bin consistently — their sums agree with the run-wide
+//! counters and with the flight recorder's own `ObsSummary`.
+
+use std::sync::Arc;
+
+use ickpt::apps::synthetic::{SyntheticApp, SyntheticConfig};
+use ickpt::apps::Workload;
+use ickpt::cluster::{
+    characterize, run_fault_tolerant, CharacterizationConfig, CheckpointMode, FailureSpec,
+    FaultTolerantConfig, RunReport, StoragePath,
+};
+use ickpt::core::coordinator::CheckpointPolicy;
+use ickpt::mem::{LayoutBuilder, PAGE_SIZE};
+use ickpt::net::NetConfig;
+use ickpt::obs::{
+    bucket_of, FlightRecorder, LogHistogram, MetricsPlane, MetricsView, ObsSummary, Recorder,
+};
+use ickpt::sim::{DevicePreset, SimDuration, SimTime, SplitMix64};
+use ickpt::storage::MemStore;
+
+const NRANKS: usize = 3;
+
+/// The determinism-suite fault-tolerant run (one mid-run process
+/// failure, incremental checkpoints every 3 s) with a metrics plane —
+/// and optionally a flight recorder — teed into the instrumentation.
+fn ft_run(plane: &Arc<MetricsPlane>, fr: Option<&Arc<FlightRecorder>>) -> RunReport {
+    plane.name_group(0, "ft");
+    let rec = match fr {
+        Some(fr) => {
+            fr.name_group(0, "ft");
+            Recorder::new(fr.clone())
+        }
+        None => Recorder::disabled(),
+    };
+    let cfg = FaultTolerantConfig {
+        nranks: NRANKS,
+        max_iterations: 12,
+        timeslice: SimDuration::from_secs(1),
+        policy: CheckpointPolicy::incremental(SimDuration::from_secs(3), 0),
+        store: Arc::new(MemStore::new()),
+        device: DevicePreset::ScsiDisk,
+        mode: CheckpointMode::StopAndCopy,
+        storage_path: StoragePath::Shared,
+        failures: vec![FailureSpec::process(1, SimTime::from_secs(6))],
+        net: NetConfig::qsnet(),
+        redundancy: None,
+        max_attempts: 4,
+        obs: rec.with_metrics(plane.clone()),
+        dedup: None,
+        write_profile: Default::default(),
+    };
+    let layout = LayoutBuilder::new()
+        .static_bytes(PAGE_SIZE)
+        .heap_capacity_bytes(2048 * PAGE_SIZE)
+        .mmap_capacity_bytes(PAGE_SIZE)
+        .build();
+    run_fault_tolerant(&cfg, layout, |rank| {
+        Box::new(SyntheticApp::new(SyntheticConfig {
+            exchange_bytes: 8192,
+            rank,
+            nranks: NRANKS,
+            ..Default::default()
+        }))
+    })
+    .expect("simulated run completes")
+}
+
+#[test]
+fn fault_tolerant_snapshots_are_schedule_independent() {
+    let renders: Vec<String> = (0..3)
+        .map(|_| {
+            let plane = MetricsPlane::new(SimDuration::from_secs(1));
+            ft_run(&plane, None);
+            plane.render_text()
+        })
+        .collect();
+    assert!(
+        renders[0].contains("ickpt_captures_total{run=\"ft\"}"),
+        "snapshot should carry live capture counters:\n{}",
+        renders[0]
+    );
+    assert!(renders[0].contains("ickpt_stall_ns{run=\"ft\",quantile=\"0.99\"}"));
+    assert_eq!(renders[0], renders[1], "second run produced a different snapshot");
+    assert_eq!(renders[1], renders[2], "third run produced a different snapshot");
+}
+
+#[test]
+fn snapshots_are_identical_across_worker_counts() {
+    let render_with = |workers: usize| {
+        let plane = MetricsPlane::new(SimDuration::from_secs(1));
+        plane.name_group(0, "chr");
+        let cfg = CharacterizationConfig {
+            nranks: 4,
+            scale: 0.02,
+            run_for: SimDuration::from_secs(30),
+            obs: Recorder::disabled().with_metrics(plane.clone()),
+            workers: Some(workers),
+            ..Default::default()
+        };
+        characterize(Workload::Sage50, &cfg);
+        let view = plane.view(0).expect("group 0 populated");
+        assert!(view.counter("tracker_windows") > 0, "characterization fed no events");
+        plane.render_text()
+    };
+    let one = render_with(1);
+    assert_eq!(one, render_with(2), "2 workers changed the snapshot bytes");
+    assert_eq!(one, render_with(8), "8 workers changed the snapshot bytes");
+}
+
+/// Seeded value stream mixing magnitudes across many log₂ buckets
+/// (zeros, cache-line-scale, MB-scale, outliers).
+fn sample_values(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| match rng.next_below(4) {
+            0 => rng.next_below(3),
+            1 => 64 + rng.next_below(4096),
+            2 => 1_000_000 + rng.next_below(30_000_000),
+            _ => rng.next_u64() >> (rng.next_below(40) + 8),
+        })
+        .collect()
+}
+
+#[test]
+fn histogram_merge_is_associative_and_commutative() {
+    let shards: Vec<LogHistogram> = (0..16)
+        .map(|i| {
+            let mut h = LogHistogram::new();
+            for v in sample_values(0xC0FFEE ^ i, 200) {
+                h.record(v);
+            }
+            h
+        })
+        .collect();
+
+    // Flat left fold.
+    let mut flat = LogHistogram::new();
+    for s in &shards {
+        flat.merge(s);
+    }
+    // Flat right-to-left fold (commutativity).
+    let mut rev = LogHistogram::new();
+    for s in shards.iter().rev() {
+        rev.merge(s);
+    }
+    // Pairwise tree reduce (associativity), as a drain tree would.
+    let mut level = shards.clone();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| {
+                let mut m = pair[0].clone();
+                if let Some(r) = pair.get(1) {
+                    m.merge(r);
+                }
+                m
+            })
+            .collect();
+    }
+    assert_eq!(flat, rev, "merge is not commutative");
+    assert_eq!(flat, level[0], "tree reduce diverged from flat fold");
+    assert_eq!(flat.count(), 16 * 200);
+}
+
+#[test]
+fn quantiles_land_in_the_exact_nearest_rank_bucket() {
+    for seed in [1u64, 7, 0xBEEF, 0x5EED_5EED] {
+        for n in [1usize, 2, 17, 500, 4096] {
+            let values = sample_values(seed, n);
+            let mut h = LogHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for pct in [50u8, 90, 99] {
+                let rank = ((pct as u64 * n as u64).div_ceil(100)).max(1);
+                let exact = sorted[(rank - 1) as usize];
+                let est = h.quantile(pct).expect("non-empty histogram");
+                assert_eq!(
+                    bucket_of(est),
+                    bucket_of(exact),
+                    "seed {seed} n {n} p{pct}: estimate {est} not in exact value {exact}'s \
+                     log2 bucket"
+                );
+            }
+        }
+    }
+}
+
+/// Sum a per-window field over every populated window.
+fn window_sum(view: &MetricsView, f: impl Fn(&ickpt::obs::WindowAccum) -> u64) -> u64 {
+    view.windows().map(|(_, w)| f(w)).sum()
+}
+
+#[test]
+fn windows_rebin_consistently_and_agree_with_obs_summary() {
+    // Same deterministic run, binned at 1 s and at 4 s, with a flight
+    // recorder alongside for the ObsSummary cross-check.
+    let fine = MetricsPlane::new(SimDuration::from_secs(1));
+    let fr = FlightRecorder::with_default_capacity();
+    ft_run(&fine, Some(&fr));
+    let coarse = MetricsPlane::new(SimDuration::from_secs(4));
+    ft_run(&coarse, None);
+
+    let fv = fine.view(0).expect("fine plane populated");
+    let cv = coarse.view(0).expect("coarse plane populated");
+    assert!(fv.window_count() >= cv.window_count(), "coarser bins cannot yield more windows");
+
+    // Re-binning must only move mass between windows, never change
+    // totals: merged windows agree field-for-field and with the
+    // run-wide counters.
+    let fm = fv.merged_windows();
+    let cm = cv.merged_windows();
+    assert_eq!(fm.captures, cm.captures);
+    assert_eq!(fm.effective_ib_bytes, cm.effective_ib_bytes);
+    assert_eq!(fm.dirty_ib_bytes, cm.dirty_ib_bytes);
+    assert_eq!(fm.stall_ns, cm.stall_ns);
+    assert_eq!(fm.device_busy_ns, cm.device_busy_ns);
+    assert_eq!(fm.stall.count(), cm.stall.count());
+    assert_eq!(fm.stall.sum(), cm.stall.sum());
+
+    assert_eq!(fm.captures, fv.counter("captures"));
+    assert_eq!(fm.effective_ib_bytes, fv.counter("capture_bytes"));
+    assert_eq!(fm.stall_ns, fv.counter("stall_ns"));
+    assert_eq!(window_sum(&fv, |w| w.drain_bytes), fv.counter("drain_bytes"));
+
+    // And the recorder's own aggregate view of the very same events
+    // must agree with the plane's counters.
+    let summary = ObsSummary::from_snapshot(&fr.snapshot());
+    let ranks = &summary.ranks;
+    assert_eq!(ranks.iter().map(|r| r.captures).sum::<u64>(), fv.counter("captures"));
+    assert_eq!(ranks.iter().map(|r| r.capture_bytes).sum::<u64>(), fv.counter("capture_bytes"));
+    assert_eq!(ranks.iter().map(|r| r.stall_ns).sum::<u64>(), fv.counter("stall_ns"));
+}
